@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation A1: decoder quality. The paper uses "maximum likelihood
+ * perfect matching"; this ablation compares our exact blossom MWPM
+ * against a greedy matcher on the same decoding graphs, on the
+ * baseline and Compact-Interleaved setups.
+ *
+ * Knobs: VLQ_TRIALS (default 400).
+ */
+#include <iostream>
+
+#include "mc/monte_carlo.h"
+#include "util/env.h"
+#include "util/table.h"
+
+using namespace vlq;
+
+int
+main()
+{
+    McOptions mwpm;
+    mwpm.trials = static_cast<uint64_t>(envInt("VLQ_TRIALS", 400));
+    mwpm.seed = static_cast<uint64_t>(envInt("VLQ_SEED", 0x5eed));
+    McOptions greedy = mwpm;
+    greedy.decoder = DecoderKind::Greedy;
+
+    std::cout << "=== Ablation: exact MWPM (blossom) vs greedy matching"
+                 " ===\n\n";
+    TablePrinter t({"Setup", "d", "p", "MWPM rate", "Greedy rate"});
+    struct Case
+    {
+        EmbeddingKind emb;
+        ExtractionSchedule sched;
+        const char* name;
+    };
+    std::vector<Case> cases{
+        {EmbeddingKind::Baseline2D, ExtractionSchedule::AllAtOnce,
+         "Baseline"},
+        {EmbeddingKind::Compact, ExtractionSchedule::Interleaved,
+         "Compact, Interleaved"},
+    };
+    for (const auto& cs : cases) {
+        for (int d : {3, 5}) {
+            for (double p : {5e-3, 1e-2}) {
+                GeneratorConfig cfg;
+                cfg.distance = d;
+                cfg.cavityDepth = 10;
+                cfg.schedule = cs.sched;
+                cfg.noise = NoiseModel::atPhysicalRate(
+                    p, HardwareParams::transmonsWithMemory());
+                LogicalErrorPoint a =
+                    estimateLogicalError(cs.emb, cfg, mwpm);
+                LogicalErrorPoint b =
+                    estimateLogicalError(cs.emb, cfg, greedy);
+                t.addRow({cs.name, std::to_string(d),
+                          TablePrinter::sci(p, 1),
+                          TablePrinter::sci(a.combinedRate(), 2),
+                          TablePrinter::sci(b.combinedRate(), 2)});
+            }
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nExpected: greedy matches MWPM at low event density"
+                 " but degrades near threshold, lowering the apparent\n"
+                 "threshold -- decoder quality is part of the code's"
+                 " performance (paper Sec. V).\n";
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Reproduces the paper's Sec. III-B claim (X1 in DESIGN.md): the
+ * transversal CNOT takes 1 timestep vs 6 for the lattice-surgery CNOT
+ * (6x), and 2-3 timesteps when the operands first need co-location.
+ * Also measures program-level impact on a small CNOT-heavy workload.
+ */
+#include <iostream>
+
+#include "core/logical_machine.h"
+#include "util/table.h"
+
+using namespace vlq;
+
+int
+main()
+{
+    std::cout << "=== Logical CNOT latency (timesteps of d EC cycles"
+                 " each) ===\n\n";
+
+    DeviceConfig cfg;
+    cfg.embedding = EmbeddingKind::Natural;
+    cfg.distance = 5;
+    cfg.gridWidth = 4;
+    cfg.gridHeight = 1;
+    cfg.cavityDepth = 10;
+
+    TablePrinter t({"Operation", "Timesteps", "Paper"});
+    {
+        LogicalMachine m(cfg);
+        LogicalQubit a = m.allocAt({0, 0});
+        LogicalQubit b = m.allocAt({0, 0});
+        int t0 = m.currentStep();
+        m.cnotTransversal(a, b);
+        t.addRow({"transversal CNOT (co-located)",
+                  std::to_string(m.currentStep() - t0), "1"});
+    }
+    {
+        LogicalMachine m(cfg);
+        LogicalQubit a = m.allocAt({0, 0});
+        LogicalQubit b = m.allocAt({3, 0});
+        int t0 = m.currentStep();
+        m.cnotViaColocation(a, b, false);
+        t.addRow({"move + transversal CNOT",
+                  std::to_string(m.currentStep() - t0), "2"});
+    }
+    {
+        LogicalMachine m(cfg);
+        LogicalQubit a = m.allocAt({0, 0});
+        LogicalQubit b = m.allocAt({3, 0});
+        int t0 = m.currentStep();
+        m.cnotViaColocation(a, b, true);
+        t.addRow({"move + CNOT + move back",
+                  std::to_string(m.currentStep() - t0), "3"});
+    }
+    {
+        LogicalMachine m(cfg);
+        LogicalQubit a = m.allocAt({0, 0});
+        LogicalQubit b = m.allocAt({3, 0});
+        int t0 = m.currentStep();
+        m.cnotLatticeSurgery(a, b);
+        t.addRow({"lattice-surgery CNOT",
+                  std::to_string(m.currentStep() - t0), "6"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nSpeedup of transversal over lattice surgery: "
+              << LogicalOpCosts::latticeSurgeryCnot /
+                     LogicalOpCosts::transversalCnot
+              << "x  [paper: 6x]\n";
+
+    // Program-level comparison: a ladder of 32 CNOTs between co-located
+    // pairs, scheduled with each strategy.
+    std::cout << "\n=== 32-CNOT ladder on one stack ===\n\n";
+    TablePrinter p({"Strategy", "Makespan (timesteps)"});
+    {
+        LogicalMachine m(cfg);
+        LogicalQubit a = m.allocAt({0, 0});
+        LogicalQubit b = m.allocAt({0, 0});
+        for (int i = 0; i < 32; ++i)
+            m.cnotTransversal(a, b);
+        p.addRow({"transversal", std::to_string(m.currentStep())});
+    }
+    {
+        LogicalMachine m(cfg);
+        LogicalQubit a = m.allocAt({0, 0});
+        LogicalQubit b = m.allocAt({0, 0});
+        for (int i = 0; i < 32; ++i)
+            m.cnotLatticeSurgery(a, b);
+        p.addRow({"lattice surgery", std::to_string(m.currentStep())});
+    }
+    p.print(std::cout);
+
+    // The lattice-surgery macro, step by step.
+    std::cout << "\nLattice-surgery CNOT macro (Fig. 4):\n";
+    for (const auto& step : latticeSurgeryCnotSequence())
+        std::cout << "  - " << step.description << " ("
+                  << step.timesteps << " step)\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reproduces paper Figure 11: error-threshold curves for the five
+ * evaluation setups (Baseline 2D, Natural/Compact x AAO/Interleaved).
+ *
+ * Prints, per setup, the logical error rate per d-round block for each
+ * code distance across a sweep of physical error rates, plus the
+ * estimated threshold (curve-crossing median). The paper reports
+ * pth = 0.009 / 0.009 / 0.008 / 0.008 / 0.008.
+ *
+ * Environment knobs:
+ *   VLQ_TRIALS  trials per (d, p, basis) point     [default 400]
+ *   VLQ_FULL=1  use distances {3,5,7,9,11} and a denser sweep
+ *   VLQ_POINTS  number of p values                 [default 6]
+ *   VLQ_SCALE_COHERENCE=1  scale coherence with p too (ablation A2;
+ *                          default 0 = Table-I coherence, which is the
+ *                          reading consistent with the paper's plots --
+ *                          see EXPERIMENTS.md)
+ *   VLQ_SEED    RNG seed
+ */
+#include <iostream>
+
+#include "mc/threshold.h"
+#include "util/csv.h"
+#include "util/env.h"
+#include "util/table.h"
+
+using namespace vlq;
+
+int
+main()
+{
+    const bool full = envInt("VLQ_FULL", 0) != 0;
+    ThresholdScanConfig cfg;
+    cfg.distances = full ? std::vector<int>{3, 5, 7, 9, 11}
+                         : std::vector<int>{3, 5, 7};
+    int points = static_cast<int>(envInt("VLQ_POINTS", full ? 9 : 7));
+    cfg.physicalPs = logspace(3.5e-3, 2e-2, points);
+    cfg.cavityDepth = 10;
+    cfg.scaleCoherence = envInt("VLQ_SCALE_COHERENCE", 0) != 0;
+    cfg.gapModel = envInt("VLQ_GAP_PER_ROUND", 0) != 0
+        ? PagingGapModel::PerRound : PagingGapModel::BlockOnce;
+    cfg.mc.trials =
+        static_cast<uint64_t>(envInt("VLQ_TRIALS", full ? 4000 : 2000));
+    cfg.mc.seed = static_cast<uint64_t>(envInt("VLQ_SEED", 0x5eed));
+
+    std::cout << "=== Figure 11: error thresholds (trials/point = "
+              << cfg.mc.trials << ", coherence "
+              << (cfg.scaleCoherence ? "scales with p" : "fixed Table I")
+              << ", k = " << cfg.cavityDepth << ") ===\n";
+
+    const double paperPth[5] = {0.009, 0.009, 0.008, 0.008, 0.008};
+    int setupIdx = 0;
+    for (const EvaluationSetup& setup : paperSetups()) {
+        std::cout << "\n--- " << setup.name() << " ---\n";
+        ThresholdResult result = scanThreshold(setup, cfg);
+
+        std::vector<std::string> headers{"p"};
+        for (const auto& curve : result.curves)
+            headers.push_back("d=" + std::to_string(curve.distance));
+        TablePrinter t(headers);
+        CsvWriter csv(headers);
+        for (size_t j = 0; j < cfg.physicalPs.size(); ++j) {
+            std::vector<std::string> row{
+                TablePrinter::sci(cfg.physicalPs[j], 2)};
+            std::vector<double> nums{cfg.physicalPs[j]};
+            for (const auto& curve : result.curves) {
+                row.push_back(TablePrinter::sci(
+                    curve.points[j].combinedRate(), 2));
+                nums.push_back(curve.points[j].combinedRate());
+            }
+            t.addRow(row);
+            csv.addNumericRow(nums);
+        }
+        t.print(std::cout);
+        std::string csvDir = envString("VLQ_CSV", "");
+        if (!csvDir.empty()) {
+            std::string path = csvDir + "/fig11_setup"
+                + std::to_string(setupIdx) + ".csv";
+            if (!csv.writeFile(path))
+                std::cerr << "failed to write " << path << "\n";
+        }
+        std::cout << "threshold estimate pth = ";
+        if (result.pth > 0)
+            std::cout << TablePrinter::sci(result.pth, 2);
+        else
+            std::cout << "(no crossing in range)";
+        std::cout << "   [paper: "
+                  << TablePrinter::sci(paperPth[setupIdx], 2) << "]\n";
+        double lambda = suppressionFactor(result.curves, 3.5e-3);
+        if (lambda > 0) {
+            std::cout << "suppression factor Lambda(p=3.5e-3) = "
+                      << TablePrinter::num(lambda, 2)
+                      << " per distance step (>1 below threshold)\n";
+        }
+        ++setupIdx;
+    }
+    return 0;
+}

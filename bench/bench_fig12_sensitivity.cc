@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces paper Figure 12: sensitivity of the Compact, Interleaved
+ * logical error rate to each error source, holding everything else at
+ * the operating point p = 2e-3 with cavity depth 10.
+ *
+ * Panels: SC-SC error, Load-Store error, SC-Mode error, cavity T1,
+ * transmon T1, load-store gate duration, and cavity size k.
+ *
+ * Environment knobs: VLQ_TRIALS (default 300), VLQ_FULL=1 (distances
+ * {3,5,7,9,11} + more sweep points), VLQ_SEED, VLQ_CSV=<dir> (dump
+ * each panel as CSV for plotting).
+ */
+#include <iostream>
+
+#include "mc/sensitivity.h"
+#include "util/csv.h"
+#include "util/env.h"
+#include "util/table.h"
+
+using namespace vlq;
+
+int
+main()
+{
+    const bool full = envInt("VLQ_FULL", 0) != 0;
+    std::vector<int> distances =
+        full ? std::vector<int>{3, 5, 7, 9, 11} : std::vector<int>{3, 5};
+    McOptions mc;
+    mc.trials = static_cast<uint64_t>(envInt("VLQ_TRIALS", 300));
+    mc.seed = static_cast<uint64_t>(envInt("VLQ_SEED", 0x5eed));
+    const int points = full ? 7 : 4;
+    std::string csvDir = envString("VLQ_CSV", "");
+
+    GeneratorConfig base;
+    base.cavityDepth = 10;
+    base.schedule = ExtractionSchedule::Interleaved;
+    base.noise = NoiseModel::atPhysicalRate(
+        2e-3, HardwareParams::transmonsWithMemory(), false);
+
+    std::cout << "=== Figure 12: Compact, Interleaved sensitivity"
+                 " (operating point p = 2e-3, k = 10, trials = "
+              << mc.trials << ") ===\n"
+              << "Each panel varies one error source; the others stay"
+                 " at the Table-I operating point.\n";
+
+    int panelIdx = 0;
+    for (const SensitivitySpec& spec : figure12Panels(points)) {
+        SensitivityResult result = runSensitivity(
+            EmbeddingKind::Compact, base, spec, distances, mc);
+
+        std::cout << "\n--- " << spec.name << " ---\n";
+        std::vector<std::string> headers{spec.axisLabel};
+        for (int d : distances)
+            headers.push_back("d=" + std::to_string(d));
+        TablePrinter t(headers);
+        CsvWriter csv(headers);
+        for (size_t i = 0; i < spec.values.size(); ++i) {
+            std::vector<std::string> row{
+                TablePrinter::sci(spec.values[i], 2)};
+            std::vector<double> nums{spec.values[i]};
+            for (size_t j = 0; j < distances.size(); ++j) {
+                double rate = result.points[i][j].combinedRate();
+                row.push_back(TablePrinter::sci(rate, 2));
+                nums.push_back(rate);
+            }
+            t.addRow(row);
+            csv.addNumericRow(nums);
+        }
+        t.print(std::cout);
+        if (!csvDir.empty()) {
+            std::string path = csvDir + "/fig12_panel"
+                + std::to_string(panelIdx) + ".csv";
+            if (!csv.writeFile(path))
+                std::cerr << "failed to write " << path << "\n";
+        }
+        ++panelIdx;
+    }
+
+    std::cout << "\nPaper's qualitative findings to compare: gate error"
+                 " rates show the highest sensitivity; coherence times"
+                 " less; load-store duration and cavity size are minor"
+                 " effects at the operating point.\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces paper Table I: the hardware model parameters for the
+ * baseline transmon device and the transmon-with-memory device.
+ */
+#include <iostream>
+
+#include "noise/hardware_params.h"
+#include "noise/noise_model.h"
+#include "util/table.h"
+
+using namespace vlq;
+
+int
+main()
+{
+    std::cout << "=== Table I: hardware model parameters ===\n\n";
+
+    HardwareParams base = HardwareParams::baselineTransmons();
+    HardwareParams mem = HardwareParams::transmonsWithMemory();
+
+    TablePrinter t({"Parameter", "Baseline Transmons",
+                    "Transmons with Memory", "Paper"});
+    t.addRow({"T1,t (us)", TablePrinter::num(base.t1Transmon / 1e3, 0),
+              TablePrinter::num(mem.t1Transmon / 1e3, 0), "100 us"});
+    t.addRow({"T1,c (ms)", "-",
+              TablePrinter::num(mem.t1Cavity / 1e6, 0), "1 ms"});
+    t.addRow({"dt-t (ns)", TablePrinter::num(base.tGate2, 0),
+              TablePrinter::num(mem.tGate2, 0), "200 ns"});
+    t.addRow({"dt (ns)", TablePrinter::num(base.tGate1, 0),
+              TablePrinter::num(mem.tGate1, 0), "50 ns"});
+    t.addRow({"dt-m (ns)", "-",
+              TablePrinter::num(mem.tGateTm, 0), "200 ns"});
+    t.addRow({"dl/s (ns)", "-",
+              TablePrinter::num(mem.tLoadStore, 0), "150 ns"});
+    t.addRow({"t_meas (ns) [assumed]", TablePrinter::num(base.tMeasure, 0),
+              TablePrinter::num(mem.tMeasure, 0), "(not reported)"});
+    t.addRow({"t_reset (ns) [assumed]", TablePrinter::num(base.tReset, 0),
+              TablePrinter::num(mem.tReset, 0), "(not reported)"});
+    t.print(std::cout);
+
+    std::cout << "\nDerived error model at the operating point"
+                 " p = 2e-3 (Sec. IV-A):\n\n";
+    NoiseModel nm = NoiseModel::atPhysicalRate(2e-3, mem);
+    TablePrinter r({"Rate", "Value"});
+    r.addRow({"p2 (SC-SC)", TablePrinter::sci(nm.p2)});
+    r.addRow({"pTm (SC-mode)", TablePrinter::sci(nm.pTm)});
+    r.addRow({"pLoadStore", TablePrinter::sci(nm.pLoadStore)});
+    r.addRow({"p1", TablePrinter::sci(nm.p1)});
+    r.addRow({"pMeas", TablePrinter::sci(nm.pMeas)});
+    r.addRow({"idle(1us, transmon)",
+              TablePrinter::sci(nm.idleError(WireKind::Transmon, 1000))});
+    r.addRow({"idle(1us, cavity)",
+              TablePrinter::sci(nm.idleError(WireKind::CavityMode, 1000))});
+    r.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces paper Table II: transmon, depth-10 cavity, and total qubit
+ * costs of each T-state generation protocol at d = 5, plus the
+ * embedding cost model across distances (the 10x / 2x savings claims).
+ */
+#include <iostream>
+
+#include "arch/device.h"
+#include "msd/protocols.h"
+#include "util/table.h"
+
+using namespace vlq;
+
+int
+main()
+{
+    std::cout << "=== Table II: qubit costs of T-state protocols"
+                 " (d = 5, depth-10 cavities) ===\n\n";
+
+    TablePrinter t({"Protocol", "# transmons", "# cavities",
+                    "total qubits", "Paper (tr/cav/total)"});
+    auto row = [&](const DistillationProtocol& p, const char* paper) {
+        t.addRow({p.name, std::to_string(p.transmonsAtD5),
+                  p.cavitiesAtD5 ? std::to_string(p.cavitiesAtD5) : "-",
+                  std::to_string(p.totalQubitsAtD5()), paper});
+    };
+    row(fastLatticeProtocol(), "1499 / - / 1499");
+    row(smallLatticeProtocol(), "549 / - / 549");
+    row(vqubitsProtocol(true, true), "49 / 25 / 299");
+    row(vqubitsProtocol(false, true), "29 / 25 / 279");
+    t.print(std::cout);
+
+    std::cout << "\n=== Embedding hardware cost vs distance"
+                 " (per patch) ===\n\n";
+    TablePrinter e({"d", "Baseline transmons", "Natural transmons",
+                    "Compact transmons", "cavities",
+                    "transmon savings @k=10"});
+    for (int d : {3, 5, 7, 9, 11}) {
+        PatchCost base = patchCost(EmbeddingKind::Baseline2D, d);
+        PatchCost nat = patchCost(EmbeddingKind::Natural, d);
+        PatchCost comp = patchCost(EmbeddingKind::Compact, d);
+        double savings =
+            10.0 * base.transmons / static_cast<double>(comp.transmons);
+        e.addRow({std::to_string(d), std::to_string(base.transmons),
+                  std::to_string(nat.transmons),
+                  std::to_string(comp.transmons),
+                  std::to_string(comp.cavities),
+                  TablePrinter::num(savings, 1) + "x"});
+    }
+    e.print(std::cout);
+
+    std::cout << "\nSmallest Compact instance (d=3): "
+              << patchCost(EmbeddingKind::Compact, 3).transmons
+              << " transmons, "
+              << patchCost(EmbeddingKind::Compact, 3).cavities
+              << " cavities for k logical qubits"
+              << "  [paper: 11 transmons, 9 cavities]\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Magic-state factory example: build a VQubits T-state factory on a
+ * 2.5D device, schedule 15-to-1 distillation rounds, and report
+ * throughput and refresh health -- the workload the paper argues
+ * dominates fault-tolerant machines (Sec. VII).
+ */
+#include <iostream>
+
+#include "msd/factory.h"
+#include "util/table.h"
+
+using namespace vlq;
+
+int
+main()
+{
+    DeviceConfig device;
+    device.embedding = EmbeddingKind::Compact;
+    device.distance = 5;
+    device.gridWidth = 1;
+    device.gridHeight = 1;
+    device.cavityDepth = 10;
+
+    PatchCost cost = patchCost(device.embedding, device.distance);
+    std::cout << "VQubits T-state factory on one Compact d=5 stack: "
+              << cost.transmons << " transmons, " << cost.cavities
+              << " cavities.\n\n";
+
+    FactoryScheduleResult run = scheduleFifteenToOne(device);
+    TablePrinter t({"Metric", "Value"});
+    t.addRow({"timesteps per T state (our scheduler)",
+              std::to_string(run.timesteps)});
+    t.addRow({"timesteps per T state (paper's schedule)", "110"});
+    t.addRow({"timesteps in lock-step pairs (paper)", "99"});
+    t.addRow({"transversal CNOTs used", std::to_string(run.transversalCnots)});
+    t.addRow({"peak live logical qubits", std::to_string(run.peakQubits)});
+    t.addRow({"max EC staleness (timesteps)",
+              std::to_string(run.maxStaleness)});
+    t.print(std::cout);
+
+    std::cout << "\nThroughput per 100 patches of chip area"
+                 " (paper Fig. 13a):\n\n";
+    TablePrinter r({"Protocol", "T states / timestep"});
+    for (const auto& row : figure13Rows(100.0))
+        r.addRow({row.name, TablePrinter::num(row.rate, 3)});
+    r.print(std::cout);
+
+    std::cout << "\nEvery improvement here directly accelerates"
+                 " Shor/Grover-class workloads: distillation is >90% of"
+                 " their cost.\n";
+    return 0;
+}

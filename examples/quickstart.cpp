@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Quickstart: simulate one memory experiment on the paper's smallest
+ * interesting device -- a Compact distance-3 patch (11 transmons,
+ * 9 cavities) with cavity depth 10 -- and print its logical error rate
+ * next to the 2D baseline's.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+#include <iostream>
+
+#include "arch/device.h"
+#include "mc/monte_carlo.h"
+
+using namespace vlq;
+
+int
+main()
+{
+    // 1. Describe the hardware (Table I) and the operating point.
+    HardwareParams hw = HardwareParams::transmonsWithMemory();
+    double physicalErrorRate = 2e-3;
+
+    // 2. Configure a distance-3 memory experiment on the Compact
+    //    embedding with interleaved syndrome extraction.
+    GeneratorConfig cfg;
+    cfg.distance = 3;
+    cfg.cavityDepth = 10;
+    cfg.schedule = ExtractionSchedule::Interleaved;
+    cfg.noise = NoiseModel::atPhysicalRate(physicalErrorRate, hw);
+
+    PatchCost cost = patchCost(EmbeddingKind::Compact, cfg.distance);
+    std::cout << "Device: Compact d=3 patch -- " << cost.transmons
+              << " transmons, " << cost.cavities
+              << " cavities, stores up to " << cfg.cavityDepth
+              << " logical qubits\n";
+
+    // 3. Estimate the logical error rate per correction block
+    //    (memory-Z and memory-X experiments, MWPM decoding).
+    McOptions opt;
+    opt.trials = 2000;
+    LogicalErrorPoint compact =
+        estimateLogicalError(EmbeddingKind::Compact, cfg, opt);
+
+    // 4. Compare against the conventional 2D baseline.
+    LogicalErrorPoint baseline =
+        estimateLogicalError(EmbeddingKind::Baseline2D, cfg, opt);
+
+    std::cout << "\nAt physical error rate p = " << physicalErrorRate
+              << ":\n";
+    std::cout << "  Compact (11 transmons):  p_L = "
+              << compact.combinedRate() << " per block\n";
+    std::cout << "  Baseline (17 transmons): p_L = "
+              << baseline.combinedRate() << " per block\n";
+    std::cout << "\nThe virtualized patch pays a small fidelity cost for"
+                 " a ~10x transmon saving at k=10.\n";
+    return 0;
+}

@@ -1,0 +1,30 @@
+#include "arch/address.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace vlq {
+
+std::string
+PhysicalAddress::str() const
+{
+    std::ostringstream ss;
+    ss << "P(" << sx << "," << sy << ")";
+    return ss.str();
+}
+
+std::string
+VirtualAddress::str() const
+{
+    std::ostringstream ss;
+    ss << stack.str() << "[" << mode << "]";
+    return ss.str();
+}
+
+int
+stackDistance(const PhysicalAddress& a, const PhysicalAddress& b)
+{
+    return std::abs(a.sx - b.sx) + std::abs(a.sy - b.sy);
+}
+
+} // namespace vlq

@@ -1,0 +1,71 @@
+#ifndef VLQ_ARCH_ADDRESS_H
+#define VLQ_ARCH_ADDRESS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace vlq {
+
+/**
+ * Physical address of a logical-qubit slot: the 2D patch of transmons
+ * (stack coordinates, in units of patches) a logical qubit is loaded
+ * into for computation.
+ */
+struct PhysicalAddress
+{
+    int sx = 0;
+    int sy = 0;
+
+    bool operator==(const PhysicalAddress& o) const
+    {
+        return sx == o.sx && sy == o.sy;
+    }
+
+    std::string str() const;
+};
+
+/**
+ * Virtual address of a logical qubit: a stack (physical patch position)
+ * plus the cavity-mode index where the patch is stored. The paper's
+ * addressing scheme (Sec. III-A): logical qubit q_L maps to the pair
+ * (P_xy, z).
+ */
+struct VirtualAddress
+{
+    PhysicalAddress stack;
+    int mode = 0;
+
+    bool operator==(const VirtualAddress& o) const
+    {
+        return stack == o.stack && mode == o.mode;
+    }
+
+    std::string str() const;
+};
+
+/** Manhattan distance between two stacks (patch units). */
+int stackDistance(const PhysicalAddress& a, const PhysicalAddress& b);
+
+} // namespace vlq
+
+template <>
+struct std::hash<vlq::PhysicalAddress>
+{
+    size_t operator()(const vlq::PhysicalAddress& a) const
+    {
+        return std::hash<int>()(a.sx) * 1000003u ^ std::hash<int>()(a.sy);
+    }
+};
+
+template <>
+struct std::hash<vlq::VirtualAddress>
+{
+    size_t operator()(const vlq::VirtualAddress& a) const
+    {
+        return std::hash<vlq::PhysicalAddress>()(a.stack) * 16777619u
+             ^ std::hash<int>()(a.mode);
+    }
+};
+
+#endif // VLQ_ARCH_ADDRESS_H

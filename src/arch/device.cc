@@ -1,0 +1,88 @@
+#include "arch/device.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace vlq {
+
+const char*
+embeddingName(EmbeddingKind kind)
+{
+    switch (kind) {
+      case EmbeddingKind::Baseline2D: return "Baseline2D";
+      case EmbeddingKind::Natural: return "Natural";
+      case EmbeddingKind::Compact: return "Compact";
+    }
+    VLQ_PANIC("invalid EmbeddingKind");
+}
+
+const char*
+scheduleName(ExtractionSchedule schedule)
+{
+    switch (schedule) {
+      case ExtractionSchedule::AllAtOnce: return "All-at-once";
+      case ExtractionSchedule::Interleaved: return "Interleaved";
+    }
+    VLQ_PANIC("invalid ExtractionSchedule");
+}
+
+PatchCost
+patchCost(EmbeddingKind kind, int distance)
+{
+    VLQ_ASSERT(distance >= 3 && distance % 2 == 1, "bad distance");
+    int d = distance;
+    PatchCost cost;
+    switch (kind) {
+      case EmbeddingKind::Baseline2D:
+        // d^2 data + (d^2 - 1) ancilla transmons, no memory.
+        cost.transmons = 2 * d * d - 1;
+        cost.cavities = 0;
+        break;
+      case EmbeddingKind::Natural:
+        // Same transmon count; every data transmon gains a cavity.
+        cost.transmons = 2 * d * d - 1;
+        cost.cavities = d * d;
+        break;
+      case EmbeddingKind::Compact:
+        // Every ancilla merges into a neighboring data transmon except
+        // the d-1 boundary ancillas whose merge target falls outside
+        // the patch (paper Fig. 7; d=3 -> 11 transmons, 9 cavities).
+        cost.transmons = d * d + (d - 1);
+        cost.cavities = d * d;
+        break;
+    }
+    return cost;
+}
+
+int
+DeviceConfig::totalTransmons() const
+{
+    return numStacks() * patchCost(embedding, distance).transmons;
+}
+
+int
+DeviceConfig::totalCavities() const
+{
+    return numStacks() * patchCost(embedding, distance).cavities;
+}
+
+int
+DeviceConfig::logicalCapacity(bool reserveFreeMode) const
+{
+    if (embedding == EmbeddingKind::Baseline2D)
+        return numStacks();
+    int perStack = cavityDepth - (reserveFreeMode ? 1 : 0);
+    return numStacks() * perStack;
+}
+
+std::string
+DeviceConfig::str() const
+{
+    std::ostringstream ss;
+    ss << embeddingName(embedding) << " d=" << distance << " grid="
+       << gridWidth << "x" << gridHeight << " k=" << cavityDepth;
+    return ss.str();
+}
+
+} // namespace vlq

@@ -1,0 +1,87 @@
+#ifndef VLQ_ARCH_DEVICE_H
+#define VLQ_ARCH_DEVICE_H
+
+#include <cstdint>
+#include <string>
+
+namespace vlq {
+
+/** Which surface-code embedding a device implements. */
+enum class EmbeddingKind : uint8_t {
+    /** Conventional 2D transmon grid, no memory (paper's baseline). */
+    Baseline2D,
+    /** Natural embedding: cavities under data transmons only. */
+    Natural,
+    /** Compact embedding: merged data/ancilla transmons, all with
+     *  cavities. */
+    Compact,
+};
+
+/** How syndrome extraction visits a stack of virtualized patches. */
+enum class ExtractionSchedule : uint8_t {
+    /** Load a patch, run d rounds, store (paper "All-at-once"). */
+    AllAtOnce,
+    /** Load, run one round, store; cycle the stack (paper
+     *  "Interleaved"). */
+    Interleaved,
+};
+
+/** Human-readable names for reports. */
+const char* embeddingName(EmbeddingKind kind);
+const char* scheduleName(ExtractionSchedule schedule);
+
+/**
+ * Per-patch hardware cost of an embedding (DESIGN.md Sec. 6, validated
+ * against the paper's Table II and the "11 transmons and 9 cavities"
+ * claim).
+ */
+struct PatchCost
+{
+    int transmons = 0;
+    int cavities = 0;
+
+    /** Total qubit slots counting each depth-k cavity as k (Table II). */
+    int totalQubits(int cavityDepth) const
+    {
+        return transmons + cavities * cavityDepth;
+    }
+};
+
+/** Cost of one distance-d patch under the given embedding. */
+PatchCost patchCost(EmbeddingKind kind, int distance);
+
+/**
+ * A 2.5D device: a gridWidth x gridHeight array of patch-sized stacks,
+ * each with cavityDepth modes per cavity, hosting logical qubits of the
+ * given code distance.
+ */
+struct DeviceConfig
+{
+    EmbeddingKind embedding = EmbeddingKind::Compact;
+    int distance = 3;
+    int gridWidth = 1;
+    int gridHeight = 1;
+    int cavityDepth = 10;
+
+    /** Number of stacks (patch positions). */
+    int numStacks() const { return gridWidth * gridHeight; }
+
+    /** Total transmons across the device. */
+    int totalTransmons() const;
+
+    /** Total cavities across the device. */
+    int totalCavities() const;
+
+    /**
+     * Logical-qubit capacity. One mode per stack is reserved for
+     * movement / lattice-surgery ancillas per the paper's Sec. III-D
+     * when reserveFreeMode is true.
+     */
+    int logicalCapacity(bool reserveFreeMode = true) const;
+
+    std::string str() const;
+};
+
+} // namespace vlq
+
+#endif // VLQ_ARCH_DEVICE_H

@@ -1,0 +1,220 @@
+#include "circuit/circuit.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace vlq {
+
+bool
+opIsNoise(OpCode code)
+{
+    switch (code) {
+      case OpCode::DEPOLARIZE1:
+      case OpCode::DEPOLARIZE2:
+      case OpCode::X_ERROR:
+      case OpCode::Y_ERROR:
+      case OpCode::Z_ERROR:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+opIsTwoQubit(OpCode code)
+{
+    switch (code) {
+      case OpCode::CNOT:
+      case OpCode::SWAP:
+      case OpCode::DEPOLARIZE2:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char*
+opName(OpCode code)
+{
+    switch (code) {
+      case OpCode::H: return "H";
+      case OpCode::S: return "S";
+      case OpCode::X: return "X";
+      case OpCode::Y: return "Y";
+      case OpCode::Z: return "Z";
+      case OpCode::CNOT: return "CNOT";
+      case OpCode::SWAP: return "SWAP";
+      case OpCode::RESET: return "RESET";
+      case OpCode::MEASURE_Z: return "MEASURE_Z";
+      case OpCode::DEPOLARIZE1: return "DEPOLARIZE1";
+      case OpCode::DEPOLARIZE2: return "DEPOLARIZE2";
+      case OpCode::X_ERROR: return "X_ERROR";
+      case OpCode::Y_ERROR: return "Y_ERROR";
+      case OpCode::Z_ERROR: return "Z_ERROR";
+    }
+    VLQ_PANIC("invalid OpCode");
+}
+
+Circuit::Circuit(uint32_t numQubits)
+    : numQubits_(numQubits)
+{
+}
+
+void
+Circuit::checkQubit(uint32_t q) const
+{
+    VLQ_ASSERT(q < numQubits_, "qubit index out of range");
+}
+
+void
+Circuit::append1(OpCode code, uint32_t q, double p)
+{
+    checkQubit(q);
+    ops_.push_back(Operation{code, q, 0, p, -1});
+}
+
+void
+Circuit::append2(OpCode code, uint32_t a, uint32_t b, double p)
+{
+    checkQubit(a);
+    checkQubit(b);
+    VLQ_ASSERT(a != b, "two-qubit op on identical qubits");
+    ops_.push_back(Operation{code, a, b, p, -1});
+}
+
+void Circuit::h(uint32_t q) { append1(OpCode::H, q); }
+void Circuit::s(uint32_t q) { append1(OpCode::S, q); }
+void Circuit::x(uint32_t q) { append1(OpCode::X, q); }
+void Circuit::y(uint32_t q) { append1(OpCode::Y, q); }
+void Circuit::z(uint32_t q) { append1(OpCode::Z, q); }
+
+void
+Circuit::cnot(uint32_t control, uint32_t target)
+{
+    append2(OpCode::CNOT, control, target);
+}
+
+void
+Circuit::swapGate(uint32_t a, uint32_t b)
+{
+    append2(OpCode::SWAP, a, b);
+}
+
+void
+Circuit::reset(uint32_t q)
+{
+    append1(OpCode::RESET, q);
+}
+
+uint32_t
+Circuit::measureZ(uint32_t q, double flipP)
+{
+    checkQubit(q);
+    uint32_t index = numMeasurements_++;
+    ops_.push_back(Operation{OpCode::MEASURE_Z, q, 0, flipP,
+                             static_cast<int32_t>(index)});
+    return index;
+}
+
+void
+Circuit::depolarize1(uint32_t q, double p)
+{
+    if (p > 0.0)
+        append1(OpCode::DEPOLARIZE1, q, p);
+}
+
+void
+Circuit::depolarize2(uint32_t a, uint32_t b, double p)
+{
+    if (p > 0.0)
+        append2(OpCode::DEPOLARIZE2, a, b, p);
+}
+
+void
+Circuit::xError(uint32_t q, double p)
+{
+    if (p > 0.0)
+        append1(OpCode::X_ERROR, q, p);
+}
+
+void
+Circuit::yError(uint32_t q, double p)
+{
+    if (p > 0.0)
+        append1(OpCode::Y_ERROR, q, p);
+}
+
+void
+Circuit::zError(uint32_t q, double p)
+{
+    if (p > 0.0)
+        append1(OpCode::Z_ERROR, q, p);
+}
+
+uint32_t
+Circuit::addDetector(Detector detector)
+{
+    for (uint32_t m : detector.measurements)
+        VLQ_ASSERT(m < numMeasurements_, "detector references future record");
+    detectors_.push_back(std::move(detector));
+    return static_cast<uint32_t>(detectors_.size() - 1);
+}
+
+uint32_t
+Circuit::addObservable()
+{
+    observables_.push_back(Observable{});
+    return static_cast<uint32_t>(observables_.size() - 1);
+}
+
+void
+Circuit::observableInclude(uint32_t observable, uint32_t measurement)
+{
+    VLQ_ASSERT(observable < observables_.size(), "bad observable index");
+    VLQ_ASSERT(measurement < numMeasurements_,
+               "observable references future record");
+    observables_[observable].measurements.push_back(measurement);
+}
+
+size_t
+Circuit::countOps(OpCode code) const
+{
+    size_t n = 0;
+    for (const auto& op : ops_)
+        if (op.code == code)
+            ++n;
+    return n;
+}
+
+double
+Circuit::totalNoiseMass() const
+{
+    double mass = 0.0;
+    for (const auto& op : ops_) {
+        if (opIsNoise(op.code))
+            mass += op.p;
+        else if (op.code == OpCode::MEASURE_Z)
+            mass += op.p;
+    }
+    return mass;
+}
+
+std::string
+Circuit::str() const
+{
+    std::ostringstream ss;
+    for (const auto& op : ops_) {
+        ss << opName(op.code) << " " << op.q0;
+        if (opIsTwoQubit(op.code))
+            ss << " " << op.q1;
+        if (op.p != 0.0)
+            ss << " p=" << op.p;
+        if (op.meas >= 0)
+            ss << " m" << op.meas;
+        ss << "\n";
+    }
+    return ss.str();
+}
+
+} // namespace vlq

@@ -1,0 +1,83 @@
+#include "circuit/moment_tracker.h"
+
+#include "util/logging.h"
+
+namespace vlq {
+
+MomentTracker::MomentTracker(uint32_t numWires)
+    : live_(numWires, false),
+      touched_(numWires, false),
+      idleTotal_(numWires, 0.0)
+{
+}
+
+void
+MomentTracker::setLive(uint32_t wire, bool live)
+{
+    VLQ_ASSERT(wire < live_.size(), "MomentTracker wire out of range");
+    live_[wire] = live;
+}
+
+uint32_t
+MomentTracker::liveCount() const
+{
+    uint32_t n = 0;
+    for (bool b : live_)
+        if (b)
+            ++n;
+    return n;
+}
+
+void
+MomentTracker::beginMoment(double durationNs)
+{
+    VLQ_ASSERT(!inMoment_, "nested moment");
+    VLQ_ASSERT(durationNs >= 0.0, "negative moment duration");
+    inMoment_ = true;
+    momentDuration_ = durationNs;
+    for (size_t i = 0; i < touched_.size(); ++i)
+        touched_[i] = false;
+}
+
+void
+MomentTracker::touch(uint32_t wire)
+{
+    VLQ_ASSERT(inMoment_, "touch outside moment");
+    VLQ_ASSERT(wire < touched_.size(), "MomentTracker wire out of range");
+    touched_[wire] = true;
+}
+
+void
+MomentTracker::endMoment(const IdleEmitter& emit)
+{
+    VLQ_ASSERT(inMoment_, "endMoment without beginMoment");
+    inMoment_ = false;
+    now_ += momentDuration_;
+    if (momentDuration_ <= 0.0)
+        return;
+    for (uint32_t w = 0; w < live_.size(); ++w) {
+        if (live_[w] && !touched_[w]) {
+            idleTotal_[w] += momentDuration_;
+            if (emit)
+                emit(w, momentDuration_);
+        }
+    }
+}
+
+void
+MomentTracker::wait(double durationNs, const IdleEmitter& emit)
+{
+    VLQ_ASSERT(!inMoment_, "wait inside moment");
+    if (durationNs <= 0.0)
+        return;
+    now_ += durationNs;
+    for (uint32_t w = 0; w < live_.size(); ++w) {
+        if (live_[w]) {
+            idleTotal_[w] += durationNs;
+            if (emit)
+                emit(w, durationNs);
+        }
+    }
+}
+
+} // namespace vlq

@@ -1,0 +1,75 @@
+#ifndef VLQ_CIRCUIT_MOMENT_TRACKER_H
+#define VLQ_CIRCUIT_MOMENT_TRACKER_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace vlq {
+
+/**
+ * Lock-step schedule bookkeeping for circuit generators.
+ *
+ * Syndrome-extraction circuits execute in "moments": all gates in a
+ * moment run in parallel and the moment lasts as long as its slowest
+ * gate. Any *live* wire (a wire currently storing information that
+ * matters -- data wherever it is held, or an ancilla between its reset
+ * and measurement) that is not touched during a moment accumulates idle
+ * time and must receive a decoherence channel.
+ *
+ * The tracker is noise-model agnostic: at the end of each moment it
+ * reports (wire, idleDuration) pairs to a caller-supplied emitter, which
+ * converts durations into error channels using the hardware parameters.
+ */
+class MomentTracker
+{
+  public:
+    /** Called for every live wire that idled: (wire, idleNanoseconds). */
+    using IdleEmitter = std::function<void(uint32_t, double)>;
+
+    explicit MomentTracker(uint32_t numWires);
+
+    /** Mark a wire as carrying live information (or not). */
+    void setLive(uint32_t wire, bool live);
+
+    bool isLive(uint32_t wire) const { return live_[wire]; }
+
+    /** Number of currently live wires. */
+    uint32_t liveCount() const;
+
+    /** Open a moment lasting durationNs. Moments may not nest. */
+    void beginMoment(double durationNs);
+
+    /** Mark a wire busy during the open moment. */
+    void touch(uint32_t wire);
+
+    /**
+     * Close the moment: every live, untouched wire idles for the whole
+     * moment and is reported to `emit`.
+     */
+    void endMoment(const IdleEmitter& emit);
+
+    /**
+     * A pure waiting period: every live wire idles for durationNs
+     * (used for the cavity paging gap between correction slots).
+     */
+    void wait(double durationNs, const IdleEmitter& emit);
+
+    /** Wall-clock time accumulated so far (ns). */
+    double now() const { return now_; }
+
+    /** Total idle time accumulated per wire (ns), for diagnostics. */
+    const std::vector<double>& idleTotals() const { return idleTotal_; }
+
+  private:
+    std::vector<bool> live_;
+    std::vector<bool> touched_;
+    std::vector<double> idleTotal_;
+    double now_ = 0.0;
+    double momentDuration_ = 0.0;
+    bool inMoment_ = false;
+};
+
+} // namespace vlq
+
+#endif // VLQ_CIRCUIT_MOMENT_TRACKER_H

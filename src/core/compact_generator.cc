@@ -1,0 +1,319 @@
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "core/embedding.h"
+#include "core/generator_common.h"
+#include "util/logging.h"
+
+namespace vlq {
+
+namespace {
+
+/** Cache solved schedules per distance (the search is not free). */
+const CompactSchedule&
+scheduleFor(const SurfaceLayout& layout)
+{
+    static std::mutex mutex;
+    static std::map<int, CompactSchedule> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(layout.distance());
+    if (it == cache.end()) {
+        it = cache.emplace(layout.distance(),
+                           CompactSchedule::solve(layout)).first;
+    }
+    return it->second;
+}
+
+/**
+ * Slot-engine emission of the Compact extraction schedule for one block
+ * of R rounds. Data qubits live in the cavity attached to their own
+ * transmon; merged checks use that data transmon as their ancilla and
+ * reach their co-located data with a transmon-mode CNOT; all other
+ * check-data interactions load the data, run a transmon-transmon CNOT,
+ * and store it straight back (the paper's Compact policy: data is
+ * always stored back to the cavity during syndrome extraction).
+ */
+class CompactEngine
+{
+  public:
+    CompactEngine(NoisyBuilder& builder, const SurfaceLayout& layout,
+                  const CompactMerge& merge, const CompactSchedule& sched,
+                  DetectorBook& book)
+        : builder_(builder), layout_(layout), merge_(merge), sched_(sched),
+          book_(book)
+    {
+        const uint32_t nData = static_cast<uint32_t>(layout.numData());
+        dataT_ = [](uint32_t q) { return q; };
+        (void)nData;
+    }
+
+    /** Wire of data q's home transmon. */
+    uint32_t transmonWire(uint32_t q) const { return q; }
+
+    /** Wire of data q's cavity mode. */
+    uint32_t modeWire(uint32_t q) const
+    {
+        return static_cast<uint32_t>(layout_.numData())
+             + static_cast<uint32_t>(merge_.numUnmerged) + q;
+    }
+
+    /** Ancilla wire of check c. */
+    uint32_t ancillaWire(uint32_t c) const
+    {
+        int32_t m = merge_.mergedData[c];
+        if (m >= 0)
+            return transmonWire(static_cast<uint32_t>(m));
+        return static_cast<uint32_t>(layout_.numData())
+             + static_cast<uint32_t>(merge_.unmergedIndex[c]);
+    }
+
+    /** Emit one block of R rounds; roundOffset numbers the detectors. */
+    void
+    emitBlock(int numRounds, int roundOffset)
+    {
+        const auto& plaquettes = layout_.plaquettes();
+        const HardwareParams& hw = builder_.noise().hw;
+
+        // Lazy load/store (the paper's "minimum number of loads and
+        // stores"): a data qubit loaded for a transmon-transmon CNOT
+        // stays in its transmon until the transmon is needed as an
+        // ancilla or the block ends.
+        std::vector<bool> loadedState(
+            static_cast<size_t>(layout_.numData()), false);
+
+        int maxStart = 0;
+        for (int g = 0; g < 4; ++g)
+            maxStart = std::max(maxStart, sched_.startSlot[g]);
+        int totalSlots = 8 * (numRounds - 1) + maxStart + 3;
+
+        for (int g = 0; g <= totalSlots; ++g) {
+            // Gather this slot's activity.
+            struct CnotTask
+            {
+                uint32_t check;
+                int round;
+                int32_t data; // -1 when this step's corner is absent
+                bool transmonMode;
+            };
+            std::vector<uint32_t> resets;       // checks starting
+            std::vector<uint32_t> finishes;     // checks measuring
+            std::vector<CnotTask> cnots;
+            std::vector<int> finishRound;
+
+            for (uint32_t c = 0; c < plaquettes.size(); ++c) {
+                const Plaquette& p = plaquettes[c];
+                int rel = g - sched_.startSlot[sched_.groupOf(p)];
+                if (rel < 0)
+                    continue;
+                int r = rel / 8;
+                int step = rel % 8;
+                if (r >= numRounds || step > 3)
+                    continue;
+                if (step == 0)
+                    resets.push_back(c);
+                int corner =
+                    sched_.orderOf(p.basis)[static_cast<size_t>(step)];
+                int32_t q = p.corner[static_cast<size_t>(corner)];
+                if (q >= 0) {
+                    bool tm = (merge_.mergedData[c] == q);
+                    cnots.push_back(CnotTask{c, r, q, tm});
+                }
+                if (step == 3) {
+                    finishes.push_back(c);
+                    finishRound.push_back(r);
+                }
+            }
+
+            // One fully-pipelined moment per slot (see DESIGN.md:
+            // loads are prefetched and stores/measures drain into the
+            // following slot on otherwise-idle wires, so the slot
+            // advances the wall clock by one two-qubit gate time; all
+            // error channels are still applied).
+            std::vector<uint32_t> loads;
+            for (const auto& task : cnots) {
+                if (task.transmonMode || task.data < 0)
+                    continue;
+                uint32_t q = static_cast<uint32_t>(task.data);
+                if (!loadedState[q]) {
+                    loads.push_back(q);
+                    loadedState[q] = true;
+                }
+            }
+            // Evict data whose home transmon becomes an ancilla now.
+            std::vector<uint32_t> stores;
+            for (uint32_t c : resets) {
+                int32_t m = merge_.mergedData[c];
+                if (m >= 0 && loadedState[static_cast<size_t>(m)]) {
+                    stores.push_back(static_cast<uint32_t>(m));
+                    loadedState[static_cast<size_t>(m)] = false;
+                }
+            }
+
+            builder_.momentBegin(std::max(hw.tGate2, hw.tGateTm));
+
+            for (uint32_t q : stores)
+                builder_.loadStore(transmonWire(q), modeWire(q));
+            for (uint32_t c : resets) {
+                builder_.resetQ(ancillaWire(c));
+                if (plaquettes[c].basis == CheckBasis::X)
+                    builder_.gateH(ancillaWire(c));
+            }
+            for (uint32_t q : loads)
+                builder_.loadStore(transmonWire(q), modeWire(q));
+
+            // The schedule guarantees wire-disjoint CNOTs; assert it.
+            std::set<uint32_t> used;
+            for (const auto& task : cnots) {
+                uint32_t q = static_cast<uint32_t>(task.data);
+                uint32_t anc = ancillaWire(task.check);
+                uint32_t dataWireNow = task.transmonMode
+                    ? modeWire(q) : transmonWire(q);
+                VLQ_ASSERT(used.insert(anc).second,
+                           "compact schedule: ancilla wire conflict");
+                VLQ_ASSERT(used.insert(dataWireNow).second,
+                           "compact schedule: data wire conflict");
+                bool dataControls =
+                    plaquettes[task.check].basis == CheckBasis::Z;
+                if (task.transmonMode) {
+                    if (dataControls)
+                        builder_.cnotTM(dataWireNow, anc);
+                    else
+                        builder_.cnotTM(anc, dataWireNow);
+                } else {
+                    if (dataControls)
+                        builder_.cnotTT(dataWireNow, anc);
+                    else
+                        builder_.cnotTT(anc, dataWireNow);
+                }
+            }
+
+            for (size_t i = 0; i < finishes.size(); ++i) {
+                uint32_t c = finishes[i];
+                if (plaquettes[c].basis == CheckBasis::X)
+                    builder_.gateH(ancillaWire(c));
+                uint32_t m = builder_.measure(ancillaWire(c));
+                book_.recordRound(builder_.circuit(), c, m,
+                                  roundOffset + finishRound[i]);
+            }
+
+            builder_.momentEnd();
+        }
+
+        // Drain: everything returns to the cavity at block end (the
+        // stack rotates to the next resident).
+        bool anyLoaded = false;
+        for (bool b : loadedState)
+            anyLoaded = anyLoaded || b;
+        if (anyLoaded) {
+            builder_.momentBegin(hw.tLoadStore);
+            for (uint32_t q = 0;
+                 q < static_cast<uint32_t>(loadedState.size()); ++q) {
+                if (loadedState[q])
+                    builder_.loadStore(transmonWire(q), modeWire(q));
+            }
+            builder_.momentEnd();
+        }
+    }
+
+  private:
+    NoisyBuilder& builder_;
+    const SurfaceLayout& layout_;
+    const CompactMerge& merge_;
+    const CompactSchedule& sched_;
+    DetectorBook& book_;
+    uint32_t (*dataT_)(uint32_t);
+};
+
+GeneratedCircuit
+emitCompact(const GeneratorConfig& config, double gapBeforeBlockNs,
+            double gapPerRoundNs)
+{
+    SurfaceLayout layout(config.distance);
+    CompactMerge merge = CompactMerge::build(layout);
+    const CompactSchedule& sched = scheduleFor(layout);
+    const int rounds = config.effectiveRounds();
+
+    const uint32_t nData = static_cast<uint32_t>(layout.numData());
+    const uint32_t nUnmerged = static_cast<uint32_t>(merge.numUnmerged);
+    // Wires: data transmons, unmerged ancilla transmons, data modes.
+    const uint32_t nWires = nData + nUnmerged + nData;
+
+    std::vector<WireKind> kinds(nWires, WireKind::Transmon);
+    for (uint32_t q = 0; q < nData; ++q)
+        kinds[nData + nUnmerged + q] = WireKind::CavityMode;
+    NoisyBuilder builder(nWires, kinds, config.noise);
+
+    DetectorBook book(layout, config.memoryBasis);
+    CompactEngine engine(builder, layout, merge, sched, book);
+
+    // Idealized initialization: data arrive stored, in the quiescent
+    // state of the chosen basis.
+    builder.momentBegin(0.0);
+    for (uint32_t q = 0; q < nData; ++q) {
+        builder.resetIdeal(engine.modeWire(q));
+        if (config.memoryBasis == CheckBasis::X)
+            builder.hIdeal(engine.modeWire(q));
+        builder.setLive(engine.modeWire(q), true);
+    }
+    builder.momentEnd();
+
+    const bool interleaved =
+        config.schedule == ExtractionSchedule::Interleaved;
+    builder.wait(gapBeforeBlockNs);
+    if (interleaved) {
+        for (int r = 0; r < rounds; ++r) {
+            builder.wait(gapPerRoundNs);
+            engine.emitBlock(1, r);
+        }
+    } else {
+        engine.emitBlock(rounds, 0);
+    }
+
+    // Idealized final readout from the cavity modes.
+    builder.momentBegin(0.0);
+    std::vector<uint32_t> dataMeas(nData);
+    for (uint32_t q = 0; q < nData; ++q) {
+        if (config.memoryBasis == CheckBasis::X)
+            builder.hIdeal(engine.modeWire(q));
+        dataMeas[q] = builder.measureIdeal(engine.modeWire(q));
+    }
+    builder.momentEnd();
+    book.finish(builder.circuit(), dataMeas, rounds);
+
+    GeneratedCircuit out;
+    double gaps = gapBeforeBlockNs + gapPerRoundNs * rounds;
+    out.totalDurationNs = builder.now();
+    out.activeDurationNs = builder.now() - gaps;
+    out.loadStoreCount = builder.loadStoreCount();
+    out.budget = builder.budget();
+    out.circuit = std::move(builder.circuit());
+    return out;
+}
+
+} // namespace
+
+GeneratedCircuit
+generateCompactMemory(const GeneratorConfig& config)
+{
+    VLQ_ASSERT(config.cavityDepth >= 1, "cavity depth must be >= 1");
+    GeneratedCircuit dry = emitCompact(config, 0.0, 0.0);
+    double blockDur = dry.activeDurationNs;
+    double roundDur = blockDur / config.effectiveRounds();
+    double waiters = config.cavityDepth - 1;
+
+    double gapBlock = 0.0;
+    double gapRound = 0.0;
+    if (config.gapModel == PagingGapModel::BlockOnce) {
+        gapBlock = waiters * roundDur;
+    } else if (config.schedule == ExtractionSchedule::Interleaved) {
+        gapRound = waiters * roundDur;
+    } else {
+        gapBlock = waiters * blockDur;
+    }
+    if (gapBlock <= 0.0 && gapRound <= 0.0)
+        return dry;
+    return emitCompact(config, gapBlock, gapRound);
+}
+
+} // namespace vlq

@@ -1,0 +1,235 @@
+#include "core/generator_common.h"
+
+#include "util/logging.h"
+
+namespace vlq {
+
+NoisyBuilder::NoisyBuilder(uint32_t numWires, std::vector<WireKind> kinds,
+                           const NoiseModel& noise)
+    : circuit_(numWires), tracker_(numWires), kinds_(std::move(kinds)),
+      noise_(noise)
+{
+    VLQ_ASSERT(kinds_.size() == numWires, "wire kind count mismatch");
+}
+
+void
+NoisyBuilder::emitIdle(uint32_t wire, double durationNs)
+{
+    double p = noise_.idleError(kinds_[wire], durationNs);
+    circuit_.depolarize1(wire, p);
+    if (kinds_[wire] == WireKind::Transmon)
+        budget_.idleTransmon += p;
+    else
+        budget_.idleCavity += p;
+}
+
+void
+NoisyBuilder::momentBegin(double durationNs)
+{
+    tracker_.beginMoment(durationNs);
+}
+
+void
+NoisyBuilder::momentEnd()
+{
+    tracker_.endMoment([this](uint32_t w, double dt) { emitIdle(w, dt); });
+}
+
+void
+NoisyBuilder::wait(double durationNs)
+{
+    tracker_.wait(durationNs,
+                  [this](uint32_t w, double dt) { emitIdle(w, dt); });
+}
+
+void
+NoisyBuilder::gateH(uint32_t q)
+{
+    circuit_.h(q);
+    circuit_.depolarize1(q, noise_.p1);
+    budget_.gate1 += noise_.p1;
+    tracker_.touch(q);
+}
+
+void
+NoisyBuilder::cnotTT(uint32_t control, uint32_t target)
+{
+    circuit_.cnot(control, target);
+    circuit_.depolarize2(control, target, noise_.p2);
+    budget_.gateTT += noise_.p2;
+    tracker_.touch(control);
+    tracker_.touch(target);
+}
+
+void
+NoisyBuilder::cnotTM(uint32_t control, uint32_t target)
+{
+    circuit_.cnot(control, target);
+    circuit_.depolarize2(control, target, noise_.pTm);
+    budget_.gateTM += noise_.pTm;
+    tracker_.touch(control);
+    tracker_.touch(target);
+}
+
+void
+NoisyBuilder::loadStore(uint32_t transmon, uint32_t mode)
+{
+    circuit_.swapGate(transmon, mode);
+    circuit_.depolarize2(transmon, mode, noise_.pLoadStore);
+    budget_.loadStore += noise_.pLoadStore;
+    tracker_.touch(transmon);
+    tracker_.touch(mode);
+    // Liveness moves with the information.
+    bool tLive = tracker_.isLive(transmon);
+    bool mLive = tracker_.isLive(mode);
+    tracker_.setLive(transmon, mLive);
+    tracker_.setLive(mode, tLive);
+    ++loadStoreCount_;
+}
+
+void
+NoisyBuilder::resetQ(uint32_t q)
+{
+    circuit_.reset(q);
+    circuit_.xError(q, noise_.pReset);
+    budget_.resetErr += noise_.pReset;
+    tracker_.touch(q);
+    tracker_.setLive(q, true);
+}
+
+uint32_t
+NoisyBuilder::measure(uint32_t q)
+{
+    uint32_t m = circuit_.measureZ(q, noise_.pMeas);
+    budget_.measurement += noise_.pMeas;
+    tracker_.touch(q);
+    tracker_.setLive(q, false);
+    return m;
+}
+
+DetectorBook::DetectorBook(const SurfaceLayout& layout,
+                           CheckBasis memoryBasis)
+    : layout_(layout), basis_(memoryBasis),
+      prevMeas_(layout.plaquettes().size(), -1)
+{
+}
+
+void
+DetectorBook::recordRound(Circuit& circuit, uint32_t check, uint32_t meas,
+                          int round)
+{
+    const Plaquette& p = layout_.plaquettes()[check];
+    if (p.basis == basis_) {
+        Detector det;
+        det.measurements.push_back(meas);
+        if (prevMeas_[check] >= 0) {
+            det.measurements.push_back(
+                static_cast<uint32_t>(prevMeas_[check]));
+        }
+        det.basis = p.basis;
+        det.x = static_cast<float>(p.cx);
+        det.y = static_cast<float>(p.cy);
+        det.t = static_cast<float>(round);
+        circuit.addDetector(std::move(det));
+    }
+    prevMeas_[check] = meas;
+}
+
+void
+DetectorBook::finish(Circuit& circuit, const std::vector<uint32_t>& dataMeas,
+                     int finalRound)
+{
+    VLQ_ASSERT(dataMeas.size() ==
+                   static_cast<size_t>(layout_.numData()),
+               "need one readout per data qubit");
+    for (uint32_t c : layout_.checksOf(basis_)) {
+        const Plaquette& p = layout_.plaquettes()[c];
+        Detector det;
+        for (uint32_t q : p.data)
+            det.measurements.push_back(dataMeas[q]);
+        VLQ_ASSERT(prevMeas_[c] >= 0, "check never measured");
+        det.measurements.push_back(static_cast<uint32_t>(prevMeas_[c]));
+        det.basis = p.basis;
+        det.x = static_cast<float>(p.cx);
+        det.y = static_cast<float>(p.cy);
+        det.t = static_cast<float>(finalRound);
+        circuit.addDetector(std::move(det));
+    }
+
+    uint32_t obs = circuit.addObservable();
+    std::vector<uint32_t> support = (basis_ == CheckBasis::Z)
+        ? layout_.logicalZSupport()
+        : layout_.logicalXSupport();
+    for (uint32_t q : support)
+        circuit.observableInclude(obs, dataMeas[q]);
+}
+
+void
+emitStandardRound(NoisyBuilder& builder, const SurfaceLayout& layout,
+                  const StandardRoundWires& wires, DetectorBook& book,
+                  int round)
+{
+    const HardwareParams& hw = builder.noise().hw;
+    const auto& plaquettes = layout.plaquettes();
+
+    // Reset all ancillas.
+    builder.momentBegin(hw.tReset);
+    for (uint32_t c = 0; c < plaquettes.size(); ++c)
+        builder.resetQ(wires.ancWires[c]);
+    builder.momentEnd();
+
+    // Basis change for X checks.
+    builder.momentBegin(hw.tGate1);
+    for (uint32_t c = 0; c < plaquettes.size(); ++c)
+        if (plaquettes[c].basis == CheckBasis::X)
+            builder.gateH(wires.ancWires[c]);
+    builder.momentEnd();
+
+    // Four CNOT steps; the layout's two-pattern order guarantees no wire
+    // is touched twice in a step and the interleaved checks commute.
+    for (int step = 0; step < 4; ++step) {
+        builder.momentBegin(hw.tGate2);
+        for (uint32_t c = 0; c < plaquettes.size(); ++c) {
+            int32_t q = layout.dataAtStep(plaquettes[c], step);
+            if (q < 0)
+                continue;
+            uint32_t dataWire = wires.dataWires[static_cast<uint32_t>(q)];
+            uint32_t ancWire = wires.ancWires[c];
+            if (plaquettes[c].basis == CheckBasis::Z)
+                builder.cnotTT(dataWire, ancWire);
+            else
+                builder.cnotTT(ancWire, dataWire);
+        }
+        builder.momentEnd();
+    }
+
+    builder.momentBegin(hw.tGate1);
+    for (uint32_t c = 0; c < plaquettes.size(); ++c)
+        if (plaquettes[c].basis == CheckBasis::X)
+            builder.gateH(wires.ancWires[c]);
+    builder.momentEnd();
+
+    // Measure all ancillas and emit this round's detectors.
+    builder.momentBegin(hw.tMeasure);
+    for (uint32_t c = 0; c < plaquettes.size(); ++c) {
+        uint32_t m = builder.measure(wires.ancWires[c]);
+        book.recordRound(builder.circuit(), c, m, round);
+    }
+    builder.momentEnd();
+}
+
+GeneratedCircuit
+generateMemoryCircuit(EmbeddingKind embedding, const GeneratorConfig& config)
+{
+    switch (embedding) {
+      case EmbeddingKind::Baseline2D:
+        return generateBaselineMemory(config);
+      case EmbeddingKind::Natural:
+        return generateNaturalMemory(config);
+      case EmbeddingKind::Compact:
+        return generateCompactMemory(config);
+    }
+    VLQ_PANIC("invalid embedding");
+}
+
+} // namespace vlq

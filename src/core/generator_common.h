@@ -1,0 +1,235 @@
+#ifndef VLQ_CORE_GENERATOR_COMMON_H
+#define VLQ_CORE_GENERATOR_COMMON_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/device.h"
+#include "circuit/circuit.h"
+#include "circuit/moment_tracker.h"
+#include "noise/noise_model.h"
+#include "surface/layout.h"
+
+namespace vlq {
+
+/**
+ * How the cavity paging gap (the wait while the other k-1 stack
+ * residents receive their service) is charged to a trial.
+ *
+ * BlockOnce is the paper-calibrated model: one dose of
+ * (k-1) x round-duration of cavity idle per decoded block. It is the
+ * only reading consistent with all of the paper's quantitative claims
+ * at once (thresholds ~= baseline for every variant, "very minor"
+ * cavity-size effect at the operating point, crossover near k ~ 150);
+ * see DESIGN.md Sec. 5. PerRound is the stricter steady-state
+ * accounting -- every round (Interleaved) or block (AAO) waits for the
+ * full rotation of the stack -- and is exposed as an ablation.
+ */
+enum class PagingGapModel : uint8_t { BlockOnce, PerRound };
+
+/**
+ * Configuration of a memory-experiment circuit: the Monte-Carlo unit
+ * from which logical error rates and thresholds are estimated.
+ */
+struct GeneratorConfig
+{
+    /** Code distance (odd, >= 3). */
+    int distance = 3;
+
+    /** Rounds of syndrome extraction; 0 means `distance`. */
+    int rounds = 0;
+
+    /**
+     * Which check family forms the detectors. CheckBasis::Z is the
+     * memory-Z experiment (|0> init, Z readout, X errors decoded);
+     * CheckBasis::X is the dual.
+     */
+    CheckBasis memoryBasis = CheckBasis::Z;
+
+    /** Cavity depth k; drives the paging gap. Ignored by the baseline. */
+    int cavityDepth = 10;
+
+    /** AAO or Interleaved (ignored by the baseline). */
+    ExtractionSchedule schedule = ExtractionSchedule::AllAtOnce;
+
+    /** Paging-gap accounting (see PagingGapModel). */
+    PagingGapModel gapModel = PagingGapModel::BlockOnce;
+
+    /** Full error model. */
+    NoiseModel noise;
+
+    int effectiveRounds() const { return rounds > 0 ? rounds : distance; }
+};
+
+/**
+ * Probability-mass budget of a generated circuit's noise, split by
+ * physical source. Each field sums the raw channel probabilities of
+ * its category; the split explains *why* a setup's threshold moves
+ * (e.g. Interleaved trades cavity idle for load/store mass).
+ */
+struct NoiseBudget
+{
+    double gateTT = 0.0;        ///< transmon-transmon CNOTs
+    double gateTM = 0.0;        ///< transmon-mode CNOTs
+    double gate1 = 0.0;         ///< single-qubit gates
+    double loadStore = 0.0;     ///< load/store iSWAPs
+    double measurement = 0.0;   ///< readout record flips
+    double resetErr = 0.0;      ///< reset errors
+    double idleTransmon = 0.0;  ///< decoherence while in a transmon
+    double idleCavity = 0.0;    ///< decoherence while in a cavity mode
+
+    double total() const
+    {
+        return gateTT + gateTM + gate1 + loadStore + measurement
+             + resetErr + idleTransmon + idleCavity;
+    }
+};
+
+/** A generated memory circuit plus schedule diagnostics. */
+struct GeneratedCircuit
+{
+    Circuit circuit{0};
+
+    /** Wall-clock duration of the active (non-gap) schedule, ns. */
+    double activeDurationNs = 0.0;
+
+    /** Total duration including paging gaps, ns. */
+    double totalDurationNs = 0.0;
+
+    /** Number of load/store operations emitted. */
+    int loadStoreCount = 0;
+
+    /** Conflict-serialized CNOTs (Compact scheduler diagnostics). */
+    int deferredCnots = 0;
+
+    /** Noise probability mass by physical source. */
+    NoiseBudget budget;
+};
+
+/**
+ * Circuit builder that couples gate emission with lock-step timing and
+ * noise: every gate gets its depolarizing channel, every moment close
+ * turns live-wire idle time into decoherence channels, and load/store
+ * operations swap wire liveness.
+ */
+class NoisyBuilder
+{
+  public:
+    NoisyBuilder(uint32_t numWires, std::vector<WireKind> kinds,
+                 const NoiseModel& noise);
+
+    Circuit& circuit() { return circuit_; }
+    const NoiseModel& noise() const { return noise_; }
+    MomentTracker& tracker() { return tracker_; }
+
+    /** Open a lock-step moment of the given duration. */
+    void momentBegin(double durationNs);
+
+    /** Close the moment, emitting idle channels on live idle wires. */
+    void momentEnd();
+
+    /** A waiting period (paging gap): idles all live wires. */
+    void wait(double durationNs);
+
+    /** Mark/unmark a wire as holding live information. */
+    void setLive(uint32_t wire, bool live) { tracker_.setLive(wire, live); }
+
+    /** @{ Noisy primitives; each must be called inside a moment. */
+    void gateH(uint32_t q);
+    void cnotTT(uint32_t control, uint32_t target);
+    void cnotTM(uint32_t control, uint32_t target);
+    void loadStore(uint32_t transmon, uint32_t mode);
+    void resetQ(uint32_t q);
+    uint32_t measure(uint32_t q);
+    /** @} */
+
+    /** Noiseless reset (idealized initialization boundary). */
+    void resetIdeal(uint32_t q) { circuit_.reset(q); }
+
+    /** Noiseless H (idealized basis change at the boundary). */
+    void hIdeal(uint32_t q) { circuit_.h(q); }
+
+    /** Noiseless measurement (idealized final readout). */
+    uint32_t measureIdeal(uint32_t q) { return circuit_.measureZ(q, 0.0); }
+
+    int loadStoreCount() const { return loadStoreCount_; }
+    double now() const { return tracker_.now(); }
+    const NoiseBudget& budget() const { return budget_; }
+
+  private:
+    Circuit circuit_;
+    MomentTracker tracker_;
+    std::vector<WireKind> kinds_;
+    NoiseModel noise_;
+    int loadStoreCount_ = 0;
+    NoiseBudget budget_;
+
+    void emitIdle(uint32_t wire, double durationNs);
+};
+
+/**
+ * Tracks per-check measurement records across rounds and emits the
+ * detectors and the logical observable of a memory experiment.
+ */
+class DetectorBook
+{
+  public:
+    DetectorBook(const SurfaceLayout& layout, CheckBasis memoryBasis);
+
+    /**
+     * Record the round-r syndrome measurement of a check; emits the
+     * detector (round 0: absolute; later rounds: consecutive XOR).
+     */
+    void recordRound(Circuit& circuit, uint32_t check, uint32_t meas,
+                     int round);
+
+    /**
+     * Emit the final data-readout detectors and the logical observable.
+     * @param dataMeas measurement record per data index (memory-basis
+     *        readout of every data qubit).
+     */
+    void finish(Circuit& circuit, const std::vector<uint32_t>& dataMeas,
+                int finalRound);
+
+  private:
+    const SurfaceLayout& layout_;
+    CheckBasis basis_;
+    std::vector<int64_t> prevMeas_;
+};
+
+/** Wire assignment consumed by the standard extraction round. */
+struct StandardRoundWires
+{
+    /** Wire holding each data qubit (indexed by layout data index). */
+    std::vector<uint32_t> dataWires;
+
+    /** Ancilla wire per plaquette (indexed by plaquette index). */
+    std::vector<uint32_t> ancWires;
+};
+
+/**
+ * Emit one standard syndrome-extraction round (reset, basis change,
+ * 4 CNOT steps in the two-pattern order, basis change, measure) on the
+ * given wires, recording detectors through `book`. Used verbatim by the
+ * baseline and by the Natural embedding while a patch is loaded.
+ */
+void emitStandardRound(NoisyBuilder& builder, const SurfaceLayout& layout,
+                       const StandardRoundWires& wires, DetectorBook& book,
+                       int round);
+
+/** Dispatch: generate the memory circuit for any evaluation setup. */
+GeneratedCircuit generateMemoryCircuit(EmbeddingKind embedding,
+                                       const GeneratorConfig& config);
+
+/** Paper baseline: surface code on a conventional 2D transmon grid. */
+GeneratedCircuit generateBaselineMemory(const GeneratorConfig& config);
+
+/** Natural embedding (AAO or Interleaved per config.schedule). */
+GeneratedCircuit generateNaturalMemory(const GeneratorConfig& config);
+
+/** Compact embedding (AAO or Interleaved per config.schedule). */
+GeneratedCircuit generateCompactMemory(const GeneratorConfig& config);
+
+} // namespace vlq
+
+#endif // VLQ_CORE_GENERATOR_COMMON_H

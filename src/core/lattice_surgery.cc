@@ -1,0 +1,22 @@
+#include "core/lattice_surgery.h"
+
+namespace vlq {
+
+std::vector<SurgeryStep>
+latticeSurgeryCnotSequence()
+{
+    // Fig. 4: |A> = |0> ancilla; merge A,T in the X basis; split;
+    // merge A,C in the Z basis; split; measure A in the X basis.
+    // Merges and splits each take one timestep (d cycles); the final
+    // split+measure takes two.
+    return {
+        {"create ancilla patch A = |0>", 1},
+        {"merge A and T (measure X parity A+T)", 1},
+        {"split A / T", 1},
+        {"merge A and C (measure Z parity A+C)", 1},
+        {"split A / C", 1},
+        {"measure A in the X basis (fixups from outcomes)", 1},
+    };
+}
+
+} // namespace vlq

@@ -1,0 +1,52 @@
+#ifndef VLQ_CORE_LATTICE_SURGERY_H
+#define VLQ_CORE_LATTICE_SURGERY_H
+
+#include <string>
+#include <vector>
+
+namespace vlq {
+
+/**
+ * Timestep costs of logical operations. One timestep = d error
+ * correction cycles (paper Sec. III-B/III-D).
+ */
+struct LogicalOpCosts
+{
+    /** Lattice-surgery CNOT: the 6-step merge/split dance of Fig. 4. */
+    static constexpr int latticeSurgeryCnot = 6;
+
+    /** Transversal CNOT between co-located patches: one timestep. */
+    static constexpr int transversalCnot = 1;
+
+    /** Patch movement (grow toward target + shrink): one timestep. */
+    static constexpr int move = 1;
+
+    /** Logical initialization (|0> or |+>): one timestep. */
+    static constexpr int init = 1;
+
+    /** Logical measurement (Z or X): one timestep. */
+    static constexpr int measure = 1;
+
+    /** Transversal single-qubit gate on a loaded patch. */
+    static constexpr int singleQubit = 1;
+};
+
+/** One primitive step of a lattice-surgery macro. */
+struct SurgeryStep
+{
+    std::string description;
+    int timesteps = 1;
+};
+
+/**
+ * The lattice-surgery CNOT macro (paper Fig. 4 / Fig. 9): expanded as
+ * its primitive merge/split sequence. Total duration is
+ * LogicalOpCosts::latticeSurgeryCnot timesteps; the sequence is the
+ * same for the baseline planar code and for both VLQ embeddings (the
+ * operations translate unchanged, Sec. III).
+ */
+std::vector<SurgeryStep> latticeSurgeryCnotSequence();
+
+} // namespace vlq
+
+#endif // VLQ_CORE_LATTICE_SURGERY_H

@@ -1,0 +1,365 @@
+#include "core/logical_machine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace vlq {
+
+LogicalMachine::LogicalMachine(const DeviceConfig& config)
+    : config_(config),
+      refresh_(config.numStacks(), config.cavityDepth),
+      stackLoad_(static_cast<size_t>(config.numStacks()), 0)
+{
+    VLQ_ASSERT(config_.embedding != EmbeddingKind::Baseline2D
+                   || config_.cavityDepth == 1,
+               "baseline devices have no cavity depth");
+}
+
+int
+LogicalMachine::stackIndex(const PhysicalAddress& a) const
+{
+    VLQ_ASSERT(a.sx >= 0 && a.sx < config_.gridWidth && a.sy >= 0 &&
+                   a.sy < config_.gridHeight,
+               "stack address out of range");
+    return a.sy * config_.gridWidth + a.sx;
+}
+
+PhysicalAddress
+LogicalMachine::stackAddress(int index) const
+{
+    return PhysicalAddress{index % config_.gridWidth,
+                           index / config_.gridWidth};
+}
+
+int
+LogicalMachine::freeModeIn(int stack) const
+{
+    std::vector<bool> used(static_cast<size_t>(config_.cavityDepth), false);
+    for (const auto& s : qubits_) {
+        if (s.allocated && s.stack == stack)
+            used[static_cast<size_t>(s.mode)] = true;
+    }
+    for (int m = 0; m < config_.cavityDepth; ++m)
+        if (!used[static_cast<size_t>(m)])
+            return m;
+    return -1;
+}
+
+const LogicalMachine::Slot&
+LogicalMachine::slot(LogicalQubit q) const
+{
+    VLQ_ASSERT(q >= 0 && q < static_cast<int>(qubits_.size()) &&
+                   qubits_[static_cast<size_t>(q)].allocated,
+               "bad logical qubit handle");
+    return qubits_[static_cast<size_t>(q)];
+}
+
+LogicalMachine::Slot&
+LogicalMachine::slot(LogicalQubit q)
+{
+    return const_cast<Slot&>(
+        static_cast<const LogicalMachine*>(this)->slot(q));
+}
+
+LogicalQubit
+LogicalMachine::alloc()
+{
+    // Least-loaded stack, keeping one free mode per stack reserved for
+    // movement / surgery ancillas (Sec. III-D).
+    int perStack = (config_.embedding == EmbeddingKind::Baseline2D)
+        ? 1 : config_.cavityDepth - 1;
+    int best = -1;
+    for (int s = 0; s < config_.numStacks(); ++s) {
+        if (stackLoad_[static_cast<size_t>(s)] >= perStack)
+            continue;
+        if (best < 0 || stackLoad_[static_cast<size_t>(s)] <
+                            stackLoad_[static_cast<size_t>(best)]) {
+            best = s;
+        }
+    }
+    VLQ_ASSERT(best >= 0, "device out of logical-qubit capacity");
+    return allocAt(stackAddress(best));
+}
+
+LogicalQubit
+LogicalMachine::allocAt(const PhysicalAddress& stack)
+{
+    int s = stackIndex(stack);
+    int perStack = (config_.embedding == EmbeddingKind::Baseline2D)
+        ? 1 : config_.cavityDepth - 1;
+    VLQ_ASSERT(stackLoad_[static_cast<size_t>(s)] < perStack,
+               "stack full (one mode is reserved)");
+    int mode = freeModeIn(s);
+    VLQ_ASSERT(mode >= 0, "no free mode despite load accounting");
+
+    Slot ns;
+    ns.allocated = true;
+    ns.stack = s;
+    ns.mode = mode;
+    ns.refreshSlot = refresh_.addResident(s);
+    ++stackLoad_[static_cast<size_t>(s)];
+
+    for (size_t i = 0; i < qubits_.size(); ++i) {
+        if (!qubits_[i].allocated) {
+            qubits_[i] = ns;
+            return static_cast<LogicalQubit>(i);
+        }
+    }
+    qubits_.push_back(ns);
+    return static_cast<LogicalQubit>(qubits_.size() - 1);
+}
+
+void
+LogicalMachine::release(LogicalQubit q)
+{
+    Slot& s = slot(q);
+    refresh_.removeResident(s.refreshSlot);
+    --stackLoad_[static_cast<size_t>(s.stack)];
+    s.allocated = false;
+}
+
+VirtualAddress
+LogicalMachine::addressOf(LogicalQubit q) const
+{
+    const Slot& s = slot(q);
+    return VirtualAddress{stackAddress(s.stack), s.mode};
+}
+
+int
+LogicalMachine::numAllocated() const
+{
+    int n = 0;
+    for (const auto& s : qubits_)
+        if (s.allocated)
+            ++n;
+    return n;
+}
+
+void
+LogicalMachine::advance(int steps, const std::vector<int>& busyStacks)
+{
+    std::vector<bool> busy(static_cast<size_t>(config_.numStacks()), false);
+    for (int s : busyStacks)
+        busy[static_cast<size_t>(s)] = true;
+    for (int i = 0; i < steps; ++i)
+        refresh_.step(busy);
+    step_ += steps;
+}
+
+void
+LogicalMachine::record(const std::string& description, int start,
+                       int duration)
+{
+    schedule_.push_back(ScheduledOp{description, start, duration});
+}
+
+int
+LogicalMachine::initQubit(LogicalQubit q)
+{
+    const Slot& s = slot(q);
+    int start = step_;
+    advance(LogicalOpCosts::init, {s.stack});
+    refresh_.touch(s.refreshSlot);
+    record("init " + addressOf(q).str(), start, LogicalOpCosts::init);
+    return step_;
+}
+
+int
+LogicalMachine::singleQubitGate(LogicalQubit q, const std::string& name)
+{
+    const Slot& s = slot(q);
+    int start = step_;
+    advance(LogicalOpCosts::singleQubit, {s.stack});
+    refresh_.touch(s.refreshSlot);
+    record(name + " " + addressOf(q).str(), start,
+           LogicalOpCosts::singleQubit);
+    return step_;
+}
+
+int
+LogicalMachine::cnotTransversal(LogicalQubit control, LogicalQubit target)
+{
+    const Slot& sc = slot(control);
+    const Slot& st = slot(target);
+    VLQ_ASSERT(sc.stack == st.stack,
+               "transversal CNOT requires co-located qubits");
+    VLQ_ASSERT(config_.embedding != EmbeddingKind::Baseline2D,
+               "baseline hardware has no transversal CNOT");
+    int start = step_;
+    advance(LogicalOpCosts::transversalCnot, {sc.stack});
+    refresh_.touch(sc.refreshSlot);
+    refresh_.touch(st.refreshSlot);
+    record("CNOT_t " + addressOf(control).str() + " -> "
+               + addressOf(target).str(),
+           start, LogicalOpCosts::transversalCnot);
+    return step_;
+}
+
+std::vector<int>
+LogicalMachine::route(int stackA, int stackB) const
+{
+    // L-shaped Manhattan route through the grid of stacks.
+    PhysicalAddress a = stackAddress(stackA);
+    PhysicalAddress b = stackAddress(stackB);
+    std::vector<int> out;
+    int x = a.sx;
+    int y = a.sy;
+    out.push_back(stackA);
+    while (x != b.sx) {
+        x += (b.sx > x) ? 1 : -1;
+        out.push_back(stackIndex(PhysicalAddress{x, y}));
+    }
+    while (y != b.sy) {
+        y += (b.sy > y) ? 1 : -1;
+        out.push_back(stackIndex(PhysicalAddress{x, y}));
+    }
+    return out;
+}
+
+int
+LogicalMachine::moveQubit(LogicalQubit q, const PhysicalAddress& dest)
+{
+    Slot& s = slot(q);
+    int destStack = stackIndex(dest);
+    if (destStack == s.stack)
+        return step_;
+    VLQ_ASSERT(config_.embedding != EmbeddingKind::Baseline2D,
+               "movement between stacks needs the 2.5D architecture");
+    VLQ_ASSERT(stackLoad_[static_cast<size_t>(destStack)] <
+                   config_.cavityDepth - 1,
+               "destination stack full");
+    int mode = freeModeIn(destStack);
+    VLQ_ASSERT(mode >= 0, "destination has no free mode");
+
+    int start = step_;
+    std::vector<int> busy = route(s.stack, destStack);
+    advance(LogicalOpCosts::move, busy);
+
+    --stackLoad_[static_cast<size_t>(s.stack)];
+    ++stackLoad_[static_cast<size_t>(destStack)];
+    refresh_.removeResident(s.refreshSlot);
+    s.stack = destStack;
+    s.mode = mode;
+    s.refreshSlot = refresh_.addResident(destStack);
+    record("move -> " + addressOf(q).str(), start, LogicalOpCosts::move);
+    return step_;
+}
+
+int
+LogicalMachine::moveMany(const std::vector<MoveRequest>& requests)
+{
+    // Greedy wave scheduling: each wave packs requests whose L-shaped
+    // routes are stack-disjoint; intersecting requests wait for a
+    // later wave. Within a wave all moves share one timestep.
+    int startStep = step_;
+    std::vector<bool> done(requests.size(), false);
+    size_t remaining = requests.size();
+    while (remaining > 0) {
+        std::vector<bool> occupied(
+            static_cast<size_t>(config_.numStacks()), false);
+        std::vector<int> waveBusy;
+        std::vector<size_t> wave;
+        for (size_t i = 0; i < requests.size(); ++i) {
+            if (done[i])
+                continue;
+            const Slot& s = slot(requests[i].qubit);
+            int destStack = stackIndex(requests[i].dest);
+            if (destStack == s.stack) {
+                done[i] = true; // no-op move
+                --remaining;
+                continue;
+            }
+            std::vector<int> path = route(s.stack, destStack);
+            bool clash = false;
+            for (int st : path)
+                clash = clash || occupied[static_cast<size_t>(st)];
+            if (clash)
+                continue;
+            if (stackLoad_[static_cast<size_t>(destStack)] >=
+                config_.cavityDepth - 1)
+                continue; // destination full this wave; retry later
+            for (int st : path) {
+                occupied[static_cast<size_t>(st)] = true;
+                waveBusy.push_back(st);
+            }
+            wave.push_back(i);
+        }
+        VLQ_ASSERT(!wave.empty() || remaining == 0,
+                   "moveMany cannot make progress (full destinations)");
+        if (wave.empty())
+            break;
+        // Commit the wave: one shared timestep.
+        advance(LogicalOpCosts::move, waveBusy);
+        for (size_t i : wave) {
+            Slot& s = slot(requests[i].qubit);
+            int destStack = stackIndex(requests[i].dest);
+            int mode = freeModeIn(destStack);
+            VLQ_ASSERT(mode >= 0, "destination has no free mode");
+            --stackLoad_[static_cast<size_t>(s.stack)];
+            ++stackLoad_[static_cast<size_t>(destStack)];
+            refresh_.removeResident(s.refreshSlot);
+            s.stack = destStack;
+            s.mode = mode;
+            s.refreshSlot = refresh_.addResident(destStack);
+            record("move(wave) -> " + addressOf(requests[i].qubit).str(),
+                   step_ - LogicalOpCosts::move, LogicalOpCosts::move);
+            done[i] = true;
+            --remaining;
+        }
+    }
+    return step_ - startStep;
+}
+
+int
+LogicalMachine::cnotViaColocation(LogicalQubit control, LogicalQubit target,
+                                  bool moveBack)
+{
+    const Slot& sc = slot(control);
+    Slot& st = slot(target);
+    PhysicalAddress home = stackAddress(st.stack);
+    if (st.stack != sc.stack)
+        moveQubit(target, stackAddress(sc.stack));
+    cnotTransversal(control, target);
+    if (moveBack && stackIndex(home) != slot(target).stack)
+        moveQubit(target, home);
+    return step_;
+}
+
+int
+LogicalMachine::cnotLatticeSurgery(LogicalQubit control, LogicalQubit target)
+{
+    const Slot& sc = slot(control);
+    const Slot& st = slot(target);
+    int start = step_;
+    std::vector<int> busy = route(sc.stack, st.stack);
+    // The whole route acts as the surgery ancilla for all 6 steps.
+    advance(LogicalOpCosts::latticeSurgeryCnot, busy);
+    refresh_.touch(sc.refreshSlot);
+    refresh_.touch(st.refreshSlot);
+    record("CNOT_ls " + addressOf(control).str() + " -> "
+               + addressOf(target).str(),
+           start, LogicalOpCosts::latticeSurgeryCnot);
+    return step_;
+}
+
+int
+LogicalMachine::measureQubit(LogicalQubit q, const std::string& basis)
+{
+    const Slot& s = slot(q);
+    int start = step_;
+    advance(LogicalOpCosts::measure, {s.stack});
+    record("measure_" + basis + " " + addressOf(q).str(), start,
+           LogicalOpCosts::measure);
+    release(q);
+    return step_;
+}
+
+void
+LogicalMachine::idle(int steps)
+{
+    advance(steps, {});
+}
+
+} // namespace vlq

@@ -1,0 +1,141 @@
+#ifndef VLQ_CORE_LOGICAL_MACHINE_H
+#define VLQ_CORE_LOGICAL_MACHINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/address.h"
+#include "arch/device.h"
+#include "core/lattice_surgery.h"
+#include "core/paging.h"
+
+namespace vlq {
+
+/** Handle to an allocated virtualized logical qubit. */
+using LogicalQubit = int;
+
+/** One scheduled logical operation (for timelines and tests). */
+struct ScheduledOp
+{
+    std::string description;
+    int startStep = 0;
+    int duration = 1;
+};
+
+/**
+ * Timestep-level scheduler for logical programs on the 2.5D
+ * architecture: the paper's virtual/physical addressing, paging and
+ * refresh, transversal CNOTs within a stack, movement between stacks,
+ * and lattice-surgery CNOTs across the grid.
+ *
+ * This is a resource model (a compiler backend), not a noise simulator:
+ * it tracks where logical qubits live, which stacks and routes are busy
+ * at each timestep, and how stale every stored qubit's error correction
+ * is. One mode per stack is reserved for movement and surgery ancillas
+ * (paper Sec. III-D).
+ */
+class LogicalMachine
+{
+  public:
+    explicit LogicalMachine(const DeviceConfig& config);
+
+    const DeviceConfig& config() const { return config_; }
+
+    /** Allocate a logical qubit; prefers the least-loaded stack. */
+    LogicalQubit alloc();
+
+    /** Allocate in a specific stack (fails if the stack is full). */
+    LogicalQubit allocAt(const PhysicalAddress& stack);
+
+    /** Release a logical qubit. */
+    void release(LogicalQubit q);
+
+    /** Current virtual address of a logical qubit. */
+    VirtualAddress addressOf(LogicalQubit q) const;
+
+    /** Number of allocated qubits. */
+    int numAllocated() const;
+
+    /** @{ Logical operations; each returns its completion timestep. */
+    int initQubit(LogicalQubit q);
+    int singleQubitGate(LogicalQubit q, const std::string& name);
+    /** Transversal CNOT: requires co-located operands (same stack). */
+    int cnotTransversal(LogicalQubit control, LogicalQubit target);
+    /** Move a qubit to another stack (1 timestep, needs a free mode). */
+    int moveQubit(LogicalQubit q, const PhysicalAddress& dest);
+
+    /** One requested relocation for moveMany. */
+    struct MoveRequest
+    {
+        LogicalQubit qubit;
+        PhysicalAddress dest;
+    };
+
+    /**
+     * Issue a batch of moves, packing non-intersecting routes into the
+     * same timestep and serializing the rest (paper Sec. III-D:
+     * parallel moves are expensive when paths intersect).
+     * @return number of timesteps the batch took.
+     */
+    int moveMany(const std::vector<MoveRequest>& requests);
+    /**
+     * CNOT via co-location: moves the target next to the control if
+     * needed, then applies the transversal CNOT (2 timesteps when a
+     * move is needed, 3 with moveBack).
+     */
+    int cnotViaColocation(LogicalQubit control, LogicalQubit target,
+                          bool moveBack = false);
+    /** Lattice-surgery CNOT (6 timesteps, reserves the route). */
+    int cnotLatticeSurgery(LogicalQubit control, LogicalQubit target);
+    /** Measure and release (1 timestep). */
+    int measureQubit(LogicalQubit q, const std::string& basis);
+    /** @} */
+
+    /** Advance idle time (refresh only). */
+    void idle(int steps);
+
+    int currentStep() const { return step_; }
+
+    const std::vector<ScheduledOp>& schedule() const { return schedule_; }
+
+    const RefreshScheduler& refresh() const { return refresh_; }
+
+    /** Longest EC gap any stored qubit experienced (timesteps). */
+    int maxStaleness() const { return refresh_.maxStalenessObserved(); }
+
+  private:
+    DeviceConfig config_;
+    RefreshScheduler refresh_;
+
+    struct Slot
+    {
+        bool allocated = false;
+        int stack = -1;
+        int mode = -1;
+        int refreshSlot = -1;
+    };
+    std::vector<Slot> qubits_;
+    std::vector<int> stackLoad_;   // allocated qubits per stack
+    std::vector<ScheduledOp> schedule_;
+
+    int step_ = 0;
+
+    int stackIndex(const PhysicalAddress& a) const;
+    PhysicalAddress stackAddress(int index) const;
+    int freeModeIn(int stack) const;
+    const Slot& slot(LogicalQubit q) const;
+    Slot& slot(LogicalQubit q);
+
+    /** Advance time with the given stacks busy; refresh runs elsewhere. */
+    void advance(int steps, const std::vector<int>& busyStacks);
+
+    /** Stacks crossed by a Manhattan route (L-shaped) a -> b. */
+    std::vector<int> route(int stackA, int stackB) const;
+
+    void record(const std::string& description, int start, int duration);
+};
+
+} // namespace vlq
+
+#endif // VLQ_CORE_LOGICAL_MACHINE_H

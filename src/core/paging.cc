@@ -1,0 +1,102 @@
+#include "core/paging.h"
+
+#include "util/logging.h"
+
+namespace vlq {
+
+RefreshScheduler::RefreshScheduler(int numStacks, int cavityDepth)
+    : numStacks_(numStacks), cavityDepth_(cavityDepth)
+{
+    VLQ_ASSERT(numStacks > 0 && cavityDepth > 0,
+               "bad refresh scheduler shape");
+}
+
+int
+RefreshScheduler::addResident(int stack)
+{
+    VLQ_ASSERT(stack >= 0 && stack < numStacks_, "stack out of range");
+    int inStack = 0;
+    for (const auto& r : residents_)
+        if (r.stack == stack)
+            ++inStack;
+    VLQ_ASSERT(inStack < cavityDepth_, "stack over capacity");
+    for (size_t i = 0; i < residents_.size(); ++i) {
+        if (residents_[i].stack < 0) {
+            residents_[i] = Resident{stack, 0};
+            return static_cast<int>(i);
+        }
+    }
+    residents_.push_back(Resident{stack, 0});
+    return static_cast<int>(residents_.size() - 1);
+}
+
+void
+RefreshScheduler::removeResident(int slot)
+{
+    VLQ_ASSERT(slot >= 0 &&
+                   slot < static_cast<int>(residents_.size()) &&
+                   residents_[static_cast<size_t>(slot)].stack >= 0,
+               "bad resident slot");
+    residents_[static_cast<size_t>(slot)].stack = -1;
+}
+
+void
+RefreshScheduler::touch(int slot)
+{
+    VLQ_ASSERT(slot >= 0 && slot < static_cast<int>(residents_.size()),
+               "bad resident slot");
+    residents_[static_cast<size_t>(slot)].staleness = 0;
+}
+
+void
+RefreshScheduler::step(const std::vector<bool>& stackBusy)
+{
+    VLQ_ASSERT(static_cast<int>(stackBusy.size()) == numStacks_,
+               "busy mask size mismatch");
+    // Free stacks refresh their stalest resident.
+    for (int s = 0; s < numStacks_; ++s) {
+        if (stackBusy[static_cast<size_t>(s)])
+            continue;
+        int best = -1;
+        for (size_t i = 0; i < residents_.size(); ++i) {
+            if (residents_[i].stack != s)
+                continue;
+            if (best < 0 ||
+                residents_[i].staleness >
+                    residents_[static_cast<size_t>(best)].staleness) {
+                best = static_cast<int>(i);
+            }
+        }
+        if (best >= 0) {
+            residents_[static_cast<size_t>(best)].staleness = 0;
+            ++refreshCount_;
+        }
+    }
+    // Everyone else ages.
+    for (auto& r : residents_) {
+        if (r.stack >= 0) {
+            ++r.staleness;
+            maxStaleness_ = std::max(maxStaleness_, r.staleness);
+        }
+    }
+}
+
+int
+RefreshScheduler::staleness(int slot) const
+{
+    VLQ_ASSERT(slot >= 0 && slot < static_cast<int>(residents_.size()),
+               "bad resident slot");
+    return residents_[static_cast<size_t>(slot)].staleness;
+}
+
+int
+RefreshScheduler::idleBound(int stack) const
+{
+    int count = 0;
+    for (const auto& r : residents_)
+        if (r.stack == stack)
+            ++count;
+    return count;
+}
+
+} // namespace vlq

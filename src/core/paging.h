@@ -1,0 +1,74 @@
+#ifndef VLQ_CORE_PAGING_H
+#define VLQ_CORE_PAGING_H
+
+#include <cstdint>
+#include <vector>
+
+namespace vlq {
+
+/**
+ * DRAM-refresh-style error-correction scheduler for virtualized logical
+ * qubits (paper Sec. III-D).
+ *
+ * Every logical qubit stored in a stack must receive a round of error
+ * correction regularly; in steady state a depth-k stack guarantees each
+ * resident a round every k timesteps. When a stack is busy with logical
+ * operations, refresh is delayed and staleness grows; the scheduler
+ * tracks staleness so compilers can bound it.
+ *
+ * Each timestep a free stack refreshes its stalest resident; logical
+ * operations count as refresh for the qubits they touch (their patches
+ * are loaded and error-corrected as part of the operation).
+ */
+class RefreshScheduler
+{
+  public:
+    RefreshScheduler(int numStacks, int cavityDepth);
+
+    /** Register a logical qubit residing in a stack. @return slot id. */
+    int addResident(int stack);
+
+    /** Remove a resident (measurement / deallocation). */
+    void removeResident(int slot);
+
+    /** A logical operation touched this resident (counts as refresh). */
+    void touch(int slot);
+
+    /**
+     * Advance one timestep. Free stacks refresh their stalest resident.
+     * @param stackBusy per-stack busy flag for this timestep.
+     */
+    void step(const std::vector<bool>& stackBusy);
+
+    /** Steps since the given resident was last corrected. */
+    int staleness(int slot) const;
+
+    /** Highest staleness ever observed across residents. */
+    int maxStalenessObserved() const { return maxStaleness_; }
+
+    /** Total refresh (background EC) actions performed. */
+    uint64_t refreshCount() const { return refreshCount_; }
+
+    /**
+     * Steady-state staleness bound for an idle stack: with r residents,
+     * round-robin refresh guarantees staleness < r (<= cavityDepth).
+     */
+    int idleBound(int stack) const;
+
+  private:
+    struct Resident
+    {
+        int stack = -1;    // -1 = free slot
+        int staleness = 0;
+    };
+
+    int numStacks_;
+    int cavityDepth_;
+    std::vector<Resident> residents_;
+    int maxStaleness_ = 0;
+    uint64_t refreshCount_ = 0;
+};
+
+} // namespace vlq
+
+#endif // VLQ_CORE_PAGING_H

@@ -1,0 +1,75 @@
+#ifndef VLQ_DECODER_MATCHING_GRAPH_H
+#define VLQ_DECODER_MATCHING_GRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dem/detector_model.h"
+
+namespace vlq {
+
+/**
+ * Decoding graph derived from a detector error model.
+ *
+ * Nodes are detectors plus one virtual boundary node. Every fault
+ * outcome flipping one detector contributes a boundary edge; two
+ * detectors, a regular edge; more than two (rare correlated events) are
+ * greedily decomposed into known edges. Parallel contributions combine
+ * as independent flip probabilities (p = p1 + p2 - 2 p1 p2) and edge
+ * weights are the standard log-likelihood ratios ln((1-p)/p).
+ *
+ * After build(), all-pairs shortest paths (with the XOR of observable
+ * masks along each path) are precomputed so per-trial decoding only
+ * needs table lookups.
+ */
+class MatchingGraph
+{
+  public:
+    /** Diagnostics from graph construction. */
+    struct BuildStats
+    {
+        /** Outcomes with >2 detectors that fit known edges. */
+        uint32_t decomposed = 0;
+        /** Outcomes with >2 detectors needing arbitrary pairing. */
+        uint32_t forcedPairings = 0;
+        /** Edges whose contributions disagreed on the observable. */
+        uint32_t observableConflicts = 0;
+    };
+
+    static MatchingGraph build(const DetectorErrorModel& dem);
+
+    /** Number of detector nodes (excludes the boundary). */
+    uint32_t numNodes() const { return numNodes_; }
+
+    /** Shortest-path weight between two detectors. */
+    double distance(uint32_t a, uint32_t b) const;
+
+    /** XOR of observable masks along the shortest a-b path. */
+    uint32_t pathObservables(uint32_t a, uint32_t b) const;
+
+    /** Shortest-path weight from a detector to the boundary. */
+    double boundaryDistance(uint32_t a) const;
+
+    /** Observable mask along the shortest path to the boundary. */
+    uint32_t boundaryObservables(uint32_t a) const;
+
+    const BuildStats& stats() const { return stats_; }
+
+    /** Number of distinct (deduplicated) edges, boundary included. */
+    size_t numEdges() const { return edgeCount_; }
+
+  private:
+    uint32_t numNodes_ = 0;
+    size_t edgeCount_ = 0;
+    BuildStats stats_;
+
+    // Dense tables: index boundary as node numNodes_.
+    std::vector<float> dist_;     // (numNodes_+1)^2
+    std::vector<uint8_t> obs_;    // observable masks along paths
+
+    uint32_t stride() const { return numNodes_ + 1; }
+};
+
+} // namespace vlq
+
+#endif // VLQ_DECODER_MATCHING_GRAPH_H

@@ -1,0 +1,107 @@
+#include "decoder/mwpm_decoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "decoder/blossom.h"
+#include "util/logging.h"
+
+namespace vlq {
+
+MwpmDecoder::MwpmDecoder(const DetectorErrorModel& dem)
+    : graph_(MatchingGraph::build(dem))
+{
+}
+
+uint32_t
+MwpmDecoder::decode(const BitVec& detectorFlips) const
+{
+    std::vector<uint32_t> events = detectorFlips.onesIndices();
+    const int m = static_cast<int>(events.size());
+    if (m == 0)
+        return 0;
+
+    // Nodes 0..m-1: events; m..2m-1: private boundary copies.
+    std::vector<MatchEdge> edges;
+    edges.reserve(static_cast<size_t>(m) * m + m);
+    for (int i = 0; i < m; ++i) {
+        for (int j = i + 1; j < m; ++j) {
+            double w = graph_.distance(events[static_cast<size_t>(i)],
+                                       events[static_cast<size_t>(j)]);
+            if (std::isfinite(w))
+                edges.push_back(MatchEdge{i, j, w});
+        }
+        double wb =
+            graph_.boundaryDistance(events[static_cast<size_t>(i)]);
+        if (std::isfinite(wb))
+            edges.push_back(MatchEdge{i, m + i, wb});
+        for (int j = i + 1; j < m; ++j)
+            edges.push_back(MatchEdge{m + i, m + j, 0.0});
+    }
+
+    std::vector<int> mate = minWeightPerfectMatching(2 * m, edges);
+
+    uint32_t obs = 0;
+    for (int i = 0; i < m; ++i) {
+        int j = mate[static_cast<size_t>(i)];
+        if (j == m + i) {
+            obs ^= graph_.boundaryObservables(
+                events[static_cast<size_t>(i)]);
+        } else if (j > i && j < m) {
+            obs ^= graph_.pathObservables(events[static_cast<size_t>(i)],
+                                          events[static_cast<size_t>(j)]);
+        }
+    }
+    return obs;
+}
+
+GreedyDecoder::GreedyDecoder(const DetectorErrorModel& dem)
+    : graph_(MatchingGraph::build(dem))
+{
+}
+
+uint32_t
+GreedyDecoder::decode(const BitVec& detectorFlips) const
+{
+    std::vector<uint32_t> events = detectorFlips.onesIndices();
+    const size_t m = events.size();
+    if (m == 0)
+        return 0;
+
+    struct Cand
+    {
+        double w;
+        uint32_t i;
+        uint32_t j; // j == i means boundary
+    };
+    std::vector<Cand> cands;
+    for (uint32_t i = 0; i < m; ++i) {
+        for (uint32_t j = i + 1; j < m; ++j) {
+            double w = graph_.distance(events[i], events[j]);
+            if (std::isfinite(w))
+                cands.push_back(Cand{w, i, j});
+        }
+        double wb = graph_.boundaryDistance(events[i]);
+        if (std::isfinite(wb))
+            cands.push_back(Cand{wb, i, i});
+    }
+    std::sort(cands.begin(), cands.end(),
+              [](const Cand& a, const Cand& b) { return a.w < b.w; });
+
+    std::vector<bool> used(m, false);
+    uint32_t obs = 0;
+    for (const auto& c : cands) {
+        if (used[c.i] || (c.j != c.i && used[c.j]))
+            continue;
+        used[c.i] = true;
+        if (c.j == c.i) {
+            obs ^= graph_.boundaryObservables(events[c.i]);
+        } else {
+            used[c.j] = true;
+            obs ^= graph_.pathObservables(events[c.i], events[c.j]);
+        }
+    }
+    return obs;
+}
+
+} // namespace vlq

@@ -1,0 +1,71 @@
+#ifndef VLQ_DECODER_MWPM_DECODER_H
+#define VLQ_DECODER_MWPM_DECODER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "decoder/matching_graph.h"
+#include "dem/detector_model.h"
+#include "pauli/bitvec.h"
+
+namespace vlq {
+
+/** Interface shared by the decoders (enables decoder ablations). */
+class Decoder
+{
+  public:
+    virtual ~Decoder() = default;
+
+    /**
+     * Predict the observable flips explaining a detection-event set.
+     * @param detectorFlips one bit per detector.
+     * @return predicted observable bitmask.
+     */
+    virtual uint32_t decode(const BitVec& detectorFlips) const = 0;
+};
+
+/**
+ * Minimum-weight perfect-matching decoder (the paper's "maximum
+ * likelihood perfect matching").
+ *
+ * Detection events form a complete graph weighted by precomputed
+ * shortest-path distances in the decoding graph; each event also gets a
+ * private boundary copy, and boundary copies interconnect at zero
+ * weight so unused ones pair off. The exact blossom algorithm finds the
+ * minimum-weight perfect matching, and the XOR of the observable masks
+ * along the matched paths is the correction's effect on the logicals.
+ */
+class MwpmDecoder : public Decoder
+{
+  public:
+    explicit MwpmDecoder(const DetectorErrorModel& dem);
+
+    uint32_t decode(const BitVec& detectorFlips) const override;
+
+    const MatchingGraph& graph() const { return graph_; }
+
+  private:
+    MatchingGraph graph_;
+};
+
+/**
+ * Greedy matching decoder: repeatedly matches the closest available
+ * pair (or event-boundary). Used as a decoder-quality ablation; it is
+ * strictly weaker than MWPM and lowers the threshold.
+ */
+class GreedyDecoder : public Decoder
+{
+  public:
+    explicit GreedyDecoder(const DetectorErrorModel& dem);
+
+    uint32_t decode(const BitVec& detectorFlips) const override;
+
+    const MatchingGraph& graph() const { return graph_; }
+
+  private:
+    MatchingGraph graph_;
+};
+
+} // namespace vlq
+
+#endif // VLQ_DECODER_MWPM_DECODER_H

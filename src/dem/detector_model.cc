@@ -1,0 +1,191 @@
+#include "dem/detector_model.h"
+
+#include <algorithm>
+
+#include "pauli/bitvec.h"
+#include "util/logging.h"
+
+namespace vlq {
+
+double
+FaultChannel::totalProbability() const
+{
+    double p = 0.0;
+    for (const auto& o : outcomes)
+        p += o.probability;
+    return p;
+}
+
+namespace {
+
+/** Convert a signature bit vector into a FaultOutcome (or empty). */
+FaultOutcome
+toOutcome(const BitVec& sig, uint32_t numDetectors, double probability)
+{
+    FaultOutcome out;
+    out.probability = probability;
+    for (uint32_t bit : sig.onesIndices()) {
+        if (bit < numDetectors)
+            out.detectors.push_back(bit);
+        else
+            out.observables |= 1u << (bit - numDetectors);
+    }
+    return out;
+}
+
+} // namespace
+
+DetectorErrorModel
+DetectorErrorModel::build(const Circuit& circuit)
+{
+    DetectorErrorModel dem;
+    dem.numDetectors_ = static_cast<uint32_t>(circuit.detectors().size());
+    dem.numObservables_ =
+        static_cast<uint32_t>(circuit.observables().size());
+    VLQ_ASSERT(dem.numObservables_ <= 32, "too many observables");
+
+    for (const auto& d : circuit.detectors())
+        dem.meta_.push_back(DetectorMeta{d.basis, d.x, d.y, d.t});
+
+    const uint32_t width = dem.numDetectors_ + dem.numObservables_;
+    const uint32_t nQubits = circuit.numQubits();
+
+    // detSet[m]: which detectors/observables contain measurement m.
+    std::vector<BitVec> detSet(circuit.numMeasurements(), BitVec(width));
+    for (uint32_t d = 0; d < circuit.detectors().size(); ++d)
+        for (uint32_t m : circuit.detectors()[d].measurements)
+            detSet[m].flip(d);
+    for (uint32_t o = 0; o < circuit.observables().size(); ++o)
+        for (uint32_t m : circuit.observables()[o].measurements)
+            detSet[m].flip(dem.numDetectors_ + o);
+
+    // Backward sensitivity sets: dx[q] = detectors flipped by an X error
+    // on q at the current (reverse) position; dz likewise.
+    std::vector<BitVec> dx(nQubits, BitVec(width));
+    std::vector<BitVec> dz(nQubits, BitVec(width));
+
+    BitVec scratch(width);
+    const auto& ops = circuit.ops();
+    for (size_t idx = ops.size(); idx-- > 0;) {
+        const Operation& op = ops[idx];
+        switch (op.code) {
+          case OpCode::MEASURE_Z: {
+            // An X error before the measurement flips the record (and
+            // persists). Record-flip noise is its own channel.
+            uint32_t m = static_cast<uint32_t>(op.meas);
+            dx[op.q0] ^= detSet[m];
+            if (op.p > 0.0) {
+                FaultChannel ch;
+                ch.opIndex = static_cast<uint32_t>(idx);
+                FaultOutcome o = toOutcome(detSet[m], dem.numDetectors_,
+                                           op.p);
+                if (!o.detectors.empty() || o.observables != 0)
+                    ch.outcomes.push_back(std::move(o));
+                if (!ch.outcomes.empty())
+                    dem.channels_.push_back(std::move(ch));
+            }
+            break;
+          }
+          case OpCode::RESET:
+            dx[op.q0].clear();
+            dz[op.q0].clear();
+            break;
+          case OpCode::H:
+            std::swap(dx[op.q0], dz[op.q0]);
+            break;
+          case OpCode::S:
+            // X before S becomes Y after: sensitive to both sets.
+            dx[op.q0] ^= dz[op.q0];
+            break;
+          case OpCode::X:
+          case OpCode::Y:
+          case OpCode::Z:
+            break; // Pauli gates do not change Pauli-frame sensitivity
+          case OpCode::CNOT:
+            // Forward: X(c) -> X(c)X(t), Z(t) -> Z(c)Z(t).
+            dx[op.q0] ^= dx[op.q1];
+            dz[op.q1] ^= dz[op.q0];
+            break;
+          case OpCode::SWAP:
+            std::swap(dx[op.q0], dx[op.q1]);
+            std::swap(dz[op.q0], dz[op.q1]);
+            break;
+          case OpCode::DEPOLARIZE1: {
+            FaultChannel ch;
+            ch.opIndex = static_cast<uint32_t>(idx);
+            const double p3 = op.p / 3.0;
+            // X
+            FaultOutcome ox = toOutcome(dx[op.q0], dem.numDetectors_, p3);
+            // Z
+            FaultOutcome oz = toOutcome(dz[op.q0], dem.numDetectors_, p3);
+            // Y
+            scratch = dx[op.q0];
+            scratch ^= dz[op.q0];
+            FaultOutcome oy = toOutcome(scratch, dem.numDetectors_, p3);
+            for (auto* o : {&ox, &oy, &oz})
+                if (!o->detectors.empty() || o->observables != 0)
+                    ch.outcomes.push_back(std::move(*o));
+            if (!ch.outcomes.empty())
+                dem.channels_.push_back(std::move(ch));
+            break;
+          }
+          case OpCode::DEPOLARIZE2: {
+            FaultChannel ch;
+            ch.opIndex = static_cast<uint32_t>(idx);
+            const double p15 = op.p / 15.0;
+            for (int code = 1; code < 16; ++code) {
+                int pa = code >> 2;
+                int pb = code & 3;
+                scratch.clear();
+                if (pa & 1)
+                    scratch ^= dx[op.q0];
+                if (pa & 2)
+                    scratch ^= dz[op.q0];
+                if (pb & 1)
+                    scratch ^= dx[op.q1];
+                if (pb & 2)
+                    scratch ^= dz[op.q1];
+                FaultOutcome o = toOutcome(scratch, dem.numDetectors_,
+                                           p15);
+                if (!o.detectors.empty() || o.observables != 0)
+                    ch.outcomes.push_back(std::move(o));
+            }
+            if (!ch.outcomes.empty())
+                dem.channels_.push_back(std::move(ch));
+            break;
+          }
+          case OpCode::X_ERROR:
+          case OpCode::Y_ERROR:
+          case OpCode::Z_ERROR: {
+            FaultChannel ch;
+            ch.opIndex = static_cast<uint32_t>(idx);
+            scratch.clear();
+            if (op.code != OpCode::Z_ERROR)
+                scratch ^= dx[op.q0];
+            if (op.code != OpCode::X_ERROR)
+                scratch ^= dz[op.q0];
+            FaultOutcome o = toOutcome(scratch, dem.numDetectors_, op.p);
+            if (!o.detectors.empty() || o.observables != 0)
+                ch.outcomes.push_back(std::move(o));
+            if (!ch.outcomes.empty())
+                dem.channels_.push_back(std::move(ch));
+            break;
+          }
+        }
+    }
+
+    // Reverse to circuit order (cosmetic: keeps opIndex ascending).
+    std::reverse(dem.channels_.begin(), dem.channels_.end());
+    return dem;
+}
+
+double
+DetectorErrorModel::totalFaultMass() const
+{
+    double mass = 0.0;
+    for (const auto& ch : channels_)
+        mass += ch.totalProbability();
+    return mass;
+}
+
+} // namespace vlq

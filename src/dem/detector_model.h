@@ -1,0 +1,85 @@
+#ifndef VLQ_DEM_DETECTOR_MODEL_H
+#define VLQ_DEM_DETECTOR_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace vlq {
+
+/**
+ * One possible outcome of a fault channel: with `probability`, the
+ * listed detectors and observables flip.
+ */
+struct FaultOutcome
+{
+    double probability = 0.0;
+    std::vector<uint32_t> detectors;   // sorted, deduplicated
+    uint32_t observables = 0;          // bitmask over observables
+};
+
+/**
+ * An independent physical fault mechanism (one noise channel of the
+ * circuit). Outcomes are mutually exclusive; probabilities sum to at
+ * most 1 (the remainder is "no error"). Outcomes whose signature is
+ * empty are dropped -- they are indistinguishable from no error.
+ */
+struct FaultChannel
+{
+    /** Index of the originating operation in the source circuit. */
+    uint32_t opIndex = 0;
+
+    std::vector<FaultOutcome> outcomes;
+
+    /** Total probability that any (visible) outcome fires. */
+    double totalProbability() const;
+};
+
+/** Metadata of one detector, copied from the circuit. */
+struct DetectorMeta
+{
+    CheckBasis basis = CheckBasis::Z;
+    float x = 0.0f;
+    float y = 0.0f;
+    float t = 0.0f;
+};
+
+/**
+ * Detector error model: the complete map from physical fault mechanisms
+ * to detector/observable flips for a given noisy circuit.
+ *
+ * Built by backward sensitivity propagation: walking the circuit in
+ * reverse while maintaining, per qubit, the set of detectors an X or Z
+ * error at that point would flip. This is O(ops x detectors/64) -- far
+ * cheaper than forward-propagating every fault -- and exact for
+ * Clifford+Pauli circuits. The forward Pauli-frame simulator provides an
+ * independent implementation used to cross-validate this builder in the
+ * test suite.
+ */
+class DetectorErrorModel
+{
+  public:
+    /** Build the model for a circuit with detectors/observables. */
+    static DetectorErrorModel build(const Circuit& circuit);
+
+    uint32_t numDetectors() const { return numDetectors_; }
+    uint32_t numObservables() const { return numObservables_; }
+
+    const std::vector<FaultChannel>& channels() const { return channels_; }
+
+    const std::vector<DetectorMeta>& detectorMeta() const { return meta_; }
+
+    /** Sum over channels of their total probability (diagnostics). */
+    double totalFaultMass() const;
+
+  private:
+    uint32_t numDetectors_ = 0;
+    uint32_t numObservables_ = 0;
+    std::vector<FaultChannel> channels_;
+    std::vector<DetectorMeta> meta_;
+};
+
+} // namespace vlq
+
+#endif // VLQ_DEM_DETECTOR_MODEL_H

@@ -1,0 +1,63 @@
+#include "dem/sampler.h"
+
+namespace vlq {
+
+FaultSampler::FaultSampler(const DetectorErrorModel& dem)
+    : numDetectors_(dem.numDetectors())
+{
+    channels_.reserve(dem.channels().size());
+    for (const auto& ch : dem.channels()) {
+        FlatChannel fc;
+        fc.begin = static_cast<uint32_t>(outcomes_.size());
+        double cum = 0.0;
+        for (const auto& o : ch.outcomes) {
+            FlatOutcome fo;
+            cum += o.probability;
+            fo.cumulative = cum;
+            fo.begin = static_cast<uint32_t>(detectorIndices_.size());
+            detectorIndices_.insert(detectorIndices_.end(),
+                                    o.detectors.begin(), o.detectors.end());
+            fo.end = static_cast<uint32_t>(detectorIndices_.size());
+            fo.observables = o.observables;
+            outcomes_.push_back(fo);
+        }
+        fc.end = static_cast<uint32_t>(outcomes_.size());
+        fc.total = cum;
+        if (fc.end > fc.begin)
+            channels_.push_back(fc);
+    }
+}
+
+FaultSampler::Shot
+FaultSampler::sample(Rng& rng) const
+{
+    Shot shot;
+    shot.detectors.resize(numDetectors_);
+    sampleInto(rng, shot.detectors, shot.observables);
+    return shot;
+}
+
+void
+FaultSampler::sampleInto(Rng& rng, BitVec& detectors,
+                         uint32_t& observables) const
+{
+    detectors.clear();
+    observables = 0;
+    for (const auto& ch : channels_) {
+        double u = rng.nextDouble();
+        if (u >= ch.total)
+            continue;
+        // Linear scan: channels have at most 15 outcomes.
+        for (uint32_t i = ch.begin; i < ch.end; ++i) {
+            const FlatOutcome& o = outcomes_[i];
+            if (u < o.cumulative) {
+                for (uint32_t j = o.begin; j < o.end; ++j)
+                    detectors.flip(detectorIndices_[j]);
+                observables ^= o.observables;
+                break;
+            }
+        }
+    }
+}
+
+} // namespace vlq

@@ -1,0 +1,28 @@
+#include "mc/memory_experiment.h"
+
+namespace vlq {
+
+std::string
+EvaluationSetup::name() const
+{
+    if (embedding == EmbeddingKind::Baseline2D)
+        return "Baseline";
+    std::string n = embeddingName(embedding);
+    n += ", ";
+    n += scheduleName(schedule);
+    return n;
+}
+
+std::vector<EvaluationSetup>
+paperSetups()
+{
+    return {
+        {EmbeddingKind::Baseline2D, ExtractionSchedule::AllAtOnce},
+        {EmbeddingKind::Natural, ExtractionSchedule::AllAtOnce},
+        {EmbeddingKind::Natural, ExtractionSchedule::Interleaved},
+        {EmbeddingKind::Compact, ExtractionSchedule::AllAtOnce},
+        {EmbeddingKind::Compact, ExtractionSchedule::Interleaved},
+    };
+}
+
+} // namespace vlq

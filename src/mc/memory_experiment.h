@@ -1,0 +1,29 @@
+#ifndef VLQ_MC_MEMORY_EXPERIMENT_H
+#define VLQ_MC_MEMORY_EXPERIMENT_H
+
+#include <string>
+#include <vector>
+
+#include "arch/device.h"
+
+namespace vlq {
+
+/**
+ * One of the paper's five evaluation setups (Fig. 11): the 2D baseline
+ * plus the four (embedding x schedule) combinations of the 2.5D
+ * architecture.
+ */
+struct EvaluationSetup
+{
+    EmbeddingKind embedding = EmbeddingKind::Baseline2D;
+    ExtractionSchedule schedule = ExtractionSchedule::AllAtOnce;
+
+    std::string name() const;
+};
+
+/** The five setups, in the paper's Fig. 11 order. */
+std::vector<EvaluationSetup> paperSetups();
+
+} // namespace vlq
+
+#endif // VLQ_MC_MEMORY_EXPERIMENT_H

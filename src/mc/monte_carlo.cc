@@ -1,0 +1,83 @@
+#include "mc/monte_carlo.h"
+
+#include <atomic>
+#include <memory>
+
+#include "decoder/mwpm_decoder.h"
+#include "dem/detector_model.h"
+#include "dem/sampler.h"
+#include "util/rng.h"
+#include "util/threadpool.h"
+
+namespace vlq {
+
+double
+LogicalErrorPoint::combinedRate() const
+{
+    double pz = basisZ.rate();
+    double px = basisX.rate();
+    return 1.0 - (1.0 - pz) * (1.0 - px);
+}
+
+BinomialEstimate
+estimateLogicalErrorBasis(EmbeddingKind embedding,
+                          const GeneratorConfig& config,
+                          const McOptions& options)
+{
+    GeneratedCircuit gen = generateMemoryCircuit(embedding, config);
+    DetectorErrorModel dem = DetectorErrorModel::build(gen.circuit);
+    FaultSampler sampler(dem);
+
+    std::unique_ptr<Decoder> decoder;
+    if (options.decoder == DecoderKind::Mwpm)
+        decoder = std::make_unique<MwpmDecoder>(dem);
+    else
+        decoder = std::make_unique<GreedyDecoder>(dem);
+
+    // Distinguish the two bases in the trial RNG stream.
+    uint64_t baseSeed = options.seed
+        ^ (config.memoryBasis == CheckBasis::X ? 0xbadc0ffee0ddf00dULL : 0);
+    Rng root(baseSeed);
+
+    std::atomic<uint64_t> failures{0};
+    ThreadPool pool(options.threads);
+    pool.parallelFor(options.trials,
+                     [&](uint64_t begin, uint64_t end, unsigned) {
+        BitVec detectors(dem.numDetectors());
+        uint32_t observables = 0;
+        uint64_t local = 0;
+        for (uint64_t i = begin; i < end; ++i) {
+            Rng rng = root.split(i);
+            sampler.sampleInto(rng, detectors, observables);
+            uint32_t predicted = decoder->decode(detectors);
+            if (predicted != observables)
+                ++local;
+        }
+        failures.fetch_add(local, std::memory_order_relaxed);
+    });
+
+    BinomialEstimate est;
+    est.successes = failures.load();
+    est.trials = options.trials;
+    return est;
+}
+
+LogicalErrorPoint
+estimateLogicalError(EmbeddingKind embedding, const GeneratorConfig& config,
+                     const McOptions& options)
+{
+    LogicalErrorPoint point;
+    point.distance = config.distance;
+    point.physicalP = config.noise.p2;
+
+    GeneratorConfig cz = config;
+    cz.memoryBasis = CheckBasis::Z;
+    point.basisZ = estimateLogicalErrorBasis(embedding, cz, options);
+
+    GeneratorConfig cx = config;
+    cx.memoryBasis = CheckBasis::X;
+    point.basisX = estimateLogicalErrorBasis(embedding, cx, options);
+    return point;
+}
+
+} // namespace vlq

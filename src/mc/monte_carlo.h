@@ -1,0 +1,64 @@
+#ifndef VLQ_MC_MONTE_CARLO_H
+#define VLQ_MC_MONTE_CARLO_H
+
+#include <cstdint>
+
+#include "core/generator_common.h"
+#include "util/stats.h"
+
+namespace vlq {
+
+/** Which decoder a Monte-Carlo run uses. */
+enum class DecoderKind : uint8_t { Mwpm, Greedy };
+
+/** Options controlling one Monte-Carlo estimation. */
+struct McOptions
+{
+    uint64_t trials = 2000;
+    uint64_t seed = 0x5eed;
+    unsigned threads = 0; // 0 = hardware concurrency
+    DecoderKind decoder = DecoderKind::Mwpm;
+};
+
+/**
+ * Logical error estimate for one (setup, distance, p) data point:
+ * independent memory-Z and memory-X experiments and their combination.
+ */
+struct LogicalErrorPoint
+{
+    int distance = 0;
+    double physicalP = 0.0;
+
+    /** Memory experiment with Z-check detectors (decodes X errors). */
+    BinomialEstimate basisZ;
+
+    /** Memory experiment with X-check detectors (decodes Z errors). */
+    BinomialEstimate basisX;
+
+    /** Per-block logical error rate: 1 - (1-pZ)(1-pX). */
+    double combinedRate() const;
+};
+
+/**
+ * Run the full pipeline for one configuration: generate the memory
+ * circuit for both bases, build detector error models, decode sampled
+ * shots, and count logical failures.
+ *
+ * Trials are reproducible: trial i uses an RNG derived from
+ * (seed, basis, i) regardless of thread count.
+ */
+LogicalErrorPoint estimateLogicalError(EmbeddingKind embedding,
+                                       const GeneratorConfig& config,
+                                       const McOptions& options);
+
+/**
+ * Single-basis variant (used by tests and fine-grained sweeps).
+ * @return failures out of options.trials.
+ */
+BinomialEstimate estimateLogicalErrorBasis(EmbeddingKind embedding,
+                                           const GeneratorConfig& config,
+                                           const McOptions& options);
+
+} // namespace vlq
+
+#endif // VLQ_MC_MONTE_CARLO_H

@@ -1,0 +1,89 @@
+#include "mc/sensitivity.h"
+
+#include "util/stats.h"
+
+namespace vlq {
+
+SensitivityResult
+runSensitivity(EmbeddingKind embedding, const GeneratorConfig& baseConfig,
+               const SensitivitySpec& spec,
+               const std::vector<int>& distances, const McOptions& options)
+{
+    SensitivityResult result;
+    result.spec = spec;
+    result.distances = distances;
+    for (double x : spec.values) {
+        std::vector<LogicalErrorPoint> row;
+        for (int d : distances) {
+            GeneratorConfig cfg = baseConfig;
+            cfg.distance = d;
+            spec.apply(cfg, x);
+            row.push_back(estimateLogicalError(embedding, cfg, options));
+        }
+        result.points.push_back(std::move(row));
+    }
+    return result;
+}
+
+std::vector<SensitivitySpec>
+figure12Panels(int points)
+{
+    std::vector<SensitivitySpec> panels;
+
+    panels.push_back(SensitivitySpec{
+        "SC-SC error sensitivity", "p(SC-SC)",
+        logspace(1e-4, 1e-2, points),
+        [](GeneratorConfig& c, double x) {
+            c.noise.p2 = x;
+            c.noise.p1 = x / 10.0;
+        }});
+
+    panels.push_back(SensitivitySpec{
+        "Load-Store error sensitivity", "p(L/S)",
+        logspace(1e-4, 1e-2, points),
+        [](GeneratorConfig& c, double x) { c.noise.pLoadStore = x; }});
+
+    panels.push_back(SensitivitySpec{
+        "SC-Mode interaction sensitivity", "p(SC-mode)",
+        logspace(1e-4, 1e-2, points),
+        [](GeneratorConfig& c, double x) { c.noise.pTm = x; }});
+
+    panels.push_back(SensitivitySpec{
+        "Cavity T1 sensitivity", "T1,c (s)",
+        logspace(1e-5, 1e-1, points),
+        [](GeneratorConfig& c, double x) {
+            c.noise.hw.t1Cavity = x * 1e9; // s -> ns
+            c.noise.idleScale = 1.0;
+        }});
+
+    panels.push_back(SensitivitySpec{
+        "Transmon T1 sensitivity", "T1,t (s)",
+        logspace(1e-5, 1e-1, points),
+        [](GeneratorConfig& c, double x) {
+            c.noise.hw.t1Transmon = x * 1e9;
+            c.noise.idleScale = 1.0;
+        }});
+
+    panels.push_back(SensitivitySpec{
+        "Load-Store gate duration sensitivity", "t(L/S) (s)",
+        logspace(1e-7, 1e-4, points),
+        [](GeneratorConfig& c, double x) {
+            c.noise.hw.tLoadStore = x * 1e9;
+        }});
+
+    {
+        std::vector<double> ks;
+        for (double k : {2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0})
+            ks.push_back(k);
+        if (points < 7)
+            ks = {2.0, 10.0, 20.0, 30.0};
+        panels.push_back(SensitivitySpec{
+            "Cavity size sensitivity", "k", ks,
+            [](GeneratorConfig& c, double x) {
+                c.cavityDepth = static_cast<int>(x);
+            }});
+    }
+    return panels;
+}
+
+} // namespace vlq

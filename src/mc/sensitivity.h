@@ -1,0 +1,53 @@
+#ifndef VLQ_MC_SENSITIVITY_H
+#define VLQ_MC_SENSITIVITY_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mc/monte_carlo.h"
+
+namespace vlq {
+
+/**
+ * One sensitivity panel of the paper's Fig. 12: a named parameter, a
+ * sweep of values, and a mutator that applies a value to a generator
+ * configuration (everything else stays at the operating point).
+ */
+struct SensitivitySpec
+{
+    std::string name;
+    std::string axisLabel;
+    std::vector<double> values;
+    std::function<void(GeneratorConfig&, double)> apply;
+};
+
+/** Result of one panel: rate[value][distance]. */
+struct SensitivityResult
+{
+    SensitivitySpec spec;
+    std::vector<int> distances;
+    std::vector<std::vector<LogicalErrorPoint>> points;
+};
+
+/**
+ * Run one panel for the given setup and distances.
+ * @param baseConfig the operating point; the spec's mutations are
+ *        applied to copies.
+ */
+SensitivityResult runSensitivity(EmbeddingKind embedding,
+                                 const GeneratorConfig& baseConfig,
+                                 const SensitivitySpec& spec,
+                                 const std::vector<int>& distances,
+                                 const McOptions& options);
+
+/**
+ * The paper's seven Fig. 12 panels (SC-SC, load/store and SC-mode
+ * error rates; cavity and transmon T1; load/store duration; cavity
+ * size k), with `points` sweep values per panel.
+ */
+std::vector<SensitivitySpec> figure12Panels(int points);
+
+} // namespace vlq
+
+#endif // VLQ_MC_SENSITIVITY_H

@@ -1,0 +1,96 @@
+#include "mc/threshold.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace vlq {
+
+ThresholdResult
+scanThreshold(const EvaluationSetup& setup, const ThresholdScanConfig& config)
+{
+    ThresholdResult result;
+    result.setup = setup;
+
+    for (int d : config.distances) {
+        ThresholdCurve curve;
+        curve.distance = d;
+        for (double p : config.physicalPs) {
+            GeneratorConfig gc;
+            gc.distance = d;
+            gc.cavityDepth = config.cavityDepth;
+            gc.schedule = setup.schedule;
+            gc.gapModel = config.gapModel;
+            gc.noise = NoiseModel::atPhysicalRate(
+                p, config.hardware, config.scaleCoherence);
+            LogicalErrorPoint point =
+                estimateLogicalError(setup.embedding, gc, config.mc);
+            curve.physicalPs.push_back(p);
+            curve.points.push_back(point);
+        }
+        result.curves.push_back(std::move(curve));
+    }
+    result.pth = estimateThresholdFromCurves(result.curves);
+    return result;
+}
+
+double
+suppressionFactor(const std::vector<ThresholdCurve>& curves,
+                  double physicalP)
+{
+    if (curves.empty() || curves.front().physicalPs.empty())
+        return -1.0;
+    // Sampled p closest to the requested one (log distance).
+    size_t best = 0;
+    double bestDist = 1e300;
+    for (size_t j = 0; j < curves.front().physicalPs.size(); ++j) {
+        double d = std::fabs(std::log(curves.front().physicalPs[j])
+                             - std::log(physicalP));
+        if (d < bestDist) {
+            bestDist = d;
+            best = j;
+        }
+    }
+    double logSum = 0.0;
+    int count = 0;
+    for (size_t i = 0; i + 1 < curves.size(); ++i) {
+        if (best >= curves[i].points.size() ||
+            best >= curves[i + 1].points.size())
+            continue;
+        double hi = curves[i].points[best].combinedRate();
+        double lo = curves[i + 1].points[best].combinedRate();
+        if (hi <= 0.0 || lo <= 0.0)
+            continue;
+        logSum += std::log(hi / lo);
+        ++count;
+    }
+    if (count == 0)
+        return -1.0;
+    return std::exp(logSum / count);
+}
+
+double
+estimateThresholdFromCurves(const std::vector<ThresholdCurve>& curves)
+{
+    std::vector<double> crossings;
+    for (size_t i = 0; i + 1 < curves.size(); ++i) {
+        const ThresholdCurve& a = curves[i];
+        const ThresholdCurve& b = curves[i + 1];
+        if (a.physicalPs != b.physicalPs)
+            continue;
+        std::vector<double> ya;
+        std::vector<double> yb;
+        for (size_t j = 0; j < a.points.size(); ++j) {
+            ya.push_back(a.points[j].combinedRate());
+            yb.push_back(b.points[j].combinedRate());
+        }
+        double x = logLogCrossing(a.physicalPs, ya, yb);
+        if (x > 0)
+            crossings.push_back(x);
+    }
+    if (crossings.empty())
+        return -1.0;
+    return median(crossings);
+}
+
+} // namespace vlq

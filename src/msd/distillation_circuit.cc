@@ -1,0 +1,91 @@
+#include "msd/distillation_circuit.h"
+
+#include <bit>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace vlq {
+
+std::string
+LogicalOp::str() const
+{
+    std::ostringstream ss;
+    switch (kind) {
+      case LogicalOpKind::InitZero: ss << "init|0> q" << q0; break;
+      case LogicalOpKind::InitPlus: ss << "init|+> q" << q0; break;
+      case LogicalOpKind::InitT: ss << "injectT q" << q0; break;
+      case LogicalOpKind::Cnot: ss << "cnot q" << q0 << " -> q" << q1;
+        break;
+      case LogicalOpKind::MeasureZ: ss << "measZ q" << q0; break;
+      case LogicalOpKind::MeasureX: ss << "measX q" << q0; break;
+    }
+    return ss.str();
+}
+
+int
+DistillationProgram::countOps(LogicalOpKind kind) const
+{
+    int n = 0;
+    for (const auto& op : ops)
+        if (op.kind == kind)
+            ++n;
+    return n;
+}
+
+DistillationProgram
+DistillationProgram::fifteenToOne()
+{
+    // Qubit ids: 0 = output, 1..4 = parity accumulators (the four
+    // "corner" T states e_1..e_4 of the punctured Reed-Muller code),
+    // 5..15 = the remaining eleven T states, injected one at a time so
+    // at most 6 logical qubits are ever live (output + 4 accumulators
+    // + 1 rotating injection slot) -- the paper's cavity budget.
+    DistillationProgram prog;
+    prog.numQubits = 16;
+    auto& ops = prog.ops;
+
+    ops.push_back(LogicalOp{LogicalOpKind::InitPlus, 0, -1});
+    for (int a = 1; a <= 4; ++a)
+        ops.push_back(LogicalOp{LogicalOpKind::InitT, a, -1});
+
+    // The seven positions whose parity folds into the output qubit:
+    // all five codewords of weight >= 3 plus two weight-2 words.
+    auto toOutput = [](int v) {
+        int w = std::popcount(static_cast<unsigned>(v));
+        return w >= 3 || v == 3 || v == 5;
+    };
+
+    int nextId = 5;
+    for (int v = 1; v <= 15; ++v) {
+        if (std::popcount(static_cast<unsigned>(v)) == 1)
+            continue; // corners are the accumulators themselves
+        int q = nextId++;
+        ops.push_back(LogicalOp{LogicalOpKind::InitT, q, -1});
+        for (int a = 0; a < 4; ++a) {
+            if (v & (1 << a))
+                ops.push_back(LogicalOp{LogicalOpKind::Cnot, q, 1 + a});
+        }
+        if (toOutput(v))
+            ops.push_back(LogicalOp{LogicalOpKind::Cnot, q, 0});
+        ops.push_back(LogicalOp{LogicalOpKind::MeasureX, q, -1});
+    }
+    for (int a = 1; a <= 4; ++a)
+        ops.push_back(LogicalOp{LogicalOpKind::MeasureZ, a, -1});
+
+    prog.maxLiveQubits = 6;
+
+    // Invariants from the paper: 16 inits, 35 CNOTs, 15 measurements.
+    int inits = prog.countOps(LogicalOpKind::InitZero)
+              + prog.countOps(LogicalOpKind::InitPlus)
+              + prog.countOps(LogicalOpKind::InitT);
+    VLQ_ASSERT(inits == 16, "15-to-1 must have 16 initializations");
+    VLQ_ASSERT(prog.countOps(LogicalOpKind::Cnot) == 35,
+               "15-to-1 must have 35 CNOTs");
+    int meas = prog.countOps(LogicalOpKind::MeasureZ)
+             + prog.countOps(LogicalOpKind::MeasureX);
+    VLQ_ASSERT(meas == 15, "15-to-1 must have 15 measurements");
+    return prog;
+}
+
+} // namespace vlq

@@ -1,0 +1,56 @@
+#ifndef VLQ_MSD_DISTILLATION_CIRCUIT_H
+#define VLQ_MSD_DISTILLATION_CIRCUIT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vlq {
+
+/** Kinds of logical operations in a distillation program. */
+enum class LogicalOpKind : uint8_t
+{
+    InitZero,    // |0>
+    InitPlus,    // |+>
+    InitT,       // inject a raw (noisy) T state
+    Cnot,
+    MeasureZ,
+    MeasureX,
+};
+
+/** One logical operation over program qubit ids. */
+struct LogicalOp
+{
+    LogicalOpKind kind;
+    int q0 = -1;
+    int q1 = -1; // CNOT target
+
+    std::string str() const;
+};
+
+/**
+ * The 15-to-1 T-state distillation program (Bravyi-Haah [17], laid out
+ * as in the paper's Sec. VII): 16 qubit initializations, 35 CNOTs and
+ * 15 measurements, organized in five rounds of three raw T states so
+ * the whole program runs within 6 concurrently-live logical qubits --
+ * matching the paper's "single patch of transmons with 6 logical qubits
+ * stored in the attached cavities".
+ *
+ * The program below reproduces the paper's exact op counts and
+ * dependency shape for scheduling purposes; see DESIGN.md Sec. 5 for
+ * the substitution note (the paper gives counts, not the netlist).
+ */
+struct DistillationProgram
+{
+    int numQubits = 0;            // distinct program qubit ids
+    int maxLiveQubits = 0;        // peak simultaneously-live qubits
+    std::vector<LogicalOp> ops;
+
+    int countOps(LogicalOpKind kind) const;
+
+    static DistillationProgram fifteenToOne();
+};
+
+} // namespace vlq
+
+#endif // VLQ_MSD_DISTILLATION_CIRCUIT_H

@@ -1,0 +1,68 @@
+#include "msd/factory.h"
+
+#include <map>
+
+#include "core/logical_machine.h"
+#include "util/logging.h"
+
+namespace vlq {
+
+FactoryScheduleResult
+scheduleFifteenToOne(const DeviceConfig& device)
+{
+    VLQ_ASSERT(device.cavityDepth >= 7,
+               "15-to-1 needs 6 resident qubits + 1 free mode");
+    DistillationProgram prog = DistillationProgram::fifteenToOne();
+    LogicalMachine machine(device);
+
+    FactoryScheduleResult result;
+    std::map<int, LogicalQubit> live; // program qubit -> machine handle
+    PhysicalAddress stack{0, 0};
+
+    for (const auto& op : prog.ops) {
+        switch (op.kind) {
+          case LogicalOpKind::InitZero:
+          case LogicalOpKind::InitPlus:
+          case LogicalOpKind::InitT: {
+            LogicalQubit q = machine.allocAt(stack);
+            live[op.q0] = q;
+            machine.initQubit(q);
+            result.peakQubits = std::max(result.peakQubits,
+                                         machine.numAllocated());
+            break;
+          }
+          case LogicalOpKind::Cnot:
+            machine.cnotTransversal(live.at(op.q0), live.at(op.q1));
+            ++result.transversalCnots;
+            break;
+          case LogicalOpKind::MeasureZ:
+          case LogicalOpKind::MeasureX:
+            machine.measureQubit(live.at(op.q0),
+                                 op.kind == LogicalOpKind::MeasureZ
+                                     ? "Z" : "X");
+            live.erase(op.q0);
+            break;
+        }
+    }
+    result.timesteps = machine.currentStep();
+    result.maxStaleness = machine.maxStaleness();
+    VLQ_ASSERT(result.peakQubits <= prog.maxLiveQubits,
+               "live-qubit budget exceeded");
+    return result;
+}
+
+std::vector<RateRow>
+figure13Rows(double patches)
+{
+    std::vector<RateRow> rows;
+    for (const auto& proto : figure13Protocols()) {
+        RateRow row;
+        row.name = proto.name;
+        row.rate = proto.ratePerStep(patches);
+        row.patchesForUnitRate = proto.patchesForUnitRate();
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace vlq

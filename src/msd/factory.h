@@ -1,0 +1,48 @@
+#ifndef VLQ_MSD_FACTORY_H
+#define VLQ_MSD_FACTORY_H
+
+#include "arch/device.h"
+#include "msd/distillation_circuit.h"
+#include "msd/protocols.h"
+
+namespace vlq {
+
+/** Result of scheduling a distillation program on the 2.5D machine. */
+struct FactoryScheduleResult
+{
+    /** Makespan in timesteps (d error-correction cycles each). */
+    int timesteps = 0;
+
+    /** Peak logical qubits simultaneously allocated. */
+    int peakQubits = 0;
+
+    /** Worst error-correction staleness during the run. */
+    int maxStaleness = 0;
+
+    /** Number of transversal CNOTs issued. */
+    int transversalCnots = 0;
+};
+
+/**
+ * Schedule the 15-to-1 program on a single VQubits stack using
+ * transversal CNOTs, and measure its makespan. The paper reports 110
+ * timesteps for this protocol (99 in lock-step pairs); the measured
+ * makespan of our scheduler is reported alongside those constants by
+ * the Fig. 13 benchmark.
+ */
+FactoryScheduleResult scheduleFifteenToOne(const DeviceConfig& device);
+
+/** Fig. 13a: T states per step with `patches` patches filled. */
+struct RateRow
+{
+    std::string name;
+    double rate = 0.0;
+    double patchesForUnitRate = 0.0;
+};
+
+/** Compute Fig. 13 rows for the given chip budget in patches. */
+std::vector<RateRow> figure13Rows(double patches);
+
+} // namespace vlq
+
+#endif // VLQ_MSD_FACTORY_H

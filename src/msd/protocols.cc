@@ -1,0 +1,54 @@
+#include "msd/protocols.h"
+
+#include "arch/device.h"
+
+namespace vlq {
+
+DistillationProtocol
+fastLatticeProtocol()
+{
+    DistillationProtocol p;
+    p.name = "Fast";
+    p.patchesPerCopy = 30.0;
+    p.stepsPerTState = 6.0;
+    p.transmonsAtD5 = 1499;
+    p.cavitiesAtD5 = 0;
+    return p;
+}
+
+DistillationProtocol
+smallLatticeProtocol()
+{
+    DistillationProtocol p;
+    p.name = "Small";
+    p.patchesPerCopy = 11.0;
+    p.stepsPerTState = 11.0;
+    p.transmonsAtD5 = 549;
+    p.cavitiesAtD5 = 0;
+    return p;
+}
+
+DistillationProtocol
+vqubitsProtocol(bool natural, bool paired)
+{
+    DistillationProtocol p;
+    p.name = natural ? "VQubits (natural)" : "VQubits (compact)";
+    p.patchesPerCopy = 1.0;
+    // 110 timesteps per T state on a single patch; lock-step pairs
+    // amortize to 99 (paper Sec. VII).
+    p.stepsPerTState = paired ? 99.0 : 110.0;
+    PatchCost cost = patchCost(
+        natural ? EmbeddingKind::Natural : EmbeddingKind::Compact, 5);
+    p.transmonsAtD5 = cost.transmons;
+    p.cavitiesAtD5 = cost.cavities;
+    return p;
+}
+
+std::vector<DistillationProtocol>
+figure13Protocols()
+{
+    return {fastLatticeProtocol(), smallLatticeProtocol(),
+            vqubitsProtocol(true, true)};
+}
+
+} // namespace vlq

@@ -1,0 +1,80 @@
+#ifndef VLQ_MSD_PROTOCOLS_H
+#define VLQ_MSD_PROTOCOLS_H
+
+#include <string>
+#include <vector>
+
+namespace vlq {
+
+/**
+ * Resource model of a T-state distillation protocol (paper Sec. VII).
+ *
+ * All three protocols implement 15-to-1 Bravyi-Haah distillation; they
+ * differ in layout. "Fast" and "Small" are the published lattice-surgery
+ * layouts of Litinski (arXiv:1905.06903 and Quantum 3, 128); "VQubits"
+ * is the paper's protocol using one transmon patch with 6 logical qubits
+ * virtualized in the attached cavities and transversal CNOTs.
+ */
+struct DistillationProtocol
+{
+    std::string name;
+
+    /** Patches of chip area one running copy occupies. */
+    double patchesPerCopy = 1.0;
+
+    /** Timesteps between successive T states from one copy. */
+    double stepsPerTState = 1.0;
+
+    /** Transmons per copy at d = 5 (Table II). */
+    int transmonsAtD5 = 0;
+
+    /** Depth-10 cavities per copy at d = 5 (Table II). */
+    int cavitiesAtD5 = 0;
+
+    /** Total qubits at d = 5 counting each cavity as 10 (Table II). */
+    int totalQubitsAtD5() const
+    {
+        return transmonsAtD5 + 10 * cavitiesAtD5;
+    }
+
+    /**
+     * T states per timestep when `patches` patches of chip are filled
+     * with copies (fractional copies allowed, as in the paper's Fig. 13
+     * arithmetic).
+     */
+    double ratePerStep(double patches) const
+    {
+        return patches / patchesPerCopy / stepsPerTState;
+    }
+
+    /** Patches needed to produce one T state per timestep (Fig. 13b). */
+    double patchesForUnitRate() const
+    {
+        return patchesPerCopy * stepsPerTState;
+    }
+};
+
+/** Fast lattice-surgery block [Litinski'19a]: 1 T / 6 steps / ~30
+ *  patches, 1499 transmons at d=5. */
+DistillationProtocol fastLatticeProtocol();
+
+/** Small lattice-surgery block [Litinski'19b]: 1 T / 11 steps / 11
+ *  patches, 549 transmons at d=5. */
+DistillationProtocol smallLatticeProtocol();
+
+/**
+ * The paper's VQubits protocol: one patch of transmons, 6 logical
+ * qubits in cavities, 110 steps solo or 99 in lock-step pairs.
+ * @param natural select the Natural (49-transmon) or Compact
+ *        (29-transmon) embedding for the patch.
+ * @param paired  lock-step pairs (99 steps) vs solo (110 steps).
+ */
+DistillationProtocol vqubitsProtocol(bool natural = true,
+                                     bool paired = true);
+
+/** All Fig. 13 protocols in display order. */
+std::vector<DistillationProtocol> figure13Protocols();
+
+} // namespace vlq
+
+#endif // VLQ_MSD_PROTOCOLS_H

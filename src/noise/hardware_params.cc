@@ -1,0 +1,22 @@
+#include "noise/hardware_params.h"
+
+namespace vlq {
+
+HardwareParams
+HardwareParams::baselineTransmons()
+{
+    HardwareParams hw;
+    // Baseline column of Table I: no cavity; cavity fields are unused
+    // but kept at the memory values so accidental use is visible in
+    // sensitivity sweeps rather than dividing by zero.
+    return hw;
+}
+
+HardwareParams
+HardwareParams::transmonsWithMemory()
+{
+    HardwareParams hw;
+    return hw;
+}
+
+} // namespace vlq

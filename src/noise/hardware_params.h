@@ -1,0 +1,52 @@
+#ifndef VLQ_NOISE_HARDWARE_PARAMS_H
+#define VLQ_NOISE_HARDWARE_PARAMS_H
+
+namespace vlq {
+
+/**
+ * Hardware timing and coherence parameters (paper Table I).
+ *
+ * All durations are in nanoseconds, coherence times too. The paper's
+ * Table I gives: T1 transmon 100 us, T1 cavity 1 ms, transmon-transmon
+ * gate 200 ns, single-qubit gate 50 ns, transmon-mode gate 200 ns,
+ * load/store 150 ns. Measurement and reset durations are NOT reported in
+ * the paper; the defaults below are typical superconducting values and
+ * are documented as assumptions in DESIGN.md.
+ */
+struct HardwareParams
+{
+    /** Transmon relaxation time (ns). Table I: 100 us. */
+    double t1Transmon = 100.0e3;
+
+    /** Cavity-mode relaxation time (ns). Table I: 1 ms. */
+    double t1Cavity = 1.0e6;
+
+    /** Single-qubit gate duration (ns). Table I: 50 ns. */
+    double tGate1 = 50.0;
+
+    /** Transmon-transmon two-qubit gate duration (ns). Table I: 200 ns. */
+    double tGate2 = 200.0;
+
+    /** Transmon-mode two-qubit gate duration (ns). Table I: 200 ns. */
+    double tGateTm = 200.0;
+
+    /** Load/store (transmon-mediated iSWAP) duration (ns). Table I:
+     *  150 ns. */
+    double tLoadStore = 150.0;
+
+    /** Measurement duration (ns). Assumption; not in Table I. */
+    double tMeasure = 300.0;
+
+    /** Active reset duration (ns). Assumption; not in Table I. */
+    double tReset = 100.0;
+
+    /** Baseline transmon-only hardware (no cavities attached). */
+    static HardwareParams baselineTransmons();
+
+    /** Transmons with memory (cavities attached), Table I right column. */
+    static HardwareParams transmonsWithMemory();
+};
+
+} // namespace vlq
+
+#endif // VLQ_NOISE_HARDWARE_PARAMS_H

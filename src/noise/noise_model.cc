@@ -1,0 +1,36 @@
+#include "noise/noise_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vlq {
+
+NoiseModel
+NoiseModel::atPhysicalRate(double p, const HardwareParams& hw,
+                           bool scaleCoherence, double pRef)
+{
+    NoiseModel nm;
+    nm.hw = hw;
+    nm.p2 = p;
+    nm.pTm = p;
+    nm.pLoadStore = p;
+    nm.p1 = p / 10.0;
+    nm.pMeas = p;
+    nm.pReset = 0.0;
+    nm.idleScale = scaleCoherence ? (p / pRef) : 1.0;
+    return nm;
+}
+
+double
+NoiseModel::idleError(WireKind kind, double dtNs) const
+{
+    if (dtNs <= 0.0)
+        return 0.0;
+    double t1 = (kind == WireKind::Transmon) ? hw.t1Transmon : hw.t1Cavity;
+    if (t1 <= 0.0)
+        return 0.0;
+    double lambda = 1.0 - std::exp(-dtNs / t1);
+    return std::min(0.75, lambda * idleScale);
+}
+
+} // namespace vlq

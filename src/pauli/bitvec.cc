@@ -1,0 +1,129 @@
+#include "pauli/bitvec.h"
+
+#include <bit>
+
+#include "util/logging.h"
+
+namespace vlq {
+
+BitVec::BitVec(size_t bits)
+    : bits_(bits), words_((bits + 63) / 64, 0)
+{
+}
+
+void
+BitVec::resize(size_t bits)
+{
+    bits_ = bits;
+    words_.resize((bits + 63) / 64, 0);
+    maskTail();
+}
+
+bool
+BitVec::get(size_t i) const
+{
+    VLQ_ASSERT(i < bits_, "BitVec::get out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1;
+}
+
+void
+BitVec::set(size_t i, bool v)
+{
+    VLQ_ASSERT(i < bits_, "BitVec::set out of range");
+    uint64_t mask = uint64_t{1} << (i & 63);
+    if (v)
+        words_[i >> 6] |= mask;
+    else
+        words_[i >> 6] &= ~mask;
+}
+
+void
+BitVec::flip(size_t i)
+{
+    VLQ_ASSERT(i < bits_, "BitVec::flip out of range");
+    words_[i >> 6] ^= uint64_t{1} << (i & 63);
+}
+
+void
+BitVec::clear()
+{
+    for (auto& w : words_)
+        w = 0;
+}
+
+BitVec&
+BitVec::operator^=(const BitVec& other)
+{
+    VLQ_ASSERT(bits_ == other.bits_, "BitVec xor size mismatch");
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] ^= other.words_[i];
+    return *this;
+}
+
+BitVec&
+BitVec::operator&=(const BitVec& other)
+{
+    VLQ_ASSERT(bits_ == other.bits_, "BitVec and size mismatch");
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] &= other.words_[i];
+    return *this;
+}
+
+bool
+BitVec::operator==(const BitVec& other) const
+{
+    return bits_ == other.bits_ && words_ == other.words_;
+}
+
+size_t
+BitVec::popcount() const
+{
+    size_t total = 0;
+    for (uint64_t w : words_)
+        total += static_cast<size_t>(std::popcount(w));
+    return total;
+}
+
+bool
+BitVec::none() const
+{
+    for (uint64_t w : words_)
+        if (w != 0)
+            return false;
+    return true;
+}
+
+std::vector<uint32_t>
+BitVec::onesIndices() const
+{
+    std::vector<uint32_t> out;
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+        uint64_t w = words_[wi];
+        while (w) {
+            unsigned bit = static_cast<unsigned>(std::countr_zero(w));
+            out.push_back(static_cast<uint32_t>(wi * 64 + bit));
+            w &= w - 1;
+        }
+    }
+    return out;
+}
+
+bool
+BitVec::andParity(const BitVec& other) const
+{
+    VLQ_ASSERT(bits_ == other.bits_, "BitVec andParity size mismatch");
+    uint64_t acc = 0;
+    for (size_t i = 0; i < words_.size(); ++i)
+        acc ^= words_[i] & other.words_[i];
+    return std::popcount(acc) % 2 != 0;
+}
+
+void
+BitVec::maskTail()
+{
+    size_t tail = bits_ & 63;
+    if (tail != 0 && !words_.empty())
+        words_.back() &= (uint64_t{1} << tail) - 1;
+}
+
+} // namespace vlq

@@ -1,0 +1,78 @@
+#ifndef VLQ_PAULI_BITVEC_H
+#define VLQ_PAULI_BITVEC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vlq {
+
+/**
+ * Dynamic bit vector with the word-level operations the decoders and
+ * simulators need: XOR accumulation, popcount, parity, and iteration
+ * over set bits. std::vector<bool> lacks word access; std::bitset is
+ * fixed-size -- so we roll our own, packed into 64-bit words.
+ */
+class BitVec
+{
+  public:
+    BitVec() = default;
+
+    /** Create an all-zero vector of the given bit length. */
+    explicit BitVec(size_t bits);
+
+    /** Number of addressable bits. */
+    size_t size() const { return bits_; }
+
+    /** Grow (or shrink) to a new size; new bits are zero. */
+    void resize(size_t bits);
+
+    /** Read bit i. */
+    bool get(size_t i) const;
+
+    /** Set bit i to v. */
+    void set(size_t i, bool v);
+
+    /** Toggle bit i. */
+    void flip(size_t i);
+
+    /** Zero all bits. */
+    void clear();
+
+    /** XOR another vector of the same size into this one. */
+    BitVec& operator^=(const BitVec& other);
+
+    /** AND another vector of the same size into this one. */
+    BitVec& operator&=(const BitVec& other);
+
+    /** Equality compares sizes and contents. */
+    bool operator==(const BitVec& other) const;
+
+    /** Number of set bits. */
+    size_t popcount() const;
+
+    /** Parity (popcount mod 2). */
+    bool parity() const { return popcount() % 2 != 0; }
+
+    /** True if no bit is set. */
+    bool none() const;
+
+    /** Indices of all set bits, ascending. */
+    std::vector<uint32_t> onesIndices() const;
+
+    /** Parity of this AND other (symplectic-style inner product term). */
+    bool andParity(const BitVec& other) const;
+
+    /** Raw word access for tests and fast paths. */
+    const std::vector<uint64_t>& words() const { return words_; }
+
+  private:
+    size_t bits_ = 0;
+    std::vector<uint64_t> words_;
+
+    void maskTail();
+};
+
+} // namespace vlq
+
+#endif // VLQ_PAULI_BITVEC_H

@@ -1,0 +1,68 @@
+#include "pauli/pauli.h"
+
+#include "util/logging.h"
+
+namespace vlq {
+
+Pauli
+makePauli(bool x, bool z)
+{
+    return static_cast<Pauli>((x ? 1 : 0) | (z ? 2 : 0));
+}
+
+Pauli
+pauliProduct(Pauli a, Pauli b)
+{
+    return static_cast<Pauli>(
+        static_cast<uint8_t>(a) ^ static_cast<uint8_t>(b));
+}
+
+int
+pauliProductPhase(Pauli a, Pauli b)
+{
+    // i^k phases of single-qubit Pauli products, from the algebra
+    // XZ = -iY, ZX = iY, XY = iZ, ... Encoded as a lookup keyed by
+    // (a, b) with rows/cols ordered I, X, Z, Y.
+    static const int phase[4][4] = {
+        // b:  I   X   Z   Y        a:
+        {0, 0, 0, 0},           // I
+        {0, 0, 3, 1},           // X  (XZ = -iY -> 3, XY = iZ -> 1)
+        {0, 1, 0, 3},           // Z  (ZX = iY -> 1, ZY = -iX -> 3)
+        {0, 3, 1, 0},           // Y  (YX = -iZ -> 3, YZ = iX -> 1)
+    };
+    return phase[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+bool
+pauliCommutes(Pauli a, Pauli b)
+{
+    // Symplectic form: anticommute iff x_a z_b + z_a x_b is odd.
+    bool anti = (pauliX(a) && pauliZ(b)) != (pauliZ(a) && pauliX(b));
+    return !anti;
+}
+
+std::string
+pauliName(Pauli p)
+{
+    switch (p) {
+      case Pauli::I: return "I";
+      case Pauli::X: return "X";
+      case Pauli::Z: return "Z";
+      case Pauli::Y: return "Y";
+    }
+    VLQ_PANIC("invalid Pauli");
+}
+
+Pauli
+pauliFromName(char c)
+{
+    switch (c) {
+      case 'I': case 'i': return Pauli::I;
+      case 'X': case 'x': return Pauli::X;
+      case 'Z': case 'z': return Pauli::Z;
+      case 'Y': case 'y': return Pauli::Y;
+      default: VLQ_FATAL("unrecognized Pauli letter");
+    }
+}
+
+} // namespace vlq

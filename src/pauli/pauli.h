@@ -1,0 +1,48 @@
+#ifndef VLQ_PAULI_PAULI_H
+#define VLQ_PAULI_PAULI_H
+
+#include <cstdint>
+#include <string>
+
+namespace vlq {
+
+/**
+ * Single-qubit Pauli operator. Encoded in two bits as (x, z):
+ * I = (0,0), X = (1,0), Z = (0,1), Y = (1,1).
+ *
+ * The (x, z) encoding makes multiplication an XOR and lets Pauli strings
+ * pack into two bit vectors; the surface code corrects X and Z parts
+ * independently, so this split mirrors the decoding structure.
+ */
+enum class Pauli : uint8_t { I = 0, X = 1, Z = 2, Y = 3 };
+
+/** X component of p (true for X and Y). */
+inline bool pauliX(Pauli p) { return static_cast<uint8_t>(p) & 1; }
+
+/** Z component of p (true for Z and Y). */
+inline bool pauliZ(Pauli p) { return static_cast<uint8_t>(p) & 2; }
+
+/** Build a Pauli from its (x, z) components. */
+Pauli makePauli(bool x, bool z);
+
+/** Product of two Paulis, ignoring phase (group is abelian mod phase). */
+Pauli pauliProduct(Pauli a, Pauli b);
+
+/**
+ * Phase exponent of the product a*b as a power of i in {0,1,2,3},
+ * i.e. a*b = i^k (a xor b). Identity pairs give k = 0.
+ */
+int pauliProductPhase(Pauli a, Pauli b);
+
+/** True if a and b commute (always true if either is I or a == b). */
+bool pauliCommutes(Pauli a, Pauli b);
+
+/** One-letter name: "I", "X", "Y" or "Z". */
+std::string pauliName(Pauli p);
+
+/** Parse a one-letter name; anything unrecognized is an error. */
+Pauli pauliFromName(char c);
+
+} // namespace vlq
+
+#endif // VLQ_PAULI_PAULI_H

@@ -1,0 +1,85 @@
+#include "pauli/pauli_string.h"
+
+#include "util/logging.h"
+
+namespace vlq {
+
+PauliString::PauliString(size_t n)
+    : xs_(n), zs_(n)
+{
+}
+
+PauliString
+PauliString::fromString(const std::string& s)
+{
+    PauliString out(s.size());
+    for (size_t i = 0; i < s.size(); ++i)
+        out.set(i, pauliFromName(s[i]));
+    return out;
+}
+
+Pauli
+PauliString::get(size_t i) const
+{
+    return makePauli(xs_.get(i), zs_.get(i));
+}
+
+void
+PauliString::set(size_t i, Pauli p)
+{
+    xs_.set(i, pauliX(p));
+    zs_.set(i, pauliZ(p));
+}
+
+PauliString&
+PauliString::operator*=(const PauliString& other)
+{
+    VLQ_ASSERT(size() == other.size(), "PauliString size mismatch");
+    xs_ ^= other.xs_;
+    zs_ ^= other.zs_;
+    return *this;
+}
+
+bool
+PauliString::isIdentity() const
+{
+    return xs_.none() && zs_.none();
+}
+
+size_t
+PauliString::weight() const
+{
+    size_t w = 0;
+    for (size_t i = 0; i < size(); ++i)
+        if (get(i) != Pauli::I)
+            ++w;
+    return w;
+}
+
+bool
+PauliString::commutesWith(const PauliString& other) const
+{
+    VLQ_ASSERT(size() == other.size(), "PauliString size mismatch");
+    // Symplectic inner product: parity of (x1 & z2) xor (z1 & x2).
+    bool a = xs_.andParity(other.zs_);
+    bool b = zs_.andParity(other.xs_);
+    return a == b;
+}
+
+bool
+PauliString::operator==(const PauliString& other) const
+{
+    return xs_ == other.xs_ && zs_ == other.zs_;
+}
+
+std::string
+PauliString::str() const
+{
+    std::string out;
+    out.reserve(size());
+    for (size_t i = 0; i < size(); ++i)
+        out += pauliName(get(i));
+    return out;
+}
+
+} // namespace vlq

@@ -1,0 +1,70 @@
+#ifndef VLQ_PAULI_PAULI_STRING_H
+#define VLQ_PAULI_PAULI_STRING_H
+
+#include <cstdint>
+#include <string>
+
+#include "pauli/bitvec.h"
+#include "pauli/pauli.h"
+
+namespace vlq {
+
+/**
+ * An n-qubit Pauli operator stored as two bit vectors (X part, Z part),
+ * phase ignored. This is the workhorse representation for error frames,
+ * stabilizers and logical operators.
+ */
+class PauliString
+{
+  public:
+    PauliString() = default;
+
+    /** Identity on n qubits. */
+    explicit PauliString(size_t n);
+
+    /**
+     * Parse from letters, e.g. "XIZY". String length fixes the qubit
+     * count.
+     */
+    static PauliString fromString(const std::string& s);
+
+    /** Number of qubits. */
+    size_t size() const { return xs_.size(); }
+
+    /** Pauli acting on qubit i. */
+    Pauli get(size_t i) const;
+
+    /** Set the Pauli acting on qubit i. */
+    void set(size_t i, Pauli p);
+
+    /** Multiply (XOR) another string into this one; phase dropped. */
+    PauliString& operator*=(const PauliString& other);
+
+    /** True when every site is I. */
+    bool isIdentity() const;
+
+    /** Number of non-identity sites. */
+    size_t weight() const;
+
+    /** True if this commutes with other (symplectic inner product = 0). */
+    bool commutesWith(const PauliString& other) const;
+
+    bool operator==(const PauliString& other) const;
+
+    /** Render as letters, e.g. "XIZY". */
+    std::string str() const;
+
+    /** Direct access to the X/Z component bit vectors. */
+    const BitVec& xBits() const { return xs_; }
+    const BitVec& zBits() const { return zs_; }
+    BitVec& xBits() { return xs_; }
+    BitVec& zBits() { return zs_; }
+
+  private:
+    BitVec xs_;
+    BitVec zs_;
+};
+
+} // namespace vlq
+
+#endif // VLQ_PAULI_PAULI_STRING_H

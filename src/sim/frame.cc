@@ -1,0 +1,202 @@
+#include "sim/frame.h"
+
+#include "util/logging.h"
+
+namespace vlq {
+
+FrameSimulator::FrameSimulator(const Circuit& circuit)
+    : circuit_(circuit)
+{
+}
+
+void
+FrameSimulator::applyGate(const Operation& op, BitVec& x, BitVec& z,
+                          BitVec& measFlips)
+{
+    switch (op.code) {
+      case OpCode::H: {
+        bool xb = x.get(op.q0);
+        bool zb = z.get(op.q0);
+        x.set(op.q0, zb);
+        z.set(op.q0, xb);
+        break;
+      }
+      case OpCode::S:
+        // S X S^dag = Y: an X frame gains a Z component.
+        if (x.get(op.q0))
+            z.flip(op.q0);
+        break;
+      case OpCode::X:
+      case OpCode::Y:
+      case OpCode::Z:
+        // Pauli gates conjugate Pauli frames to themselves (up to phase).
+        break;
+      case OpCode::CNOT:
+        // X on control spreads to target; Z on target spreads to control.
+        if (x.get(op.q0))
+            x.flip(op.q1);
+        if (z.get(op.q1))
+            z.flip(op.q0);
+        break;
+      case OpCode::SWAP: {
+        bool xa = x.get(op.q0), za = z.get(op.q0);
+        bool xb = x.get(op.q1), zb = z.get(op.q1);
+        x.set(op.q0, xb);
+        z.set(op.q0, zb);
+        x.set(op.q1, xa);
+        z.set(op.q1, za);
+        break;
+      }
+      case OpCode::RESET:
+        x.set(op.q0, false);
+        z.set(op.q0, false);
+        break;
+      case OpCode::MEASURE_Z:
+        // The recorded outcome differs from the reference iff an X
+        // component sits on the qubit. The frame survives measurement.
+        if (x.get(op.q0))
+            measFlips.flip(static_cast<size_t>(op.meas));
+        break;
+      default:
+        break; // noise ops handled by callers
+    }
+}
+
+BitVec
+FrameSimulator::sampleMeasurementFlips(Rng& rng) const
+{
+    BitVec x(circuit_.numQubits());
+    BitVec z(circuit_.numQubits());
+    BitVec meas(circuit_.numMeasurements());
+
+    for (const auto& op : circuit_.ops()) {
+        switch (op.code) {
+          case OpCode::DEPOLARIZE1: {
+            double u = rng.nextDouble();
+            if (u < op.p) {
+                int which = static_cast<int>(u / op.p * 3.0);
+                if (which > 2)
+                    which = 2;
+                // 0 -> X, 1 -> Y, 2 -> Z
+                if (which != 2)
+                    x.flip(op.q0);
+                if (which != 0)
+                    z.flip(op.q0);
+            }
+            break;
+          }
+          case OpCode::DEPOLARIZE2: {
+            double u = rng.nextDouble();
+            if (u < op.p) {
+                int which = static_cast<int>(u / op.p * 15.0);
+                if (which > 14)
+                    which = 14;
+                // Index 0..14 -> non-identity pair (pa, pb), pa*4+pb != 0.
+                int code = which + 1;
+                int pa = code >> 2;
+                int pb = code & 3;
+                // Two-bit encoding: bit0 = X part, bit1 = Z part.
+                if (pa & 1)
+                    x.flip(op.q0);
+                if (pa & 2)
+                    z.flip(op.q0);
+                if (pb & 1)
+                    x.flip(op.q1);
+                if (pb & 2)
+                    z.flip(op.q1);
+            }
+            break;
+          }
+          case OpCode::X_ERROR:
+            if (rng.bernoulli(op.p))
+                x.flip(op.q0);
+            break;
+          case OpCode::Y_ERROR:
+            if (rng.bernoulli(op.p)) {
+                x.flip(op.q0);
+                z.flip(op.q0);
+            }
+            break;
+          case OpCode::Z_ERROR:
+            if (rng.bernoulli(op.p))
+                z.flip(op.q0);
+            break;
+          case OpCode::MEASURE_Z:
+            applyGate(op, x, z, meas);
+            if (op.p > 0.0 && rng.bernoulli(op.p))
+                meas.flip(static_cast<size_t>(op.meas));
+            break;
+          default:
+            applyGate(op, x, z, meas);
+            break;
+        }
+    }
+    return meas;
+}
+
+BitVec
+FrameSimulator::propagateInjected(size_t opIndex, Pauli p0, Pauli p1) const
+{
+    VLQ_ASSERT(opIndex < circuit_.ops().size(), "op index out of range");
+    BitVec x(circuit_.numQubits());
+    BitVec z(circuit_.numQubits());
+    BitVec meas(circuit_.numMeasurements());
+
+    const auto& faultOp = circuit_.ops()[opIndex];
+    if (pauliX(p0))
+        x.flip(faultOp.q0);
+    if (pauliZ(p0))
+        z.flip(faultOp.q0);
+    if (p1 != Pauli::I) {
+        VLQ_ASSERT(opIsTwoQubit(faultOp.code),
+                   "second Pauli on a one-qubit op");
+        if (pauliX(p1))
+            x.flip(faultOp.q1);
+        if (pauliZ(p1))
+            z.flip(faultOp.q1);
+    }
+
+    for (size_t i = opIndex + 1; i < circuit_.ops().size(); ++i)
+        applyGate(circuit_.ops()[i], x, z, meas);
+    return meas;
+}
+
+BitVec
+FrameSimulator::propagateMeasurementFlip(size_t opIndex) const
+{
+    const auto& op = circuit_.ops()[opIndex];
+    VLQ_ASSERT(op.code == OpCode::MEASURE_Z, "not a measurement");
+    BitVec meas(circuit_.numMeasurements());
+    meas.flip(static_cast<size_t>(op.meas));
+    return meas;
+}
+
+BitVec
+FrameSimulator::detectorFlips(const Circuit& circuit, const BitVec& measFlips)
+{
+    BitVec out(circuit.detectors().size());
+    for (size_t d = 0; d < circuit.detectors().size(); ++d) {
+        bool flip = false;
+        for (uint32_t m : circuit.detectors()[d].measurements)
+            flip ^= measFlips.get(m);
+        out.set(d, flip);
+    }
+    return out;
+}
+
+uint32_t
+FrameSimulator::observableFlips(const Circuit& circuit,
+                                const BitVec& measFlips)
+{
+    uint32_t mask = 0;
+    for (size_t o = 0; o < circuit.observables().size(); ++o) {
+        bool flip = false;
+        for (uint32_t m : circuit.observables()[o].measurements)
+            flip ^= measFlips.get(m);
+        if (flip)
+            mask |= (1u << o);
+    }
+    return mask;
+}
+
+} // namespace vlq

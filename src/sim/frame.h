@@ -1,0 +1,67 @@
+#ifndef VLQ_SIM_FRAME_H
+#define VLQ_SIM_FRAME_H
+
+#include <cstdint>
+
+#include "circuit/circuit.h"
+#include "pauli/bitvec.h"
+#include "pauli/pauli.h"
+#include "util/rng.h"
+
+namespace vlq {
+
+/**
+ * Pauli-frame simulator.
+ *
+ * Tracks a Pauli error frame (X and Z flip bits per qubit) through a
+ * Clifford circuit. Measurement results are recorded as *flips relative
+ * to the noiseless reference execution*, which is exactly what detectors
+ * and observables consume. This is the standard technique for
+ * circuit-level surface-code Monte Carlo: exponentially cheaper than
+ * state simulation and exact for Pauli noise.
+ */
+class FrameSimulator
+{
+  public:
+    explicit FrameSimulator(const Circuit& circuit);
+
+    /**
+     * Sample one noisy execution.
+     * @return bit vector of measurement-record flips.
+     */
+    BitVec sampleMeasurementFlips(Rng& rng) const;
+
+    /**
+     * Noiseless execution with a single injected fault: the Pauli
+     * (p0 on op.q0, p1 on op.q1) is applied at the position of
+     * ops()[opIndex] and propagated to the end.
+     * Used to cross-validate the detector-error-model builder.
+     */
+    BitVec propagateInjected(size_t opIndex, Pauli p0,
+                             Pauli p1 = Pauli::I) const;
+
+    /**
+     * Noiseless execution where the record of the measurement at
+     * ops()[opIndex] (which must be a MEASURE_Z) is flipped.
+     */
+    BitVec propagateMeasurementFlip(size_t opIndex) const;
+
+    /** XOR measurement flips into detector flips. */
+    static BitVec detectorFlips(const Circuit& circuit,
+                                const BitVec& measFlips);
+
+    /** XOR measurement flips into an observable-flip bitmask. */
+    static uint32_t observableFlips(const Circuit& circuit,
+                                    const BitVec& measFlips);
+
+  private:
+    const Circuit& circuit_;
+
+    /** Apply one gate op to the frame (noise ops are skipped). */
+    static void applyGate(const Operation& op, BitVec& x, BitVec& z,
+                          BitVec& measFlips);
+};
+
+} // namespace vlq
+
+#endif // VLQ_SIM_FRAME_H

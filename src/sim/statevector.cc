@@ -1,0 +1,226 @@
+#include "sim/statevector.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vlq {
+
+StateVector::StateVector(size_t n)
+    : n_(n), amps_(size_t{1} << n, Amp{0.0, 0.0})
+{
+    VLQ_ASSERT(n <= 24, "state vector too large");
+    amps_[0] = Amp{1.0, 0.0};
+}
+
+void
+StateVector::apply1(size_t q, const Amp u[2][2])
+{
+    VLQ_ASSERT(q < n_, "qubit out of range");
+    size_t stride = size_t{1} << q;
+    for (size_t base = 0; base < amps_.size(); base += 2 * stride) {
+        for (size_t i = base; i < base + stride; ++i) {
+            Amp a0 = amps_[i];
+            Amp a1 = amps_[i + stride];
+            amps_[i] = u[0][0] * a0 + u[0][1] * a1;
+            amps_[i + stride] = u[1][0] * a0 + u[1][1] * a1;
+        }
+    }
+}
+
+void
+StateVector::h(size_t q)
+{
+    const double inv = 1.0 / std::sqrt(2.0);
+    const Amp u[2][2] = {{inv, inv}, {inv, -inv}};
+    apply1(q, u);
+}
+
+void
+StateVector::s(size_t q)
+{
+    const Amp u[2][2] = {{1.0, 0.0}, {0.0, Amp{0.0, 1.0}}};
+    apply1(q, u);
+}
+
+void
+StateVector::sdg(size_t q)
+{
+    const Amp u[2][2] = {{1.0, 0.0}, {0.0, Amp{0.0, -1.0}}};
+    apply1(q, u);
+}
+
+void
+StateVector::t(size_t q)
+{
+    const double inv = 1.0 / std::sqrt(2.0);
+    const Amp u[2][2] = {{1.0, 0.0}, {0.0, Amp{inv, inv}}};
+    apply1(q, u);
+}
+
+void
+StateVector::tdg(size_t q)
+{
+    const double inv = 1.0 / std::sqrt(2.0);
+    const Amp u[2][2] = {{1.0, 0.0}, {0.0, Amp{inv, -inv}}};
+    apply1(q, u);
+}
+
+void
+StateVector::x(size_t q)
+{
+    const Amp u[2][2] = {{0.0, 1.0}, {1.0, 0.0}};
+    apply1(q, u);
+}
+
+void
+StateVector::y(size_t q)
+{
+    const Amp u[2][2] = {{0.0, Amp{0.0, -1.0}}, {Amp{0.0, 1.0}, 0.0}};
+    apply1(q, u);
+}
+
+void
+StateVector::z(size_t q)
+{
+    const Amp u[2][2] = {{1.0, 0.0}, {0.0, -1.0}};
+    apply1(q, u);
+}
+
+void
+StateVector::cnot(size_t control, size_t target)
+{
+    VLQ_ASSERT(control < n_ && target < n_ && control != target,
+               "bad cnot operands");
+    size_t cbit = size_t{1} << control;
+    size_t tbit = size_t{1} << target;
+    for (size_t i = 0; i < amps_.size(); ++i) {
+        if ((i & cbit) && !(i & tbit))
+            std::swap(amps_[i], amps_[i | tbit]);
+    }
+}
+
+void
+StateVector::cz(size_t a, size_t b)
+{
+    VLQ_ASSERT(a < n_ && b < n_ && a != b, "bad cz operands");
+    size_t abit = size_t{1} << a;
+    size_t bbit = size_t{1} << b;
+    for (size_t i = 0; i < amps_.size(); ++i) {
+        if ((i & abit) && (i & bbit))
+            amps_[i] = -amps_[i];
+    }
+}
+
+void
+StateVector::swapGate(size_t a, size_t b)
+{
+    cnot(a, b);
+    cnot(b, a);
+    cnot(a, b);
+}
+
+void
+StateVector::applyPauli(const PauliString& p)
+{
+    for (size_t q = 0; q < p.size(); ++q) {
+        switch (p.get(q)) {
+          case Pauli::I: break;
+          case Pauli::X: x(q); break;
+          case Pauli::Y: y(q); break;
+          case Pauli::Z: z(q); break;
+        }
+    }
+}
+
+double
+StateVector::probOne(size_t q) const
+{
+    size_t bit = size_t{1} << q;
+    double p = 0.0;
+    for (size_t i = 0; i < amps_.size(); ++i)
+        if (i & bit)
+            p += std::norm(amps_[i]);
+    return p;
+}
+
+bool
+StateVector::measureZ(size_t q, Rng& rng)
+{
+    double p1 = probOne(q);
+    bool outcome = rng.nextDouble() < p1;
+    size_t bit = size_t{1} << q;
+    double keep = outcome ? p1 : 1.0 - p1;
+    double scale = keep > 0 ? 1.0 / std::sqrt(keep) : 0.0;
+    for (size_t i = 0; i < amps_.size(); ++i) {
+        bool one = (i & bit) != 0;
+        if (one == outcome)
+            amps_[i] *= scale;
+        else
+            amps_[i] = 0.0;
+    }
+    return outcome;
+}
+
+void
+StateVector::reset(size_t q, Rng& rng)
+{
+    if (measureZ(q, rng))
+        x(q);
+}
+
+void
+StateVector::runUnitary(const Circuit& circuit)
+{
+    VLQ_ASSERT(circuit.numQubits() <= n_, "circuit larger than register");
+    for (const auto& op : circuit.ops()) {
+        switch (op.code) {
+          case OpCode::H: h(op.q0); break;
+          case OpCode::S: s(op.q0); break;
+          case OpCode::X: x(op.q0); break;
+          case OpCode::Y: y(op.q0); break;
+          case OpCode::Z: z(op.q0); break;
+          case OpCode::CNOT: cnot(op.q0, op.q1); break;
+          case OpCode::SWAP: swapGate(op.q0, op.q1); break;
+          case OpCode::MEASURE_Z:
+          case OpCode::RESET:
+            VLQ_PANIC("runUnitary: non-unitary op");
+          default:
+            break; // noise channels ignored
+        }
+    }
+}
+
+double
+StateVector::expectation(const PauliString& p) const
+{
+    StateVector tmp = *this;
+    tmp.applyPauli(p);
+    Amp v{0.0, 0.0};
+    for (size_t i = 0; i < amps_.size(); ++i)
+        v += std::conj(amps_[i]) * tmp.amps_[i];
+    return v.real();
+}
+
+StateVector::Amp
+StateVector::overlap(const StateVector& other) const
+{
+    VLQ_ASSERT(n_ == other.n_, "overlap register size mismatch");
+    Amp v{0.0, 0.0};
+    for (size_t i = 0; i < amps_.size(); ++i)
+        v += std::conj(other.amps_[i]) * amps_[i];
+    return v;
+}
+
+void
+StateVector::normalize()
+{
+    double norm2 = 0.0;
+    for (const auto& a : amps_)
+        norm2 += std::norm(a);
+    double scale = norm2 > 0 ? 1.0 / std::sqrt(norm2) : 0.0;
+    for (auto& a : amps_)
+        a *= scale;
+}
+
+} // namespace vlq

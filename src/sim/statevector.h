@@ -1,0 +1,84 @@
+#ifndef VLQ_SIM_STATEVECTOR_H
+#define VLQ_SIM_STATEVECTOR_H
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "pauli/pauli_string.h"
+#include "util/rng.h"
+
+namespace vlq {
+
+/**
+ * Dense state-vector simulator for small registers (<= ~20 qubits).
+ *
+ * The paper verifies the transversal CNOT "via process tomography"; the
+ * tomography module uses this simulator to reconstruct the process of
+ * the physical transmon-mode gate sequences. It also backs cross-checks
+ * of the tableau simulator on random Clifford circuits.
+ */
+class StateVector
+{
+  public:
+    using Amp = std::complex<double>;
+
+    /** Initialize n qubits in |0...0>. */
+    explicit StateVector(size_t n);
+
+    size_t numQubits() const { return n_; }
+
+    /** @{ Gates. T and Tdg make the set universal. */
+    void h(size_t q);
+    void s(size_t q);
+    void sdg(size_t q);
+    void t(size_t q);
+    void tdg(size_t q);
+    void x(size_t q);
+    void y(size_t q);
+    void z(size_t q);
+    void cnot(size_t control, size_t target);
+    void cz(size_t a, size_t b);
+    void swapGate(size_t a, size_t b);
+    /** @} */
+
+    /** Apply an arbitrary 2x2 unitary to qubit q. */
+    void apply1(size_t q, const Amp u[2][2]);
+
+    /** Apply a Pauli string (phase ignored). */
+    void applyPauli(const PauliString& p);
+
+    /** Probability of measuring qubit q as 1. */
+    double probOne(size_t q) const;
+
+    /** Measure qubit q (collapses the state). */
+    bool measureZ(size_t q, Rng& rng);
+
+    /** Reset qubit q to |0>. */
+    void reset(size_t q, Rng& rng);
+
+    /** Execute the unitary part of a circuit (noise ops ignored;
+     *  measure/reset are rejected). */
+    void runUnitary(const Circuit& circuit);
+
+    /** <psi| P |psi> for a Pauli observable (real by Hermiticity). */
+    double expectation(const PauliString& p) const;
+
+    /** Inner product <other|this>. */
+    Amp overlap(const StateVector& other) const;
+
+    /** Raw amplitudes (size 2^n). */
+    const std::vector<Amp>& amplitudes() const { return amps_; }
+
+    /** Normalize (useful after numerical drift in long circuits). */
+    void normalize();
+
+  private:
+    size_t n_;
+    std::vector<Amp> amps_;
+};
+
+} // namespace vlq
+
+#endif // VLQ_SIM_STATEVECTOR_H

@@ -1,0 +1,312 @@
+#include "sim/tableau.h"
+
+#include "util/logging.h"
+
+namespace vlq {
+
+TableauSimulator::TableauSimulator(size_t n, uint64_t seed)
+    : n_(n), rng_(seed)
+{
+    xs_.assign(2 * n + 1, BitVec(n));
+    zs_.assign(2 * n + 1, BitVec(n));
+    r_.assign(2 * n + 1, 0);
+    for (size_t i = 0; i < n; ++i) {
+        xs_[i].set(i, true);          // destabilizer X_i
+        zs_[n + i].set(i, true);      // stabilizer Z_i
+    }
+}
+
+int
+TableauSimulator::g(bool x1, bool z1, bool x2, bool z2)
+{
+    // Exponent of i contributed when multiplying single-qubit Paulis
+    // (x1,z1) * (x2,z2); from Aaronson & Gottesman (2004), Sec. III.
+    if (!x1 && !z1)
+        return 0;
+    if (x1 && z1)
+        return (z2 ? 1 : 0) - (x2 ? 1 : 0);
+    if (x1 && !z1)
+        return (z2 ? 1 : 0) * (2 * (x2 ? 1 : 0) - 1);
+    // !x1 && z1
+    return (x2 ? 1 : 0) * (1 - 2 * (z2 ? 1 : 0));
+}
+
+void
+TableauSimulator::rowsum(size_t h, size_t i)
+{
+    // Row h *= row i, tracking the sign exactly.
+    int phase = 2 * r_[h] + 2 * r_[i];
+    for (size_t j = 0; j < n_; ++j) {
+        phase += g(xs_[i].get(j), zs_[i].get(j),
+                   xs_[h].get(j), zs_[h].get(j));
+    }
+    phase = ((phase % 4) + 4) % 4;
+    VLQ_ASSERT(phase == 0 || phase == 2, "rowsum produced imaginary phase");
+    r_[h] = static_cast<uint8_t>(phase == 2);
+    xs_[h] ^= xs_[i];
+    zs_[h] ^= zs_[i];
+}
+
+void
+TableauSimulator::h(size_t q)
+{
+    for (size_t i = 0; i < 2 * n_; ++i) {
+        bool xb = xs_[i].get(q);
+        bool zb = zs_[i].get(q);
+        if (xb && zb)
+            r_[i] ^= 1;
+        xs_[i].set(q, zb);
+        zs_[i].set(q, xb);
+    }
+}
+
+void
+TableauSimulator::s(size_t q)
+{
+    for (size_t i = 0; i < 2 * n_; ++i) {
+        bool xb = xs_[i].get(q);
+        bool zb = zs_[i].get(q);
+        if (xb && zb)
+            r_[i] ^= 1;
+        zs_[i].set(q, xb != zb);
+    }
+}
+
+void
+TableauSimulator::x(size_t q)
+{
+    for (size_t i = 0; i < 2 * n_; ++i)
+        if (zs_[i].get(q))
+            r_[i] ^= 1;
+}
+
+void
+TableauSimulator::z(size_t q)
+{
+    for (size_t i = 0; i < 2 * n_; ++i)
+        if (xs_[i].get(q))
+            r_[i] ^= 1;
+}
+
+void
+TableauSimulator::y(size_t q)
+{
+    for (size_t i = 0; i < 2 * n_; ++i)
+        if (xs_[i].get(q) != zs_[i].get(q))
+            r_[i] ^= 1;
+}
+
+void
+TableauSimulator::cnot(size_t control, size_t target)
+{
+    for (size_t i = 0; i < 2 * n_; ++i) {
+        bool xc = xs_[i].get(control);
+        bool zc = zs_[i].get(control);
+        bool xt = xs_[i].get(target);
+        bool zt = zs_[i].get(target);
+        if (xc && zt && (xt == zc))
+            r_[i] ^= 1;
+        xs_[i].set(target, xt != xc);
+        zs_[i].set(control, zc != zt);
+    }
+}
+
+void
+TableauSimulator::swapGate(size_t a, size_t b)
+{
+    cnot(a, b);
+    cnot(b, a);
+    cnot(a, b);
+}
+
+bool
+TableauSimulator::measureZ(size_t q, bool* wasDeterministic)
+{
+    // Find a stabilizer that anticommutes with Z_q.
+    size_t p = 2 * n_;
+    for (size_t i = n_; i < 2 * n_; ++i) {
+        if (xs_[i].get(q)) {
+            p = i;
+            break;
+        }
+    }
+
+    if (p != 2 * n_) {
+        // Random outcome.
+        if (wasDeterministic)
+            *wasDeterministic = false;
+        for (size_t i = 0; i < 2 * n_; ++i) {
+            if (i != p && xs_[i].get(q))
+                rowsum(i, p);
+        }
+        // Destabilizer p-n takes the old stabilizer row p.
+        xs_[p - n_] = xs_[p];
+        zs_[p - n_] = zs_[p];
+        r_[p - n_] = r_[p];
+        // Stabilizer row p becomes +/- Z_q with a random sign.
+        xs_[p].clear();
+        zs_[p].clear();
+        zs_[p].set(q, true);
+        bool outcome = rng_.bernoulli(0.5);
+        r_[p] = static_cast<uint8_t>(outcome);
+        return outcome;
+    }
+
+    // Deterministic outcome: accumulate into the scratch row.
+    if (wasDeterministic)
+        *wasDeterministic = true;
+    size_t scratch = 2 * n_;
+    xs_[scratch].clear();
+    zs_[scratch].clear();
+    r_[scratch] = 0;
+    for (size_t i = 0; i < n_; ++i) {
+        if (xs_[i].get(q))
+            rowsum(scratch, i + n_);
+    }
+    return r_[scratch] != 0;
+}
+
+void
+TableauSimulator::reset(size_t q)
+{
+    if (measureZ(q))
+        x(q);
+}
+
+int
+TableauSimulator::pauliSign(const PauliString& p)
+{
+    VLQ_ASSERT(p.size() <= n_, "pauliSign: operator larger than register");
+    // The observable is in the stabilizer group iff measuring it is
+    // deterministic. Check commutation with all stabilizers first.
+    for (size_t i = n_; i < 2 * n_; ++i) {
+        // Symplectic product between row i and p.
+        bool acc = false;
+        for (size_t j = 0; j < p.size(); ++j) {
+            bool xi = xs_[i].get(j), zi = zs_[i].get(j);
+            bool xp = p.xBits().get(j), zp = p.zBits().get(j);
+            acc ^= (xi && zp) != (zi && xp);
+        }
+        if (acc)
+            return 0; // anticommutes: random outcome
+    }
+
+    // Express p as a product of stabilizers using destabilizer pairing:
+    // p anticommutes with destabilizer i iff stabilizer i is in the
+    // product. Accumulate the product in the scratch row and compare.
+    size_t scratch = 2 * n_;
+    xs_[scratch].clear();
+    zs_[scratch].clear();
+    r_[scratch] = 0;
+    for (size_t i = 0; i < n_; ++i) {
+        bool acc = false;
+        for (size_t j = 0; j < p.size(); ++j) {
+            bool xi = xs_[i].get(j), zi = zs_[i].get(j);
+            bool xp = p.xBits().get(j), zp = p.zBits().get(j);
+            acc ^= (xi && zp) != (zi && xp);
+        }
+        if (acc)
+            rowsum(scratch, i + n_);
+    }
+
+    // The scratch row must now equal p up to sign.
+    for (size_t j = 0; j < p.size(); ++j) {
+        if (xs_[scratch].get(j) != p.xBits().get(j) ||
+            zs_[scratch].get(j) != p.zBits().get(j)) {
+            return 0; // not in the group (commutes but independent)
+        }
+    }
+    for (size_t j = p.size(); j < n_; ++j) {
+        if (xs_[scratch].get(j) || zs_[scratch].get(j))
+            return 0;
+    }
+    return r_[scratch] ? -1 : +1;
+}
+
+std::vector<bool>
+TableauSimulator::runCircuit(const Circuit& circuit)
+{
+    VLQ_ASSERT(circuit.numQubits() <= n_, "circuit larger than register");
+    std::vector<bool> records;
+    records.reserve(circuit.numMeasurements());
+    for (const auto& op : circuit.ops()) {
+        switch (op.code) {
+          case OpCode::H: h(op.q0); break;
+          case OpCode::S: s(op.q0); break;
+          case OpCode::X: x(op.q0); break;
+          case OpCode::Y: y(op.q0); break;
+          case OpCode::Z: z(op.q0); break;
+          case OpCode::CNOT: cnot(op.q0, op.q1); break;
+          case OpCode::SWAP: swapGate(op.q0, op.q1); break;
+          case OpCode::RESET: reset(op.q0); break;
+          case OpCode::MEASURE_Z:
+            records.push_back(measureZ(op.q0));
+            break;
+          default:
+            break; // ignore noise channels: reference run
+        }
+    }
+    return records;
+}
+
+void
+PauliPropagator::conjugate(PauliString& pauli, int& sign,
+                           const Circuit& circuit)
+{
+    for (const auto& op : circuit.ops()) {
+        bool xq, zq, xt, zt;
+        switch (op.code) {
+          case OpCode::H:
+            xq = pauli.xBits().get(op.q0);
+            zq = pauli.zBits().get(op.q0);
+            if (xq && zq)
+                sign = -sign; // H Y H = -Y
+            pauli.xBits().set(op.q0, zq);
+            pauli.zBits().set(op.q0, xq);
+            break;
+          case OpCode::S:
+            xq = pauli.xBits().get(op.q0);
+            zq = pauli.zBits().get(op.q0);
+            if (xq && zq)
+                sign = -sign; // S Y S^dag = -X
+            pauli.zBits().set(op.q0, xq != zq);
+            break;
+          case OpCode::X:
+            if (pauli.zBits().get(op.q0))
+                sign = -sign;
+            break;
+          case OpCode::Z:
+            if (pauli.xBits().get(op.q0))
+                sign = -sign;
+            break;
+          case OpCode::Y:
+            if (pauli.xBits().get(op.q0) != pauli.zBits().get(op.q0))
+                sign = -sign;
+            break;
+          case OpCode::CNOT:
+            xq = pauli.xBits().get(op.q0);
+            zq = pauli.zBits().get(op.q0);
+            xt = pauli.xBits().get(op.q1);
+            zt = pauli.zBits().get(op.q1);
+            if (xq && zt && (xt == zq))
+                sign = -sign;
+            pauli.xBits().set(op.q1, xt != xq);
+            pauli.zBits().set(op.q0, zq != zt);
+            break;
+          case OpCode::SWAP: {
+            Pauli a = pauli.get(op.q0);
+            Pauli b = pauli.get(op.q1);
+            pauli.set(op.q0, b);
+            pauli.set(op.q1, a);
+            break;
+          }
+          case OpCode::MEASURE_Z:
+          case OpCode::RESET:
+            VLQ_PANIC("PauliPropagator: non-unitary op in circuit");
+          default:
+            break; // noise channels ignored
+        }
+    }
+}
+
+} // namespace vlq

@@ -1,0 +1,101 @@
+#ifndef VLQ_SIM_TABLEAU_H
+#define VLQ_SIM_TABLEAU_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "pauli/bitvec.h"
+#include "pauli/pauli_string.h"
+#include "util/rng.h"
+
+namespace vlq {
+
+/**
+ * Aaronson-Gottesman stabilizer tableau simulator (CHP).
+ *
+ * Simulates Clifford circuits on hundreds of qubits exactly. Used to
+ * verify that syndrome-extraction circuits measure the intended
+ * stabilizers deterministically (quiescence) and that logical operations
+ * act correctly on code states -- checks the Pauli-frame simulator cannot
+ * perform because it only tracks deviations from a reference run.
+ */
+class TableauSimulator
+{
+  public:
+    /** Initialize n qubits in |0...0>. */
+    explicit TableauSimulator(size_t n, uint64_t seed = 12345);
+
+    size_t numQubits() const { return n_; }
+
+    /** @{ Clifford gates. */
+    void h(size_t q);
+    void s(size_t q);
+    void x(size_t q);
+    void y(size_t q);
+    void z(size_t q);
+    void cnot(size_t control, size_t target);
+    void swapGate(size_t a, size_t b);
+    /** @} */
+
+    /**
+     * Measure qubit q in the Z basis.
+     * @param wasDeterministic set (if non-null) to whether the outcome
+     *        was fixed by the state.
+     * @return measured bit.
+     */
+    bool measureZ(size_t q, bool* wasDeterministic = nullptr);
+
+    /** Reset qubit q to |0> (measure, then flip if needed). */
+    void reset(size_t q);
+
+    /**
+     * Sign of a Pauli observable on the current state.
+     * @return +1 or -1 when `p` (tensored with identity) stabilizes the
+     *         state up to sign; 0 when the outcome would be random.
+     */
+    int pauliSign(const PauliString& p);
+
+    /**
+     * Execute all gate/measure/reset ops of a circuit, ignoring noise
+     * channels (noiseless reference run).
+     * @return measurement record bits in order.
+     */
+    std::vector<bool> runCircuit(const Circuit& circuit);
+
+  private:
+    size_t n_;
+    // Rows 0..n-1 are destabilizers, n..2n-1 stabilizers; row 2n is
+    // scratch. Each row is a Pauli string with a sign bit.
+    std::vector<BitVec> xs_;
+    std::vector<BitVec> zs_;
+    std::vector<uint8_t> r_;
+    Rng rng_;
+
+    void rowsum(size_t h, size_t i);
+    static int g(bool x1, bool z1, bool x2, bool z2);
+};
+
+/**
+ * Conjugates a signed Pauli string through a Clifford circuit:
+ * P -> U P U^dagger.
+ *
+ * Used for process verification of logical gates: a transversal CNOT is
+ * correct iff it maps logical XC -> XC XT, ZT -> ZC ZT, XT -> XT,
+ * ZC -> ZC, and preserves the stabilizer group.
+ */
+class PauliPropagator
+{
+  public:
+    /**
+     * @param pauli operator to conjugate (modified in place).
+     * @param sign  +1 or -1, updated in place.
+     * @param circuit gate sequence (noise/measure/reset not allowed).
+     */
+    static void conjugate(PauliString& pauli, int& sign,
+                          const Circuit& circuit);
+};
+
+} // namespace vlq
+
+#endif // VLQ_SIM_TABLEAU_H

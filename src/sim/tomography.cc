@@ -1,0 +1,157 @@
+#include "sim/tomography.h"
+
+#include <cmath>
+
+#include "pauli/pauli_string.h"
+#include "sim/statevector.h"
+#include "util/logging.h"
+
+namespace vlq {
+
+namespace {
+
+/** Decode a base-4 index into an n-qubit Pauli string. */
+PauliString
+indexToPauli(size_t index, size_t n)
+{
+    PauliString p(n);
+    static const Pauli order[4] = {Pauli::I, Pauli::X, Pauli::Y, Pauli::Z};
+    for (size_t q = 0; q < n; ++q) {
+        p.set(q, order[index % 4]);
+        index /= 4;
+    }
+    return p;
+}
+
+/**
+ * Tr(P_i U P_j U^dag) / 2^n computed via 2^n state-vector runs: for each
+ * computational basis state |b>, accumulate <b| P_i U P_j U^dag |b>.
+ * Phases of Y are handled by tracking the i-factors of P acting on basis
+ * states explicitly through the state-vector simulator (applyPauli drops
+ * global phase, so we use matrix-free expectation instead).
+ */
+double
+ptmEntry(const std::function<void(StateVector&)>& applyU,
+         const std::function<void(StateVector&)>& applyUdag,
+         const PauliString& pi, const PauliString& pj, size_t n)
+{
+    // Tr(A) = sum_b <b| A |b>. Build A|b> = P_i U P_j U^dag |b> step by
+    // step. applyPauli ignores the global phase of Y = i XZ, so apply Y
+    // as X then Z and track the residual phase i^(#Y) per operator.
+    std::complex<double> total{0.0, 0.0};
+    size_t dim = size_t{1} << n;
+
+    auto applyTrackedPauli = [&](StateVector& sv, const PauliString& p,
+                                 std::complex<double>& phase) {
+        for (size_t q = 0; q < p.size(); ++q) {
+            switch (p.get(q)) {
+              case Pauli::I:
+                break;
+              case Pauli::X:
+                sv.x(q);
+                break;
+              case Pauli::Z:
+                sv.z(q);
+                break;
+              case Pauli::Y:
+                // Y = i X Z: apply Z then X and multiply phase by i.
+                sv.z(q);
+                sv.x(q);
+                phase *= std::complex<double>{0.0, 1.0};
+                break;
+            }
+        }
+    };
+
+    for (size_t b = 0; b < dim; ++b) {
+        StateVector sv(n);
+        // Prepare |b>.
+        for (size_t q = 0; q < n; ++q)
+            if ((b >> q) & 1)
+                sv.x(q);
+        std::complex<double> phase{1.0, 0.0};
+        applyUdag(sv);
+        applyTrackedPauli(sv, pj, phase);
+        applyU(sv);
+        applyTrackedPauli(sv, pi, phase);
+        // <b | sv>
+        total += phase * sv.amplitudes()[b];
+    }
+    return (total / static_cast<double>(dim)).real();
+}
+
+} // namespace
+
+Tomography::Ptm
+Tomography::ofCircuit(const Circuit& circuit, size_t n)
+{
+    VLQ_ASSERT(n <= 3, "PTM dimension too large");
+    size_t dim = 1;
+    for (size_t i = 0; i < n; ++i)
+        dim *= 4;
+
+    // Build the inverse circuit (reversed ops; H, CNOT, SWAP, X, Y, Z
+    // are involutions; S inverse = S S S).
+    auto applyU = [&](StateVector& sv) { sv.runUnitary(circuit); };
+    auto applyUdag = [&](StateVector& sv) {
+        const auto& ops = circuit.ops();
+        for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+            switch (it->code) {
+              case OpCode::H: sv.h(it->q0); break;
+              case OpCode::S: sv.sdg(it->q0); break;
+              case OpCode::X: sv.x(it->q0); break;
+              case OpCode::Y: sv.y(it->q0); break;
+              case OpCode::Z: sv.z(it->q0); break;
+              case OpCode::CNOT: sv.cnot(it->q0, it->q1); break;
+              case OpCode::SWAP: sv.swapGate(it->q0, it->q1); break;
+              case OpCode::MEASURE_Z:
+              case OpCode::RESET:
+                VLQ_PANIC("tomography: non-unitary op");
+              default:
+                break;
+            }
+        }
+    };
+
+    Ptm r(dim, std::vector<double>(dim, 0.0));
+    for (size_t i = 0; i < dim; ++i) {
+        PauliString pi = indexToPauli(i, n);
+        for (size_t j = 0; j < dim; ++j) {
+            PauliString pj = indexToPauli(j, n);
+            r[i][j] = ptmEntry(applyU, applyUdag, pi, pj, n);
+        }
+    }
+    return r;
+}
+
+Tomography::Ptm
+Tomography::idealCnot(size_t n, size_t control, size_t target)
+{
+    Circuit c(static_cast<uint32_t>(n));
+    c.cnot(static_cast<uint32_t>(control), static_cast<uint32_t>(target));
+    return ofCircuit(c, n);
+}
+
+double
+Tomography::maxDifference(const Ptm& a, const Ptm& b)
+{
+    VLQ_ASSERT(a.size() == b.size(), "PTM size mismatch");
+    double worst = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        for (size_t j = 0; j < a[i].size(); ++j)
+            worst = std::max(worst, std::abs(a[i][j] - b[i][j]));
+    return worst;
+}
+
+double
+Tomography::processFidelity(const Ptm& a, const Ptm& b)
+{
+    VLQ_ASSERT(a.size() == b.size(), "PTM size mismatch");
+    double trace = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        for (size_t j = 0; j < a[i].size(); ++j)
+            trace += a[i][j] * b[i][j];
+    return trace / static_cast<double>(a.size());
+}
+
+} // namespace vlq

@@ -1,0 +1,48 @@
+#ifndef VLQ_SIM_TOMOGRAPHY_H
+#define VLQ_SIM_TOMOGRAPHY_H
+
+#include <functional>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace vlq {
+
+/**
+ * Process tomography utilities.
+ *
+ * The Pauli transfer matrix (PTM) of an n-qubit unitary channel U is
+ * R[i][j] = Tr(P_i U P_j U^dag) / 2^n over the 4^n Pauli basis. Two
+ * unitaries implement the same channel iff their PTMs agree. The paper
+ * verifies its transversal CNOT this way (Sec. III-B); we expose the
+ * same check for both the bare physical gate sequence and embedded
+ * logical operations on small registers.
+ */
+class Tomography
+{
+  public:
+    /** Dense PTM, row-major, dimension 4^n x 4^n. Keep n <= 3. */
+    using Ptm = std::vector<std::vector<double>>;
+
+    /**
+     * PTM of the unitary implemented by a circuit on n qubits.
+     * The circuit must be purely unitary (no measure/reset).
+     */
+    static Ptm ofCircuit(const Circuit& circuit, size_t n);
+
+    /** PTM of an ideal CNOT with the given control/target on n qubits. */
+    static Ptm idealCnot(size_t n, size_t control, size_t target);
+
+    /** Max absolute entry-wise difference between two PTMs. */
+    static double maxDifference(const Ptm& a, const Ptm& b);
+
+    /**
+     * Process fidelity between two unitary channels given as PTMs:
+     * F_pro = Tr(Ra^T Rb) / 4^n.
+     */
+    static double processFidelity(const Ptm& a, const Ptm& b);
+};
+
+} // namespace vlq
+
+#endif // VLQ_SIM_TOMOGRAPHY_H

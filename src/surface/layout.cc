@@ -1,0 +1,167 @@
+#include "surface/layout.h"
+
+#include "util/logging.h"
+
+namespace vlq {
+
+SurfaceLayout::SurfaceLayout(int distance)
+    : d_(distance)
+{
+    VLQ_ASSERT(distance >= 3 && distance % 2 == 1,
+               "distance must be odd and >= 3");
+
+    const int span = 2 * d_;
+    auto dataAt = [&](int x, int y) -> int32_t {
+        // Data sit at odd coordinates (2i+1, 2j+1).
+        if (x < 1 || x > span - 1 || y < 1 || y > span - 1)
+            return -1;
+        if (x % 2 == 0 || y % 2 == 0)
+            return -1;
+        int ix = (x - 1) / 2;
+        int iy = (y - 1) / 2;
+        return static_cast<int32_t>(dataIndex(ix, iy));
+    };
+
+    for (int cy = 0; cy <= span; cy += 2) {
+        for (int cx = 0; cx <= span; cx += 2) {
+            // Checkerboard type: X when (cx+cy)/2 is even.
+            CheckBasis basis = (((cx + cy) / 2) % 2 == 0) ? CheckBasis::X
+                                                          : CheckBasis::Z;
+            bool topBottom = (cy == 0 || cy == span);
+            bool leftRight = (cx == 0 || cx == span);
+            if (topBottom && leftRight)
+                continue; // corners host nothing
+            // X half-checks only on top/bottom, Z only on left/right.
+            if (topBottom && basis != CheckBasis::X)
+                continue;
+            if (leftRight && basis != CheckBasis::Z)
+                continue;
+
+            Plaquette p;
+            p.basis = basis;
+            p.cx = cx;
+            p.cy = cy;
+            p.corner[NW] = dataAt(cx - 1, cy - 1);
+            p.corner[NE] = dataAt(cx + 1, cy - 1);
+            p.corner[SW] = dataAt(cx - 1, cy + 1);
+            p.corner[SE] = dataAt(cx + 1, cy + 1);
+
+            int present = 0;
+            for (int c = 0; c < 4; ++c)
+                if (p.corner[c] >= 0)
+                    ++present;
+            if (present < 2)
+                continue;
+            VLQ_ASSERT(present == 2 || present == 4,
+                       "plaquette with odd corner count");
+
+            for (int step = 0; step < 4; ++step) {
+                int32_t q = dataAtStep(p, step);
+                if (q >= 0)
+                    p.data.push_back(static_cast<uint32_t>(q));
+            }
+
+            uint32_t index = static_cast<uint32_t>(plaquettes_.size());
+            if (basis == CheckBasis::Z)
+                zChecks_.push_back(index);
+            else
+                xChecks_.push_back(index);
+            plaquettes_.push_back(std::move(p));
+        }
+    }
+
+    VLQ_ASSERT(static_cast<int>(plaquettes_.size()) == numChecks(),
+               "wrong number of checks");
+}
+
+const std::vector<uint32_t>&
+SurfaceLayout::checksOf(CheckBasis basis) const
+{
+    return basis == CheckBasis::Z ? zChecks_ : xChecks_;
+}
+
+uint32_t
+SurfaceLayout::dataIndex(int ix, int iy) const
+{
+    VLQ_ASSERT(ix >= 0 && ix < d_ && iy >= 0 && iy < d_,
+               "data cell out of range");
+    return static_cast<uint32_t>(iy * d_ + ix);
+}
+
+std::pair<int, int>
+SurfaceLayout::dataCell(uint32_t index) const
+{
+    VLQ_ASSERT(index < static_cast<uint32_t>(numData()),
+               "data index out of range");
+    return {static_cast<int>(index) % d_, static_cast<int>(index) / d_};
+}
+
+std::pair<int, int>
+SurfaceLayout::dataPos(uint32_t index) const
+{
+    auto [ix, iy] = dataCell(index);
+    return {2 * ix + 1, 2 * iy + 1};
+}
+
+int32_t
+SurfaceLayout::dataAtStep(const Plaquette& p, int step) const
+{
+    // Two-pattern schedule: vertical-first for Z checks, horizontal-first
+    // for X checks. Shared data pairs between adjacent opposite-basis
+    // checks are visited in the same relative order, which keeps the
+    // interleaved extraction circuits commuting.
+    static const int zOrder[4] = {NW, SW, NE, SE};
+    static const int xOrder[4] = {NW, NE, SW, SE};
+    int corner = (p.basis == CheckBasis::Z) ? zOrder[step] : xOrder[step];
+    return p.corner[corner];
+}
+
+std::vector<uint32_t>
+SurfaceLayout::logicalZSupport() const
+{
+    std::vector<uint32_t> support;
+    for (int ix = 0; ix < d_; ++ix)
+        support.push_back(dataIndex(ix, 0));
+    return support;
+}
+
+std::vector<uint32_t>
+SurfaceLayout::logicalXSupport() const
+{
+    std::vector<uint32_t> support;
+    for (int iy = 0; iy < d_; ++iy)
+        support.push_back(dataIndex(0, iy));
+    return support;
+}
+
+PauliString
+SurfaceLayout::logicalZ() const
+{
+    PauliString p(static_cast<size_t>(numData()));
+    for (uint32_t q : logicalZSupport())
+        p.set(q, Pauli::Z);
+    return p;
+}
+
+PauliString
+SurfaceLayout::logicalX() const
+{
+    PauliString p(static_cast<size_t>(numData()));
+    for (uint32_t q : logicalXSupport())
+        p.set(q, Pauli::X);
+    return p;
+}
+
+PauliString
+SurfaceLayout::stabilizer(uint32_t plaquette) const
+{
+    VLQ_ASSERT(plaquette < plaquettes_.size(), "plaquette out of range");
+    const Plaquette& pl = plaquettes_[plaquette];
+    PauliString p(static_cast<size_t>(numData()));
+    Pauli pauli = (pl.basis == CheckBasis::Z) ? Pauli::Z : Pauli::X;
+    for (uint32_t q : pl.data)
+        p.set(q, pauli);
+    return p;
+}
+
+} // namespace vlq

@@ -1,0 +1,106 @@
+#ifndef VLQ_SURFACE_LAYOUT_H
+#define VLQ_SURFACE_LAYOUT_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "pauli/pauli_string.h"
+
+namespace vlq {
+
+/**
+ * Geometric corner slots of a plaquette, in grid coordinates where y
+ * grows downward. Boundary half-plaquettes have two of these missing.
+ */
+enum PlaquetteCorner { NW = 0, NE = 1, SW = 2, SE = 3 };
+
+/**
+ * One parity check of the rotated surface code: its basis, its center
+ * coordinates (even, even), its ancilla, and its data qubits by corner.
+ */
+struct Plaquette
+{
+    CheckBasis basis = CheckBasis::Z;
+    int cx = 0;
+    int cy = 0;
+
+    /** Data qubit index at each geometric corner, or -1 if absent. */
+    std::array<int32_t, 4> corner{-1, -1, -1, -1};
+
+    /** Data indices present, in extraction order (see cnotOrder). */
+    std::vector<uint32_t> data;
+
+    /** Number of data qubits (2 for boundary half-checks, else 4). */
+    size_t weight() const { return data.size(); }
+};
+
+/**
+ * Rotated surface code of odd distance d on a (2d+1) x (2d+1) coordinate
+ * grid: d^2 data qubits at odd coordinates, d^2 - 1 checks centered at
+ * even coordinates. X half-checks live on the top/bottom boundaries and
+ * Z half-checks on the left/right boundaries, so the logical Z operator
+ * is a horizontal row of Z's and the logical X a vertical column of X's.
+ *
+ * The extraction CNOT order is the standard two-pattern schedule
+ * (Z checks: NW, SW, NE, SE; X checks: NW, NE, SW, SE) which keeps
+ * simultaneously-extracted neighboring checks commuting; this is
+ * verified by the tableau-determinism tests.
+ */
+class SurfaceLayout
+{
+  public:
+    /** Build the layout for an odd code distance d >= 3. */
+    explicit SurfaceLayout(int distance);
+
+    int distance() const { return d_; }
+    int numData() const { return d_ * d_; }
+    int numChecks() const { return d_ * d_ - 1; }
+
+    const std::vector<Plaquette>& plaquettes() const { return plaquettes_; }
+
+    /** Checks of one basis, as indices into plaquettes(). */
+    const std::vector<uint32_t>& checksOf(CheckBasis basis) const;
+
+    /** Data index for grid cell (ix, iy), both in [0, d). */
+    uint32_t dataIndex(int ix, int iy) const;
+
+    /** Grid cell of a data index. */
+    std::pair<int, int> dataCell(uint32_t index) const;
+
+    /** Odd grid coordinates (x, y) of a data index. */
+    std::pair<int, int> dataPos(uint32_t index) const;
+
+    /**
+     * Extraction order of the plaquette's data: the geometric corner
+     * visited at step s (0..3), or -1 when that corner is absent
+     * (boundary half-checks simply skip the step).
+     */
+    int32_t dataAtStep(const Plaquette& p, int step) const;
+
+    /** Data indices of the logical Z operator (row iy = 0). */
+    std::vector<uint32_t> logicalZSupport() const;
+
+    /** Data indices of the logical X operator (column ix = 0). */
+    std::vector<uint32_t> logicalXSupport() const;
+
+    /** Logical Z as a Pauli string over the d^2 data qubits. */
+    PauliString logicalZ() const;
+
+    /** Logical X as a Pauli string over the d^2 data qubits. */
+    PauliString logicalX() const;
+
+    /** Stabilizer generator of plaquette i over the data qubits. */
+    PauliString stabilizer(uint32_t plaquette) const;
+
+  private:
+    int d_;
+    std::vector<Plaquette> plaquettes_;
+    std::vector<uint32_t> zChecks_;
+    std::vector<uint32_t> xChecks_;
+};
+
+} // namespace vlq
+
+#endif // VLQ_SURFACE_LAYOUT_H

@@ -1,0 +1,103 @@
+#include "surface/render.h"
+
+#include <vector>
+
+namespace vlq {
+
+namespace {
+
+/** Character canvas over the (2d+1)^2 coordinate grid. */
+class Canvas
+{
+  public:
+    explicit Canvas(int span)
+        : span_(span),
+          rows_(static_cast<size_t>(span + 1),
+                std::string(static_cast<size_t>(span + 1), ' '))
+    {
+    }
+
+    void
+    put(int x, int y, char c)
+    {
+        rows_[static_cast<size_t>(y)][static_cast<size_t>(x)] = c;
+    }
+
+    std::string
+    str() const
+    {
+        std::string out;
+        for (const auto& row : rows_) {
+            out += row;
+            out += '\n';
+        }
+        return out;
+    }
+
+  private:
+    int span_;
+    std::vector<std::string> rows_;
+};
+
+} // namespace
+
+std::string
+LayoutRenderer::render(const SurfaceLayout& layout)
+{
+    const int span = 2 * layout.distance();
+    Canvas canvas(span);
+    for (uint32_t q = 0; q < static_cast<uint32_t>(layout.numData());
+         ++q) {
+        auto [x, y] = layout.dataPos(q);
+        canvas.put(x, y, 'o');
+    }
+    for (const auto& p : layout.plaquettes())
+        canvas.put(p.cx, p.cy, p.basis == CheckBasis::Z ? 'Z' : 'X');
+    return canvas.str();
+}
+
+std::string
+LayoutRenderer::renderCompact(const SurfaceLayout& layout)
+{
+    const int span = 2 * layout.distance();
+    Canvas canvas(span);
+    for (uint32_t q = 0; q < static_cast<uint32_t>(layout.numData());
+         ++q) {
+        auto [x, y] = layout.dataPos(q);
+        canvas.put(x, y, 'o');
+    }
+    for (const auto& p : layout.plaquettes()) {
+        int corner = (p.basis == CheckBasis::Z) ? NE : SW;
+        int32_t merged = p.corner[static_cast<size_t>(corner)];
+        if (merged >= 0) {
+            auto [x, y] =
+                layout.dataPos(static_cast<uint32_t>(merged));
+            canvas.put(x, y, p.basis == CheckBasis::Z ? 'z' : 'x');
+        } else {
+            canvas.put(p.cx, p.cy, '*');
+        }
+    }
+    return canvas.str();
+}
+
+std::string
+LayoutRenderer::renderOrder(const SurfaceLayout& layout, CheckBasis basis)
+{
+    const int span = 2 * layout.distance();
+    Canvas canvas(span);
+    for (const auto& p : layout.plaquettes()) {
+        if (p.basis != basis)
+            continue;
+        canvas.put(p.cx, p.cy, basis == CheckBasis::Z ? 'Z' : 'X');
+        for (int step = 0; step < 4; ++step) {
+            int32_t q = layout.dataAtStep(p, step);
+            if (q < 0)
+                continue;
+            auto [x, y] = layout.dataPos(static_cast<uint32_t>(q));
+            canvas.put(x, y, static_cast<char>('0' + step));
+        }
+    }
+    return canvas.str();
+}
+
+} // namespace vlq

@@ -1,0 +1,39 @@
+#ifndef VLQ_SURFACE_RENDER_H
+#define VLQ_SURFACE_RENDER_H
+
+#include <string>
+
+#include "surface/layout.h"
+
+namespace vlq {
+
+/**
+ * ASCII renderers for surface-code layouts (the textual counterpart of
+ * the paper's Figs. 2 and 7). Data qubits are 'o', Z checks 'Z',
+ * X checks 'X'; in the Compact view, merged checks are lowercase at
+ * their host data transmon and unmerged boundary ancillas are '*'.
+ */
+class LayoutRenderer
+{
+  public:
+    /** Plain rotated layout: data and check positions on the grid. */
+    static std::string render(const SurfaceLayout& layout);
+
+    /**
+     * Compact embedding view: each merged ancilla drawn at the data
+     * transmon that hosts it (z/x), dedicated boundary ancillas as '*'.
+     */
+    static std::string renderCompact(const SurfaceLayout& layout);
+
+    /**
+     * Extraction-order view for one plaquette basis: each data qubit
+     * labeled with the step (0-3) at which the basis' checks touch it,
+     * from the given corner order.
+     */
+    static std::string renderOrder(const SurfaceLayout& layout,
+                                   CheckBasis basis);
+};
+
+} // namespace vlq
+
+#endif // VLQ_SURFACE_RENDER_H

@@ -1,0 +1,75 @@
+#include "util/csv.h"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace vlq {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> cells)
+{
+    assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+CsvWriter::addNumericRow(const std::vector<double>& values)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.12g", v);
+        cells.emplace_back(buf);
+    }
+    addRow(std::move(cells));
+}
+
+std::string
+CsvWriter::escape(const std::string& cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+CsvWriter::str() const
+{
+    std::ostringstream ss;
+    for (size_t i = 0; i < headers_.size(); ++i)
+        ss << (i ? "," : "") << escape(headers_[i]);
+    ss << "\n";
+    for (const auto& row : rows_) {
+        for (size_t i = 0; i < row.size(); ++i)
+            ss << (i ? "," : "") << escape(row[i]);
+        ss << "\n";
+    }
+    return ss.str();
+}
+
+bool
+CsvWriter::writeFile(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << str();
+    return static_cast<bool>(out);
+}
+
+} // namespace vlq

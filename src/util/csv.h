@@ -1,0 +1,42 @@
+#ifndef VLQ_UTIL_CSV_H
+#define VLQ_UTIL_CSV_H
+
+#include <string>
+#include <vector>
+
+namespace vlq {
+
+/**
+ * Minimal CSV writer for benchmark series (one file per figure panel,
+ * suitable for direct plotting). Values are written with full double
+ * precision; cells containing commas/quotes are quoted.
+ */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience numeric row. */
+    void addNumericRow(const std::vector<double>& values);
+
+    /** Render to a string (header + rows). */
+    std::string str() const;
+
+    /**
+     * Write to a file.
+     * @return true on success.
+     */
+    bool writeFile(const std::string& path) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+
+    static std::string escape(const std::string& cell);
+};
+
+} // namespace vlq
+
+#endif // VLQ_UTIL_CSV_H

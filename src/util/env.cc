@@ -1,0 +1,42 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace vlq {
+
+int64_t
+envInt(const char* name, int64_t fallback)
+{
+    const char* v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char* end = nullptr;
+    long long parsed = std::strtoll(v, &end, 10);
+    if (end == v || *end != '\0')
+        return fallback;
+    return parsed;
+}
+
+double
+envDouble(const char* name, double fallback)
+{
+    const char* v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char* end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0')
+        return fallback;
+    return parsed;
+}
+
+std::string
+envString(const char* name, const std::string& fallback)
+{
+    const char* v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    return std::string(v);
+}
+
+} // namespace vlq

@@ -1,0 +1,20 @@
+#ifndef VLQ_UTIL_ENV_H
+#define VLQ_UTIL_ENV_H
+
+#include <cstdint>
+#include <string>
+
+namespace vlq {
+
+/**
+ * Environment-variable helpers used by benchmarks to scale Monte-Carlo
+ * effort without recompiling (e.g. VLQ_TRIALS, VLQ_FULL, VLQ_SEED).
+ * Each returns the fallback when the variable is unset or malformed.
+ */
+int64_t envInt(const char* name, int64_t fallback);
+double envDouble(const char* name, double fallback);
+std::string envString(const char* name, const std::string& fallback);
+
+} // namespace vlq
+
+#endif // VLQ_UTIL_ENV_H

@@ -1,0 +1,48 @@
+#ifndef VLQ_UTIL_LOGGING_H
+#define VLQ_UTIL_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vlq {
+
+/**
+ * Error-reporting helpers in the gem5 spirit:
+ *  - vlqPanic: an internal invariant was violated (a library bug); aborts.
+ *  - vlqFatal: the caller supplied an impossible configuration; exits.
+ *  - vlqWarn:  something is suspicious but execution can continue.
+ */
+[[noreturn]] inline void
+vlqPanic(const char* file, int line, const char* msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
+    std::abort();
+}
+
+[[noreturn]] inline void
+vlqFatalImpl(const char* file, int line, const char* msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg);
+    std::exit(1);
+}
+
+inline void
+vlqWarnImpl(const char* file, int line, const char* msg)
+{
+    std::fprintf(stderr, "warn: %s:%d: %s\n", file, line, msg);
+}
+
+} // namespace vlq
+
+#define VLQ_PANIC(msg) ::vlq::vlqPanic(__FILE__, __LINE__, (msg))
+#define VLQ_FATAL(msg) ::vlq::vlqFatalImpl(__FILE__, __LINE__, (msg))
+#define VLQ_WARN(msg) ::vlq::vlqWarnImpl(__FILE__, __LINE__, (msg))
+
+/** Assert an invariant that must hold regardless of user input. */
+#define VLQ_ASSERT(cond, msg) \
+    do { \
+        if (!(cond)) \
+            VLQ_PANIC(msg); \
+    } while (0)
+
+#endif // VLQ_UTIL_LOGGING_H

@@ -1,0 +1,109 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vlq {
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stderrOfMean() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return std::sqrt(variance() / static_cast<double>(n_));
+}
+
+double
+BinomialEstimate::rate() const
+{
+    if (trials == 0)
+        return 0.0;
+    return static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+std::pair<double, double>
+BinomialEstimate::wilson(double z) const
+{
+    if (trials == 0)
+        return {0.0, 1.0};
+    double n = static_cast<double>(trials);
+    double p = rate();
+    double z2 = z * z;
+    double denom = 1.0 + z2 / n;
+    double center = (p + z2 / (2.0 * n)) / denom;
+    double half = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))
+                / denom;
+    return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+double
+logLogCrossing(const std::vector<double>& xs,
+               const std::vector<double>& y1,
+               const std::vector<double>& y2)
+{
+    // Work on the log of everything; skip zero samples (no logical errors
+    // observed) since they carry no crossing information.
+    for (size_t i = 0; i + 1 < xs.size(); ++i) {
+        if (y1[i] <= 0 || y2[i] <= 0 || y1[i + 1] <= 0 || y2[i + 1] <= 0)
+            continue;
+        double d0 = std::log(y1[i]) - std::log(y2[i]);
+        double d1 = std::log(y1[i + 1]) - std::log(y2[i + 1]);
+        if (d0 == 0.0)
+            return xs[i];
+        if ((d0 < 0) != (d1 < 0)) {
+            // Linear interpolation of the log-difference zero in log-x.
+            double t = d0 / (d0 - d1);
+            double lx = std::log(xs[i])
+                      + t * (std::log(xs[i + 1]) - std::log(xs[i]));
+            return std::exp(lx);
+        }
+    }
+    return -1.0;
+}
+
+double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    size_t mid = values.size() / 2;
+    if (values.size() % 2 == 1)
+        return values[mid];
+    return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+std::vector<double>
+logspace(double lo, double hi, int n)
+{
+    std::vector<double> out;
+    out.reserve(static_cast<size_t>(n));
+    double llo = std::log(lo);
+    double lhi = std::log(hi);
+    for (int i = 0; i < n; ++i) {
+        double t = (n == 1) ? 0.0
+                            : static_cast<double>(i)
+                              / static_cast<double>(n - 1);
+        out.push_back(std::exp(llo + t * (lhi - llo)));
+    }
+    return out;
+}
+
+} // namespace vlq

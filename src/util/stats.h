@@ -1,0 +1,79 @@
+#ifndef VLQ_UTIL_STATS_H
+#define VLQ_UTIL_STATS_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace vlq {
+
+/** Running mean / variance accumulator (Welford's algorithm). */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples added. */
+    uint64_t count() const { return n_; }
+
+    /** Sample mean (0 if empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 if fewer than 2 samples). */
+    double variance() const;
+
+    /** Standard error of the mean. */
+    double stderrOfMean() const;
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/**
+ * Result of a binomial estimate: k successes out of n trials.
+ * Provides the point estimate and a Wilson score confidence interval,
+ * which behaves well for the small success counts typical of
+ * logical-error-rate estimation.
+ */
+struct BinomialEstimate
+{
+    uint64_t successes = 0;
+    uint64_t trials = 0;
+
+    /** Point estimate k/n (0 if no trials). */
+    double rate() const;
+
+    /**
+     * Wilson score interval.
+     * @param z normal quantile (1.96 for 95% confidence).
+     * @return {low, high} bounds on the underlying probability.
+     */
+    std::pair<double, double> wilson(double z = 1.96) const;
+};
+
+/**
+ * Find the crossing point of two curves y1(x), y2(x) sampled at shared
+ * x values, interpolating linearly in log-log space. Used for threshold
+ * estimation: the threshold is where the distance-d and distance-d'
+ * logical error curves intersect.
+ *
+ * @return crossing x, or a negative value if the curves do not cross
+ *         within the sampled range.
+ */
+double
+logLogCrossing(const std::vector<double>& xs,
+               const std::vector<double>& y1,
+               const std::vector<double>& y2);
+
+/** Median of a vector (by copy); returns 0 for an empty input. */
+double median(std::vector<double> values);
+
+/** Generate n log-spaced points in [lo, hi] inclusive. n >= 2. */
+std::vector<double> logspace(double lo, double hi, int n);
+
+} // namespace vlq
+
+#endif // VLQ_UTIL_STATS_H

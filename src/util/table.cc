@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace vlq {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+std::string
+TablePrinter::sci(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::scientific << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+void
+TablePrinter::print(std::ostream& os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto printRow = [&](const std::vector<std::string>& row) {
+        os << "| ";
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            os << (c + 1 == row.size() ? " |" : " | ");
+        }
+        os << "\n";
+    };
+
+    printRow(headers_);
+    os << "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        os << std::string(widths[c] + 2, '-');
+        os << "|";
+    }
+    os << "\n";
+    for (const auto& row : rows_)
+        printRow(row);
+}
+
+} // namespace vlq

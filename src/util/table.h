@@ -1,0 +1,41 @@
+#ifndef VLQ_UTIL_TABLE_H
+#define VLQ_UTIL_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vlq {
+
+/**
+ * Simple aligned ASCII table printer for benchmark output.
+ *
+ * Benchmarks regenerate the paper's tables and figure series; this
+ * printer produces the rows in a stable, diff-friendly format.
+ */
+class TablePrinter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 4);
+
+    /** Convenience: format in scientific notation. */
+    static std::string sci(double v, int precision = 3);
+
+    /** Render the table to a stream. */
+    void print(std::ostream& os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace vlq
+
+#endif // VLQ_UTIL_TABLE_H

@@ -1,0 +1,42 @@
+#include "util/threadpool.h"
+
+#include <algorithm>
+
+namespace vlq {
+
+ThreadPool::ThreadPool(unsigned numThreads)
+    : numThreads_(numThreads)
+{
+    if (numThreads_ == 0) {
+        numThreads_ = std::max(1u, std::thread::hardware_concurrency());
+    }
+}
+
+void
+ThreadPool::parallelFor(
+    uint64_t n,
+    const std::function<void(uint64_t, uint64_t, unsigned)>& body) const
+{
+    if (n == 0)
+        return;
+    unsigned workers = static_cast<unsigned>(
+        std::min<uint64_t>(numThreads_, n));
+    if (workers <= 1) {
+        body(0, n, 0);
+        return;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    uint64_t chunk = (n + workers - 1) / workers;
+    for (unsigned w = 0; w < workers; ++w) {
+        uint64_t begin = static_cast<uint64_t>(w) * chunk;
+        uint64_t end = std::min(n, begin + chunk);
+        if (begin >= end)
+            break;
+        threads.emplace_back([&body, begin, end, w] { body(begin, end, w); });
+    }
+    for (auto& t : threads)
+        t.join();
+}
+
+} // namespace vlq

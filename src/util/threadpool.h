@@ -1,0 +1,46 @@
+#ifndef VLQ_UTIL_THREADPOOL_H
+#define VLQ_UTIL_THREADPOOL_H
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace vlq {
+
+/**
+ * Minimal fork-join helper for embarrassingly parallel Monte-Carlo work.
+ *
+ * parallelFor splits [0, n) into contiguous chunks, runs each chunk on
+ * its own thread, and joins. Workers receive (begin, end, workerIndex)
+ * so they can maintain per-worker accumulators and RNG streams without
+ * synchronization. With numThreads == 1 the body runs inline, which is
+ * the common case on single-core machines and keeps results trivially
+ * deterministic.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param numThreads worker count; 0 means hardware concurrency.
+     */
+    explicit ThreadPool(unsigned numThreads = 0);
+
+    /** Number of workers this pool will use. */
+    unsigned numThreads() const { return numThreads_; }
+
+    /**
+     * Run body(begin, end, worker) over a partition of [0, n).
+     * Blocks until all workers finish.
+     */
+    void parallelFor(
+        uint64_t n,
+        const std::function<void(uint64_t, uint64_t, unsigned)>& body) const;
+
+  private:
+    unsigned numThreads_;
+};
+
+} // namespace vlq
+
+#endif // VLQ_UTIL_THREADPOOL_H

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "arch/address.h"
+#include "arch/device.h"
+
+namespace vlq {
+namespace {
+
+TEST(Address, Formatting)
+{
+    VirtualAddress a{{2, 3}, 5};
+    EXPECT_EQ(a.str(), "P(2,3)[5]");
+    EXPECT_EQ(a.stack.str(), "P(2,3)");
+}
+
+TEST(Address, EqualityAndHash)
+{
+    VirtualAddress a{{1, 2}, 3};
+    VirtualAddress b{{1, 2}, 3};
+    VirtualAddress c{{1, 2}, 4};
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+    EXPECT_EQ(std::hash<VirtualAddress>()(a),
+              std::hash<VirtualAddress>()(b));
+}
+
+TEST(Address, StackDistance)
+{
+    EXPECT_EQ(stackDistance({0, 0}, {3, 4}), 7);
+    EXPECT_EQ(stackDistance({2, 2}, {2, 2}), 0);
+    EXPECT_EQ(stackDistance({5, 1}, {1, 5}), 8);
+}
+
+TEST(PatchCostTest, BaselineFormula)
+{
+    for (int d : {3, 5, 7, 9, 11}) {
+        PatchCost c = patchCost(EmbeddingKind::Baseline2D, d);
+        EXPECT_EQ(c.transmons, 2 * d * d - 1);
+        EXPECT_EQ(c.cavities, 0);
+    }
+}
+
+TEST(PatchCostTest, NaturalFormula)
+{
+    for (int d : {3, 5, 7}) {
+        PatchCost c = patchCost(EmbeddingKind::Natural, d);
+        EXPECT_EQ(c.transmons, 2 * d * d - 1);
+        EXPECT_EQ(c.cavities, d * d);
+    }
+}
+
+TEST(PatchCostTest, CompactFormula)
+{
+    for (int d : {3, 5, 7}) {
+        PatchCost c = patchCost(EmbeddingKind::Compact, d);
+        EXPECT_EQ(c.transmons, d * d + d - 1);
+        EXPECT_EQ(c.cavities, d * d);
+    }
+}
+
+TEST(PatchCostTest, PaperSmallestInstance)
+{
+    // Paper abstract: "requiring only 11 transmons and 9 attached
+    // cavities" for the smallest Compact instance (d=3).
+    PatchCost c = patchCost(EmbeddingKind::Compact, 3);
+    EXPECT_EQ(c.transmons, 11);
+    EXPECT_EQ(c.cavities, 9);
+}
+
+TEST(PatchCostTest, TableTwoVQubitsRows)
+{
+    // Table II, d=5: Natural 49 transmons + 25 cavities = 299 total;
+    // Compact 29 transmons + 25 cavities = 279 total (depth 10).
+    PatchCost nat = patchCost(EmbeddingKind::Natural, 5);
+    EXPECT_EQ(nat.transmons, 49);
+    EXPECT_EQ(nat.cavities, 25);
+    EXPECT_EQ(nat.totalQubits(10), 299);
+    PatchCost comp = patchCost(EmbeddingKind::Compact, 5);
+    EXPECT_EQ(comp.transmons, 29);
+    EXPECT_EQ(comp.cavities, 25);
+    EXPECT_EQ(comp.totalQubits(10), 279);
+}
+
+TEST(PatchCostTest, TransmonSavingsFactor)
+{
+    // The headline ~10x savings: Natural with k=10 stores 10 patches in
+    // the transmons of one, and Compact halves the transmons again.
+    int d = 7;
+    double baselinePer10 =
+        10.0 * patchCost(EmbeddingKind::Baseline2D, d).transmons;
+    double natural = patchCost(EmbeddingKind::Natural, d).transmons;
+    double compact = patchCost(EmbeddingKind::Compact, d).transmons;
+    EXPECT_NEAR(baselinePer10 / natural, 10.0, 1e-9);
+    // "approximately 2x": (2d^2-1)/(d^2+d-1) -> 2 as d grows.
+    EXPECT_GT(natural / compact, 1.7);
+    EXPECT_LT(natural / compact, 2.2);
+    double d11 = patchCost(EmbeddingKind::Natural, 11).transmons /
+        static_cast<double>(patchCost(EmbeddingKind::Compact, 11).transmons);
+    EXPECT_GT(d11, natural / compact); // converges upward to 2
+}
+
+TEST(DeviceConfigTest, Totals)
+{
+    DeviceConfig cfg;
+    cfg.embedding = EmbeddingKind::Compact;
+    cfg.distance = 3;
+    cfg.gridWidth = 2;
+    cfg.gridHeight = 3;
+    cfg.cavityDepth = 10;
+    EXPECT_EQ(cfg.numStacks(), 6);
+    EXPECT_EQ(cfg.totalTransmons(), 6 * 11);
+    EXPECT_EQ(cfg.totalCavities(), 6 * 9);
+    EXPECT_EQ(cfg.logicalCapacity(true), 6 * 9);
+    EXPECT_EQ(cfg.logicalCapacity(false), 6 * 10);
+}
+
+TEST(DeviceConfigTest, Names)
+{
+    EXPECT_STREQ(embeddingName(EmbeddingKind::Natural), "Natural");
+    EXPECT_STREQ(embeddingName(EmbeddingKind::Compact), "Compact");
+    EXPECT_STREQ(scheduleName(ExtractionSchedule::AllAtOnce),
+                 "All-at-once");
+    EXPECT_STREQ(scheduleName(ExtractionSchedule::Interleaved),
+                 "Interleaved");
+    DeviceConfig cfg;
+    EXPECT_NE(cfg.str().find("Compact"), std::string::npos);
+}
+
+} // namespace
+} // namespace vlq

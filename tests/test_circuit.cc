@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "circuit/moment_tracker.h"
+
+namespace vlq {
+namespace {
+
+TEST(Circuit, AppendAndCount)
+{
+    Circuit c(4);
+    c.h(0);
+    c.cnot(0, 1);
+    c.cnot(1, 2);
+    c.reset(3);
+    uint32_t m0 = c.measureZ(3, 0.01);
+    EXPECT_EQ(m0, 0u);
+    EXPECT_EQ(c.numMeasurements(), 1u);
+    EXPECT_EQ(c.countOps(OpCode::CNOT), 2u);
+    EXPECT_EQ(c.countOps(OpCode::H), 1u);
+    EXPECT_EQ(c.ops().size(), 5u);
+}
+
+TEST(Circuit, NoiseSkippedWhenZero)
+{
+    Circuit c(2);
+    c.depolarize1(0, 0.0);
+    c.depolarize2(0, 1, -1.0);
+    c.xError(0, 0.0);
+    EXPECT_TRUE(c.ops().empty());
+    c.depolarize1(0, 0.1);
+    EXPECT_EQ(c.ops().size(), 1u);
+}
+
+TEST(Circuit, MeasurementIndicesSequential)
+{
+    Circuit c(3);
+    EXPECT_EQ(c.measureZ(0), 0u);
+    EXPECT_EQ(c.measureZ(1), 1u);
+    EXPECT_EQ(c.measureZ(2), 2u);
+}
+
+TEST(Circuit, DetectorValidation)
+{
+    Circuit c(2);
+    uint32_t m = c.measureZ(0);
+    Detector d;
+    d.measurements = {m};
+    EXPECT_EQ(c.addDetector(d), 0u);
+    EXPECT_EQ(c.detectors().size(), 1u);
+}
+
+TEST(Circuit, ObservableAccumulates)
+{
+    Circuit c(2);
+    uint32_t m0 = c.measureZ(0);
+    uint32_t m1 = c.measureZ(1);
+    uint32_t obs = c.addObservable();
+    c.observableInclude(obs, m0);
+    c.observableInclude(obs, m1);
+    ASSERT_EQ(c.observables().size(), 1u);
+    EXPECT_EQ(c.observables()[0].measurements.size(), 2u);
+}
+
+TEST(Circuit, TotalNoiseMass)
+{
+    Circuit c(2);
+    c.depolarize1(0, 0.1);
+    c.depolarize2(0, 1, 0.2);
+    c.measureZ(0, 0.05);
+    EXPECT_NEAR(c.totalNoiseMass(), 0.35, 1e-12);
+}
+
+TEST(Circuit, StrDump)
+{
+    Circuit c(2);
+    c.cnot(0, 1);
+    c.measureZ(1, 0.01);
+    std::string s = c.str();
+    EXPECT_NE(s.find("CNOT 0 1"), std::string::npos);
+    EXPECT_NE(s.find("MEASURE_Z 1"), std::string::npos);
+    EXPECT_NE(s.find("m0"), std::string::npos);
+}
+
+TEST(OpCode, Classification)
+{
+    EXPECT_TRUE(opIsNoise(OpCode::DEPOLARIZE1));
+    EXPECT_TRUE(opIsNoise(OpCode::X_ERROR));
+    EXPECT_FALSE(opIsNoise(OpCode::CNOT));
+    EXPECT_TRUE(opIsTwoQubit(OpCode::CNOT));
+    EXPECT_TRUE(opIsTwoQubit(OpCode::SWAP));
+    EXPECT_TRUE(opIsTwoQubit(OpCode::DEPOLARIZE2));
+    EXPECT_FALSE(opIsTwoQubit(OpCode::H));
+}
+
+TEST(MomentTracker, IdleReportedForLiveUntouched)
+{
+    MomentTracker mt(3);
+    mt.setLive(0, true);
+    mt.setLive(1, true);
+    // wire 2 not live
+    std::vector<std::pair<uint32_t, double>> idles;
+    mt.beginMoment(100.0);
+    mt.touch(0);
+    mt.endMoment([&](uint32_t w, double dt) { idles.push_back({w, dt}); });
+    ASSERT_EQ(idles.size(), 1u);
+    EXPECT_EQ(idles[0].first, 1u);
+    EXPECT_DOUBLE_EQ(idles[0].second, 100.0);
+    EXPECT_DOUBLE_EQ(mt.now(), 100.0);
+}
+
+TEST(MomentTracker, WaitIdlesAllLive)
+{
+    MomentTracker mt(3);
+    mt.setLive(0, true);
+    mt.setLive(2, true);
+    int count = 0;
+    mt.wait(500.0, [&](uint32_t, double dt) {
+        EXPECT_DOUBLE_EQ(dt, 500.0);
+        ++count;
+    });
+    EXPECT_EQ(count, 2);
+    EXPECT_DOUBLE_EQ(mt.now(), 500.0);
+}
+
+TEST(MomentTracker, ZeroDurationMomentNoIdle)
+{
+    MomentTracker mt(2);
+    mt.setLive(0, true);
+    int count = 0;
+    mt.beginMoment(0.0);
+    mt.endMoment([&](uint32_t, double) { ++count; });
+    EXPECT_EQ(count, 0);
+}
+
+TEST(MomentTracker, IdleTotalsAccumulate)
+{
+    MomentTracker mt(2);
+    mt.setLive(0, true);
+    mt.setLive(1, true);
+    mt.beginMoment(10.0);
+    mt.touch(0);
+    mt.endMoment(nullptr);
+    mt.wait(5.0, nullptr);
+    EXPECT_DOUBLE_EQ(mt.idleTotals()[0], 5.0);
+    EXPECT_DOUBLE_EQ(mt.idleTotals()[1], 15.0);
+    EXPECT_EQ(mt.liveCount(), 2u);
+}
+
+} // namespace
+} // namespace vlq

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "core/generator_common.h"
+#include "dem/detector_model.h"
+#include "dem/sampler.h"
+#include "sim/frame.h"
+#include "util/rng.h"
+
+namespace vlq {
+namespace {
+
+GeneratorConfig
+smallConfig(EmbeddingKind, double p,
+            ExtractionSchedule sched = ExtractionSchedule::AllAtOnce,
+            CheckBasis basis = CheckBasis::Z)
+{
+    GeneratorConfig cfg;
+    cfg.distance = 3;
+    cfg.memoryBasis = basis;
+    cfg.schedule = sched;
+    cfg.cavityDepth = 3;
+    cfg.noise = NoiseModel::atPhysicalRate(
+        p, HardwareParams::transmonsWithMemory());
+    return cfg;
+}
+
+TEST(Dem, RepetitionToyCircuit)
+{
+    // Two-qubit "repetition code": one parity check measured twice.
+    Circuit c(3);
+    c.xError(0, 0.1); // channel 0
+    c.cnot(0, 2);
+    c.cnot(1, 2);
+    uint32_t m0 = c.measureZ(2);
+    c.reset(2);
+    c.cnot(0, 2);
+    c.cnot(1, 2);
+    uint32_t m1 = c.measureZ(2);
+    uint32_t md = c.measureZ(0);
+    Detector d0;
+    d0.measurements = {m0};
+    c.addDetector(d0);
+    Detector d1;
+    d1.measurements = {m0, m1};
+    c.addDetector(d1);
+    uint32_t obs = c.addObservable();
+    c.observableInclude(obs, md);
+
+    DetectorErrorModel dem = DetectorErrorModel::build(c);
+    ASSERT_EQ(dem.channels().size(), 1u);
+    const auto& ch = dem.channels()[0];
+    ASSERT_EQ(ch.outcomes.size(), 1u);
+    // X on qubit 0 flips m0 and m1 and the data readout: detector 0
+    // (m0) fires, detector 1 (m0 xor m1) stays quiet, observable flips.
+    EXPECT_EQ(ch.outcomes[0].detectors,
+              (std::vector<uint32_t>{0}));
+    EXPECT_EQ(ch.outcomes[0].observables, 1u);
+    EXPECT_NEAR(ch.outcomes[0].probability, 0.1, 1e-12);
+}
+
+TEST(Dem, MeasurementFlipChannel)
+{
+    Circuit c(1);
+    uint32_t m0 = c.measureZ(0, 0.2);
+    uint32_t m1 = c.measureZ(0, 0.0);
+    Detector d;
+    d.measurements = {m0, m1};
+    c.addDetector(d);
+    DetectorErrorModel dem = DetectorErrorModel::build(c);
+    ASSERT_EQ(dem.channels().size(), 1u);
+    EXPECT_EQ(dem.channels()[0].outcomes[0].detectors,
+              (std::vector<uint32_t>{0}));
+    EXPECT_NEAR(dem.channels()[0].outcomes[0].probability, 0.2, 1e-12);
+}
+
+TEST(Dem, DepolarizeSplitsOutcomes)
+{
+    Circuit c(1);
+    c.depolarize1(0, 0.3);
+    uint32_t m = c.measureZ(0);
+    Detector d;
+    d.measurements = {m};
+    c.addDetector(d);
+    DetectorErrorModel dem = DetectorErrorModel::build(c);
+    ASSERT_EQ(dem.channels().size(), 1u);
+    // X and Y flip the Z measurement; Z does not (empty, dropped).
+    EXPECT_EQ(dem.channels()[0].outcomes.size(), 2u);
+    EXPECT_NEAR(dem.channels()[0].totalProbability(), 0.2, 1e-12);
+}
+
+/**
+ * Cross-validation on real circuits: the backward-built DEM must match
+ * forward Pauli-frame injection for every outcome of every channel.
+ */
+class DemForwardBackward
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(DemForwardBackward, SignaturesMatchForwardInjection)
+{
+    auto [embInt, schedInt] = GetParam();
+    EmbeddingKind emb = static_cast<EmbeddingKind>(embInt);
+    GeneratorConfig cfg = smallConfig(
+        emb, 2e-3, static_cast<ExtractionSchedule>(schedInt));
+    GeneratedCircuit gen = generateMemoryCircuit(emb, cfg);
+    const Circuit& circuit = gen.circuit;
+    DetectorErrorModel dem = DetectorErrorModel::build(circuit);
+    FrameSimulator frame(circuit);
+
+    for (const auto& ch : dem.channels()) {
+        const Operation& op = circuit.ops()[ch.opIndex];
+        // Enumerate the op's physical outcomes and forward-propagate.
+        std::vector<std::pair<std::vector<uint32_t>, uint32_t>> expected;
+        auto addExpected = [&](const BitVec& measFlips) {
+            BitVec det = FrameSimulator::detectorFlips(circuit, measFlips);
+            uint32_t obs =
+                FrameSimulator::observableFlips(circuit, measFlips);
+            auto ones = det.onesIndices();
+            if (!ones.empty() || obs != 0)
+                expected.push_back({ones, obs});
+        };
+        switch (op.code) {
+          case OpCode::DEPOLARIZE1:
+            for (Pauli p : {Pauli::X, Pauli::Y, Pauli::Z})
+                addExpected(frame.propagateInjected(ch.opIndex, p));
+            break;
+          case OpCode::DEPOLARIZE2:
+            for (int code = 1; code < 16; ++code) {
+                Pauli pa = static_cast<Pauli>(code >> 2);
+                Pauli pb = static_cast<Pauli>(code & 3);
+                addExpected(
+                    frame.propagateInjected(ch.opIndex, pa, pb));
+            }
+            break;
+          case OpCode::MEASURE_Z:
+            addExpected(frame.propagateMeasurementFlip(ch.opIndex));
+            break;
+          case OpCode::X_ERROR:
+            addExpected(frame.propagateInjected(ch.opIndex, Pauli::X));
+            break;
+          default:
+            FAIL() << "unexpected channel op";
+        }
+        // Compare as multisets.
+        ASSERT_EQ(ch.outcomes.size(), expected.size())
+            << "op " << ch.opIndex;
+        for (const auto& o : ch.outcomes) {
+            bool found = false;
+            for (auto& e : expected) {
+                if (e.first == o.detectors && e.second == o.observables) {
+                    found = true;
+                    e.second = 0xffffffff; // consume
+                    e.first.clear();
+                    break;
+                }
+            }
+            EXPECT_TRUE(found) << "op " << ch.opIndex;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Setups, DemForwardBackward,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(0, 1)));
+
+TEST(Dem, FaultMassMatchesCircuitNoise)
+{
+    GeneratorConfig cfg = smallConfig(EmbeddingKind::Natural, 2e-3);
+    GeneratedCircuit gen = generateNaturalMemory(cfg);
+    DetectorErrorModel dem = DetectorErrorModel::build(gen.circuit);
+    // Fault mass <= raw noise mass (invisible outcomes are dropped).
+    EXPECT_LE(dem.totalFaultMass(),
+              gen.circuit.totalNoiseMass() + 1e-9);
+    EXPECT_GT(dem.totalFaultMass(), 0.0);
+}
+
+TEST(Sampler, MatchesFrameSimulatorStatistically)
+{
+    GeneratorConfig cfg = smallConfig(EmbeddingKind::Baseline2D, 8e-3);
+    GeneratedCircuit gen = generateBaselineMemory(cfg);
+    DetectorErrorModel dem = DetectorErrorModel::build(gen.circuit);
+    FaultSampler sampler(dem);
+    FrameSimulator frame(gen.circuit);
+
+    const int trials = 6000;
+    Rng rngA(42);
+    Rng rngB(43);
+    double sumA = 0.0;
+    double sumB = 0.0;
+    int obsA = 0;
+    int obsB = 0;
+    BitVec det(dem.numDetectors());
+    uint32_t obsMask = 0;
+    for (int i = 0; i < trials; ++i) {
+        sampler.sampleInto(rngA, det, obsMask);
+        sumA += static_cast<double>(det.popcount());
+        obsA += (obsMask & 1u) ? 1 : 0;
+        BitVec flips = frame.sampleMeasurementFlips(rngB);
+        BitVec det2 = FrameSimulator::detectorFlips(gen.circuit, flips);
+        sumB += static_cast<double>(det2.popcount());
+        obsB += (FrameSimulator::observableFlips(gen.circuit, flips) & 1u)
+            ? 1 : 0;
+    }
+    double meanA = sumA / trials;
+    double meanB = sumB / trials;
+    EXPECT_NEAR(meanA, meanB, 0.12 * std::max(meanA, meanB));
+    EXPECT_NEAR(static_cast<double>(obsA) / trials,
+                static_cast<double>(obsB) / trials, 0.02);
+}
+
+TEST(Dem, DetectorMetadataCarriesGeometry)
+{
+    GeneratorConfig cfg = smallConfig(EmbeddingKind::Baseline2D, 2e-3);
+    GeneratedCircuit gen = generateBaselineMemory(cfg);
+    DetectorErrorModel dem = DetectorErrorModel::build(gen.circuit);
+    ASSERT_EQ(dem.detectorMeta().size(), dem.numDetectors());
+    float maxT = 0.0f;
+    for (const auto& meta : dem.detectorMeta()) {
+        EXPECT_EQ(meta.basis, CheckBasis::Z);
+        EXPECT_GE(meta.x, 0.0f);
+        EXPECT_GE(meta.y, 0.0f);
+        maxT = std::max(maxT, meta.t);
+    }
+    // Final (data-readout) detector layer is at t = rounds.
+    EXPECT_EQ(maxT, 3.0f);
+}
+
+TEST(Dem, InterleavedXBasisBuilds)
+{
+    GeneratorConfig cfg = smallConfig(EmbeddingKind::Natural, 2e-3,
+                                      ExtractionSchedule::Interleaved,
+                                      CheckBasis::X);
+    GeneratedCircuit gen = generateNaturalMemory(cfg);
+    DetectorErrorModel dem = DetectorErrorModel::build(gen.circuit);
+    EXPECT_GT(dem.numDetectors(), 0u);
+    EXPECT_EQ(dem.numObservables(), 1u);
+    for (const auto& meta : dem.detectorMeta())
+        EXPECT_EQ(meta.basis, CheckBasis::X);
+}
+
+TEST(Dem, ChannelsOrderedByOpIndex)
+{
+    GeneratorConfig cfg = smallConfig(EmbeddingKind::Compact, 2e-3);
+    GeneratedCircuit gen = generateCompactMemory(cfg);
+    DetectorErrorModel dem = DetectorErrorModel::build(gen.circuit);
+    for (size_t i = 1; i < dem.channels().size(); ++i)
+        EXPECT_LE(dem.channels()[i - 1].opIndex,
+                  dem.channels()[i].opIndex);
+}
+
+TEST(Sampler, ZeroNoiseSamplesNothing)
+{
+    GeneratorConfig cfg = smallConfig(EmbeddingKind::Compact, 0.0);
+    cfg.noise.idleScale = 0.0;
+    GeneratedCircuit gen = generateCompactMemory(cfg);
+    DetectorErrorModel dem = DetectorErrorModel::build(gen.circuit);
+    FaultSampler sampler(dem);
+    Rng rng(1);
+    auto shot = sampler.sample(rng);
+    EXPECT_TRUE(shot.detectors.none());
+    EXPECT_EQ(shot.observables, 0u);
+}
+
+} // namespace
+} // namespace vlq

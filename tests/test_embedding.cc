@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/embedding.h"
+#include "surface/layout.h"
+
+namespace vlq {
+namespace {
+
+class MergeTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MergeTest, UnmergedCountIsDMinusOne)
+{
+    SurfaceLayout layout(GetParam());
+    CompactMerge merge = CompactMerge::build(layout);
+    EXPECT_EQ(merge.numUnmerged, GetParam() - 1);
+}
+
+TEST_P(MergeTest, MergeTargetsAreUniqueAndCorrectCorner)
+{
+    SurfaceLayout layout(GetParam());
+    CompactMerge merge = CompactMerge::build(layout);
+    std::set<int32_t> targets;
+    for (uint32_t c = 0; c < layout.plaquettes().size(); ++c) {
+        int32_t m = merge.mergedData[c];
+        if (m < 0) {
+            EXPECT_GE(merge.unmergedIndex[c], 0);
+            continue;
+        }
+        EXPECT_TRUE(targets.insert(m).second) << "data transmon reused";
+        const Plaquette& p = layout.plaquettes()[c];
+        int corner = (p.basis == CheckBasis::Z) ? NE : SW;
+        EXPECT_EQ(p.corner[static_cast<size_t>(corner)], m);
+        EXPECT_EQ(merge.checkAtData[static_cast<size_t>(m)],
+                  static_cast<int32_t>(c));
+    }
+}
+
+TEST_P(MergeTest, TransmonCountMatchesPatchCost)
+{
+    int d = GetParam();
+    SurfaceLayout layout(d);
+    CompactMerge merge = CompactMerge::build(layout);
+    // data transmons + unmerged ancilla transmons
+    int transmons = layout.numData() + merge.numUnmerged;
+    EXPECT_EQ(transmons, d * d + d - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, MergeTest,
+                         ::testing::Values(3, 5, 7, 9));
+
+TEST(CompactScheduleTest, SolverFindsValidSchedule)
+{
+    SurfaceLayout layout(3);
+    CompactSchedule sched = CompactSchedule::solve(layout);
+    CompactMerge merge = CompactMerge::build(layout);
+    EXPECT_TRUE(sched.conflictFree(layout, merge));
+    EXPECT_TRUE(sched.measuresStabilizers(layout));
+}
+
+TEST(CompactScheduleTest, ScheduleValidAtDistanceFive)
+{
+    SurfaceLayout layout(5);
+    CompactSchedule sched = CompactSchedule::solve(layout);
+    CompactMerge merge = CompactMerge::build(layout);
+    EXPECT_TRUE(sched.conflictFree(layout, merge));
+    EXPECT_TRUE(sched.measuresStabilizers(layout));
+}
+
+TEST(CompactScheduleTest, ScheduleValidAtDistanceSeven)
+{
+    SurfaceLayout layout(7);
+    CompactSchedule sched = CompactSchedule::solve(layout);
+    CompactMerge merge = CompactMerge::build(layout);
+    EXPECT_TRUE(sched.conflictFree(layout, merge));
+}
+
+TEST(CompactScheduleTest, SolverPrefersBenignHooks)
+{
+    // A fully hook-optimal schedule (score 2) exists and is found.
+    SurfaceLayout layout(5);
+    CompactSchedule sched = CompactSchedule::solve(layout);
+    EXPECT_EQ(sched.hookScore(), 2);
+}
+
+TEST(CompactScheduleTest, SolvedScheduleIsDeterministic)
+{
+    SurfaceLayout layout(3);
+    CompactSchedule a = CompactSchedule::solve(layout);
+    CompactSchedule b = CompactSchedule::solve(layout);
+    EXPECT_EQ(a.startSlot, b.startSlot);
+    EXPECT_EQ(a.orderX, b.orderX);
+    EXPECT_EQ(a.orderZ, b.orderZ);
+    EXPECT_EQ(a.xGroupByColumn, b.xGroupByColumn);
+    EXPECT_EQ(a.zGroupByColumn, b.zGroupByColumn);
+}
+
+TEST(CompactScheduleTest, WindowConstraintsHold)
+{
+    // The merged-data TT partners never need a transmon during its
+    // ancilla window (redundant with conflictFree, but checks the
+    // slotOfStep helper directly).
+    SurfaceLayout layout(5);
+    CompactSchedule sched = CompactSchedule::solve(layout);
+    CompactMerge merge = CompactMerge::build(layout);
+    const auto& plaquettes = layout.plaquettes();
+    for (uint32_t c = 0; c < plaquettes.size(); ++c) {
+        int32_t m = merge.mergedData[c];
+        if (m < 0)
+            continue;
+        int start = sched.startSlot[sched.groupOf(plaquettes[c])];
+        for (const auto& p2 : plaquettes) {
+            if (&p2 == &plaquettes[c])
+                continue;
+            for (int corner = 0; corner < 4; ++corner) {
+                if (p2.corner[static_cast<size_t>(corner)] != m)
+                    continue;
+                int step = 0;
+                const auto& order = sched.orderOf(p2.basis);
+                for (int s = 0; s < 4; ++s)
+                    if (order[static_cast<size_t>(s)] == corner)
+                        step = s;
+                int slot = (sched.startSlot[sched.groupOf(p2)] + step) % 8;
+                int rel = ((slot - start) % 8 + 8) % 8;
+                EXPECT_GT(rel, 3) << "check " << c << " window clash";
+            }
+        }
+    }
+}
+
+TEST(CompactScheduleTest, GroupStartsMatchPaperPattern)
+{
+    SurfaceLayout layout(3);
+    CompactSchedule sched = CompactSchedule::solve(layout);
+    // X groups and Z groups must occupy distinct phases and the two
+    // groups of one type must be 4 slots apart (the A..B / C..D offsets
+    // of Fig. 10).
+    std::set<int> xs{sched.startSlot[CompactSchedule::A],
+                     sched.startSlot[CompactSchedule::B]};
+    std::set<int> zs{sched.startSlot[CompactSchedule::C],
+                     sched.startSlot[CompactSchedule::D]};
+    EXPECT_EQ(std::abs(*xs.begin() - *xs.rbegin()), 4);
+    EXPECT_EQ(std::abs(*zs.begin() - *zs.rbegin()), 4);
+    for (int x : xs)
+        EXPECT_EQ(zs.count(x), 0u);
+}
+
+TEST(CompactScheduleTest, SameTypeGroupsPartitionChecks)
+{
+    SurfaceLayout layout(5);
+    CompactSchedule sched = CompactSchedule::solve(layout);
+    int counts[4] = {0, 0, 0, 0};
+    for (const auto& p : layout.plaquettes()) {
+        CompactSchedule::Group g = sched.groupOf(p);
+        ++counts[g];
+        if (p.basis == CheckBasis::X)
+            EXPECT_TRUE(g == CompactSchedule::A || g == CompactSchedule::B);
+        else
+            EXPECT_TRUE(g == CompactSchedule::C || g == CompactSchedule::D);
+    }
+    for (int g = 0; g < 4; ++g)
+        EXPECT_GT(counts[g], 0) << "group " << g << " empty";
+}
+
+TEST(CompactScheduleTest, DefaultOrdersContainEachCornerOnce)
+{
+    SurfaceLayout layout(3);
+    CompactSchedule sched = CompactSchedule::solve(layout);
+    std::set<int> sx(sched.orderX.begin(), sched.orderX.end());
+    std::set<int> sz(sched.orderZ.begin(), sched.orderZ.end());
+    EXPECT_EQ(sx.size(), 4u);
+    EXPECT_EQ(sz.size(), 4u);
+}
+
+TEST(CompactScheduleTest, BrokenScheduleDetected)
+{
+    // A schedule with both Z groups at the same start cannot be
+    // conflict-free: diagonal same-type neighbors collide.
+    SurfaceLayout layout(5);
+    CompactSchedule bad = CompactSchedule::solve(layout);
+    bad.startSlot[CompactSchedule::D] = bad.startSlot[CompactSchedule::C];
+    CompactMerge merge = CompactMerge::build(layout);
+    EXPECT_FALSE(bad.conflictFree(layout, merge));
+}
+
+} // namespace
+} // namespace vlq

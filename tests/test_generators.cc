@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "core/generator_common.h"
+#include "sim/frame.h"
+#include "sim/tableau.h"
+#include "util/rng.h"
+
+namespace vlq {
+namespace {
+
+GeneratorConfig
+noiselessConfig(int d, CheckBasis basis,
+                ExtractionSchedule schedule = ExtractionSchedule::AllAtOnce)
+{
+    GeneratorConfig cfg;
+    cfg.distance = d;
+    cfg.memoryBasis = basis;
+    cfg.schedule = schedule;
+    cfg.cavityDepth = 4;
+    cfg.noise = NoiseModel::atPhysicalRate(
+        0.0, HardwareParams::transmonsWithMemory());
+    cfg.noise.idleScale = 0.0;
+    return cfg;
+}
+
+GeneratorConfig
+noisyConfig(int d, CheckBasis basis, ExtractionSchedule schedule, double p)
+{
+    GeneratorConfig cfg = noiselessConfig(d, basis, schedule);
+    cfg.noise = NoiseModel::atPhysicalRate(
+        p, HardwareParams::transmonsWithMemory());
+    return cfg;
+}
+
+/** All detectors of a noiseless run must be quiet (tableau-verified). */
+void
+expectNoiselessDetectorsQuiet(const Circuit& circuit, uint64_t seed)
+{
+    TableauSimulator sim(circuit.numQubits(), seed);
+    std::vector<bool> records = sim.runCircuit(circuit);
+    for (size_t i = 0; i < circuit.detectors().size(); ++i) {
+        bool parity = false;
+        for (uint32_t m : circuit.detectors()[i].measurements)
+            parity ^= records[m];
+        EXPECT_FALSE(parity) << "detector " << i << " fired noiselessly";
+    }
+}
+
+struct SetupParam
+{
+    EmbeddingKind embedding;
+    ExtractionSchedule schedule;
+    CheckBasis basis;
+};
+
+class GeneratorQuiescence
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(GeneratorQuiescence, NoiselessDetectorsAreDeterministicallyQuiet)
+{
+    auto [embInt, schedInt, basisInt] = GetParam();
+    EmbeddingKind emb = static_cast<EmbeddingKind>(embInt);
+    ExtractionSchedule sched = static_cast<ExtractionSchedule>(schedInt);
+    CheckBasis basis = static_cast<CheckBasis>(basisInt);
+
+    GeneratorConfig cfg = noiselessConfig(3, basis, sched);
+    GeneratedCircuit gen = generateMemoryCircuit(emb, cfg);
+    // Two different tableau seeds: results must be quiet regardless of
+    // the random first-round outcomes of the opposite-basis checks.
+    expectNoiselessDetectorsQuiet(gen.circuit, 11);
+    expectNoiselessDetectorsQuiet(gen.circuit, 22);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSetups, GeneratorQuiescence,
+    ::testing::Combine(::testing::Values(0, 1, 2), // embedding
+                       ::testing::Values(0, 1),    // schedule
+                       ::testing::Values(0, 1)));  // basis
+
+TEST(Generators, BaselineStructure)
+{
+    GeneratorConfig cfg = noiselessConfig(3, CheckBasis::Z);
+    GeneratedCircuit gen = generateBaselineMemory(cfg);
+    const Circuit& c = gen.circuit;
+    // d rounds of 8 ancilla measurements + 9 final data measurements.
+    EXPECT_EQ(c.numMeasurements(), 3u * 8u + 9u);
+    // Detectors: 4 Z-checks x (3 rounds + final).
+    EXPECT_EQ(c.detectors().size(), 4u * 4u);
+    EXPECT_EQ(c.observables().size(), 1u);
+    EXPECT_EQ(gen.loadStoreCount, 0);
+    // 4 CNOT slots/round on 4-weight and 2-weight plaquettes:
+    // total CNOTs/round = sum of weights = 4*4 + 4*2 = 24.
+    EXPECT_EQ(c.countOps(OpCode::CNOT), 3u * 24u);
+}
+
+TEST(Generators, NaturalAaoLoadStoreCount)
+{
+    GeneratorConfig cfg = noiselessConfig(3, CheckBasis::Z,
+                                          ExtractionSchedule::AllAtOnce);
+    GeneratedCircuit gen = generateNaturalMemory(cfg);
+    // One load + one store of 9 data qubits.
+    EXPECT_EQ(gen.loadStoreCount, 2 * 9);
+}
+
+TEST(Generators, NaturalInterleavedLoadStoreCount)
+{
+    GeneratorConfig cfg = noiselessConfig(3, CheckBasis::Z,
+                                          ExtractionSchedule::Interleaved);
+    GeneratedCircuit gen = generateNaturalMemory(cfg);
+    // Load+store per round per data qubit.
+    EXPECT_EQ(gen.loadStoreCount, 2 * 9 * 3);
+}
+
+TEST(Generators, CompactUsesTransmonModeCnots)
+{
+    GeneratorConfig cfg = noiselessConfig(3, CheckBasis::Z);
+    GeneratedCircuit gen = generateCompactMemory(cfg);
+    // Merged checks talk to their co-located data without loads; the
+    // rest go through load/CNOT/store. Every round still runs 24 CNOTs
+    // (in SWAP-wrapped form for the loaded ones).
+    EXPECT_GT(gen.loadStoreCount, 0);
+    EXPECT_EQ(gen.circuit.countOps(OpCode::CNOT),
+              3u * 24u + static_cast<size_t>(gen.loadStoreCount) * 0u);
+}
+
+TEST(Generators, InterleavedTakesLongerThanAao)
+{
+    GeneratorConfig aao = noisyConfig(3, CheckBasis::Z,
+                                      ExtractionSchedule::AllAtOnce, 1e-3);
+    GeneratorConfig il = noisyConfig(3, CheckBasis::Z,
+                                     ExtractionSchedule::Interleaved, 1e-3);
+    GeneratedCircuit a = generateNaturalMemory(aao);
+    GeneratedCircuit b = generateNaturalMemory(il);
+    EXPECT_GT(b.activeDurationNs, a.activeDurationNs);
+    EXPECT_GT(b.loadStoreCount, a.loadStoreCount);
+}
+
+TEST(Generators, PagingGapScalesWithCavityDepthPerRound)
+{
+    GeneratorConfig cfg = noisyConfig(3, CheckBasis::Z,
+                                      ExtractionSchedule::AllAtOnce, 1e-3);
+    cfg.gapModel = PagingGapModel::PerRound;
+    cfg.cavityDepth = 2;
+    double t2 = generateNaturalMemory(cfg).totalDurationNs;
+    cfg.cavityDepth = 10;
+    double t10 = generateNaturalMemory(cfg).totalDurationNs;
+    // Strict steady-state AAO: total duration = k x active duration.
+    EXPECT_NEAR(t10 / t2, 5.0, 0.01);
+}
+
+TEST(Generators, PagingGapBlockOnceIsOneRoundDose)
+{
+    GeneratorConfig cfg = noisyConfig(3, CheckBasis::Z,
+                                      ExtractionSchedule::AllAtOnce, 1e-3);
+    cfg.gapModel = PagingGapModel::BlockOnce;
+    cfg.cavityDepth = 1;
+    GeneratedCircuit noGap = generateNaturalMemory(cfg);
+    cfg.cavityDepth = 10;
+    GeneratedCircuit gap = generateNaturalMemory(cfg);
+    double roundDur = noGap.activeDurationNs / 3.0;
+    EXPECT_NEAR(gap.totalDurationNs - gap.activeDurationNs,
+                9.0 * roundDur, 1.0);
+    EXPECT_NEAR(gap.activeDurationNs, noGap.activeDurationNs, 1.0);
+}
+
+TEST(Generators, PerRoundGapExceedsBlockOnce)
+{
+    GeneratorConfig cfg = noisyConfig(3, CheckBasis::Z,
+                                      ExtractionSchedule::Interleaved,
+                                      1e-3);
+    cfg.gapModel = PagingGapModel::BlockOnce;
+    double tBlock = generateCompactMemory(cfg).totalDurationNs;
+    cfg.gapModel = PagingGapModel::PerRound;
+    double tRound = generateCompactMemory(cfg).totalDurationNs;
+    EXPECT_GT(tRound, tBlock);
+}
+
+TEST(Generators, NoiseMassGrowsWithP)
+{
+    GeneratorConfig lo = noisyConfig(3, CheckBasis::Z,
+                                     ExtractionSchedule::AllAtOnce, 1e-3);
+    GeneratorConfig hi = noisyConfig(3, CheckBasis::Z,
+                                     ExtractionSchedule::AllAtOnce, 1e-2);
+    double mLo = generateNaturalMemory(lo).circuit.totalNoiseMass();
+    double mHi = generateNaturalMemory(hi).circuit.totalNoiseMass();
+    EXPECT_GT(mHi, 5.0 * mLo);
+}
+
+TEST(Generators, RoundsDefaultToDistance)
+{
+    GeneratorConfig cfg = noiselessConfig(5, CheckBasis::Z);
+    EXPECT_EQ(cfg.effectiveRounds(), 5);
+    cfg.rounds = 2;
+    EXPECT_EQ(cfg.effectiveRounds(), 2);
+    GeneratedCircuit gen = generateBaselineMemory(cfg);
+    EXPECT_EQ(gen.circuit.numMeasurements(), 2u * 24u + 25u);
+}
+
+TEST(Generators, MemoryXDetectorsUseXChecks)
+{
+    GeneratorConfig cfg = noiselessConfig(3, CheckBasis::X);
+    GeneratedCircuit gen = generateBaselineMemory(cfg);
+    for (const auto& det : gen.circuit.detectors())
+        EXPECT_EQ(det.basis, CheckBasis::X);
+}
+
+TEST(Generators, BudgetCategoriesMatchSetupStructure)
+{
+    GeneratorConfig cfg = noisyConfig(3, CheckBasis::Z,
+                                      ExtractionSchedule::AllAtOnce, 2e-3);
+    GeneratedCircuit base = generateBaselineMemory(cfg);
+    // The baseline has no memory hardware at all.
+    EXPECT_EQ(base.budget.loadStore, 0.0);
+    EXPECT_EQ(base.budget.gateTM, 0.0);
+    EXPECT_EQ(base.budget.idleCavity, 0.0);
+    EXPECT_GT(base.budget.gateTT, 0.0);
+    EXPECT_GT(base.budget.measurement, 0.0);
+    EXPECT_GT(base.budget.idleTransmon, 0.0);
+
+    GeneratedCircuit nat = generateNaturalMemory(cfg);
+    EXPECT_GT(nat.budget.loadStore, 0.0);
+    EXPECT_GT(nat.budget.idleCavity, 0.0);
+    EXPECT_EQ(nat.budget.gateTM, 0.0); // Natural has no TM CNOTs
+
+    GeneratedCircuit comp = generateCompactMemory(cfg);
+    EXPECT_GT(comp.budget.gateTM, 0.0); // co-located checks use TM
+    EXPECT_GT(comp.budget.loadStore, 0.0);
+}
+
+TEST(Generators, BudgetTotalMatchesCircuitNoiseMass)
+{
+    GeneratorConfig cfg = noisyConfig(3, CheckBasis::Z,
+                                      ExtractionSchedule::Interleaved,
+                                      2e-3);
+    GeneratedCircuit gen = generateCompactMemory(cfg);
+    EXPECT_NEAR(gen.budget.total(), gen.circuit.totalNoiseMass(), 1e-9);
+}
+
+TEST(Generators, InterleavedPaysMoreLoadStoreMassThanAao)
+{
+    GeneratorConfig aao = noisyConfig(5, CheckBasis::Z,
+                                      ExtractionSchedule::AllAtOnce, 2e-3);
+    GeneratorConfig il = noisyConfig(5, CheckBasis::Z,
+                                     ExtractionSchedule::Interleaved,
+                                     2e-3);
+    EXPECT_GT(generateNaturalMemory(il).budget.loadStore,
+              generateNaturalMemory(aao).budget.loadStore);
+}
+
+TEST(Generators, CompactLazyLoadsBeatStoreBackPolicy)
+{
+    // With lazy load/store, Compact's per-round load/store count must
+    // stay within ~3x Natural-Interleaved's 2 per data per round
+    // (the paper: "similar cost as Natural, Interleaved").
+    GeneratorConfig cfg = noisyConfig(5, CheckBasis::Z,
+                                      ExtractionSchedule::AllAtOnce, 2e-3);
+    GeneratedCircuit comp = generateCompactMemory(cfg);
+    int perDataPerRound = comp.loadStoreCount / (5 * 25);
+    EXPECT_LE(perDataPerRound, 3);
+}
+
+TEST(Generators, SampledNoiselessRunIsQuiet)
+{
+    // The frame simulator agrees: with zero noise no detector fires.
+    GeneratorConfig cfg = noiselessConfig(5, CheckBasis::Z);
+    GeneratedCircuit gen = generateCompactMemory(cfg);
+    FrameSimulator sim(gen.circuit);
+    Rng rng(7);
+    BitVec flips = sim.sampleMeasurementFlips(rng);
+    BitVec det = FrameSimulator::detectorFlips(gen.circuit, flips);
+    EXPECT_TRUE(det.none());
+    EXPECT_EQ(FrameSimulator::observableFlips(gen.circuit, flips), 0u);
+}
+
+} // namespace
+} // namespace vlq

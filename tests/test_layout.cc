@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "surface/layout.h"
+#include "surface/render.h"
+
+namespace vlq {
+namespace {
+
+class LayoutTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LayoutTest, Counts)
+{
+    int d = GetParam();
+    SurfaceLayout layout(d);
+    EXPECT_EQ(layout.numData(), d * d);
+    EXPECT_EQ(layout.numChecks(), d * d - 1);
+    EXPECT_EQ(static_cast<int>(layout.plaquettes().size()), d * d - 1);
+    // Balanced check types.
+    EXPECT_EQ(layout.checksOf(CheckBasis::Z).size(),
+              layout.checksOf(CheckBasis::X).size());
+}
+
+TEST_P(LayoutTest, PlaquetteWeights)
+{
+    SurfaceLayout layout(GetParam());
+    int half = 0;
+    for (const auto& p : layout.plaquettes()) {
+        EXPECT_TRUE(p.weight() == 2 || p.weight() == 4);
+        if (p.weight() == 2)
+            ++half;
+    }
+    // 2(d-1) boundary half-checks.
+    EXPECT_EQ(half, 2 * (GetParam() - 1));
+}
+
+TEST_P(LayoutTest, EveryDataInTwoToFourChecks)
+{
+    SurfaceLayout layout(GetParam());
+    std::vector<int> count(static_cast<size_t>(layout.numData()), 0);
+    for (const auto& p : layout.plaquettes())
+        for (uint32_t q : p.data)
+            ++count[q];
+    for (int c : count) {
+        EXPECT_GE(c, 2);
+        EXPECT_LE(c, 4);
+    }
+}
+
+TEST_P(LayoutTest, StabilizersCommutePairwise)
+{
+    SurfaceLayout layout(GetParam());
+    for (uint32_t i = 0; i < layout.plaquettes().size(); ++i) {
+        PauliString si = layout.stabilizer(i);
+        for (uint32_t j = i + 1; j < layout.plaquettes().size(); ++j)
+            EXPECT_TRUE(si.commutesWith(layout.stabilizer(j)))
+                << "checks " << i << " and " << j;
+    }
+}
+
+TEST_P(LayoutTest, LogicalOperatorsValid)
+{
+    SurfaceLayout layout(GetParam());
+    PauliString lz = layout.logicalZ();
+    PauliString lx = layout.logicalX();
+    EXPECT_EQ(lz.weight(), static_cast<size_t>(GetParam()));
+    EXPECT_EQ(lx.weight(), static_cast<size_t>(GetParam()));
+    EXPECT_FALSE(lz.commutesWith(lx));
+    for (uint32_t i = 0; i < layout.plaquettes().size(); ++i) {
+        EXPECT_TRUE(lz.commutesWith(layout.stabilizer(i)));
+        EXPECT_TRUE(lx.commutesWith(layout.stabilizer(i)));
+    }
+}
+
+TEST_P(LayoutTest, NoDataTouchedTwiceInOneStep)
+{
+    SurfaceLayout layout(GetParam());
+    for (int step = 0; step < 4; ++step) {
+        std::set<int32_t> touched;
+        for (const auto& p : layout.plaquettes()) {
+            int32_t q = layout.dataAtStep(p, step);
+            if (q >= 0)
+                EXPECT_TRUE(touched.insert(q).second)
+                    << "data " << q << " reused in step " << step;
+        }
+    }
+}
+
+TEST_P(LayoutTest, ExtractionOrderCoversAllData)
+{
+    SurfaceLayout layout(GetParam());
+    for (const auto& p : layout.plaquettes()) {
+        std::set<int32_t> seen;
+        for (int step = 0; step < 4; ++step) {
+            int32_t q = layout.dataAtStep(p, step);
+            if (q >= 0)
+                seen.insert(q);
+        }
+        EXPECT_EQ(seen.size(), p.weight());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, LayoutTest,
+                         ::testing::Values(3, 5, 7, 9, 11));
+
+TEST(Layout, DataIndexRoundTrip)
+{
+    SurfaceLayout layout(5);
+    for (int iy = 0; iy < 5; ++iy) {
+        for (int ix = 0; ix < 5; ++ix) {
+            uint32_t q = layout.dataIndex(ix, iy);
+            auto [jx, jy] = layout.dataCell(q);
+            EXPECT_EQ(jx, ix);
+            EXPECT_EQ(jy, iy);
+            auto [px, py] = layout.dataPos(q);
+            EXPECT_EQ(px, 2 * ix + 1);
+            EXPECT_EQ(py, 2 * iy + 1);
+        }
+    }
+}
+
+TEST(Layout, BoundaryCheckPlacement)
+{
+    SurfaceLayout layout(5);
+    for (const auto& p : layout.plaquettes()) {
+        if (p.cy == 0 || p.cy == 10)
+            EXPECT_EQ(p.basis, CheckBasis::X) << "top/bottom must be X";
+        if (p.cx == 0 || p.cx == 10)
+            EXPECT_EQ(p.basis, CheckBasis::Z) << "left/right must be Z";
+    }
+}
+
+TEST(Render, PlainLayoutShape)
+{
+    SurfaceLayout layout(3);
+    std::string art = LayoutRenderer::render(layout);
+    // 9 data, 4 Z checks, 4 X checks visible.
+    EXPECT_EQ(std::count(art.begin(), art.end(), 'o'), 9);
+    EXPECT_EQ(std::count(art.begin(), art.end(), 'Z'), 4);
+    EXPECT_EQ(std::count(art.begin(), art.end(), 'X'), 4);
+    // 7 rows of 7 columns.
+    EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 7);
+}
+
+TEST(Render, CompactViewMergesAncillas)
+{
+    SurfaceLayout layout(3);
+    std::string art = LayoutRenderer::renderCompact(layout);
+    // Merged ancillas overwrite their data cell: o + z + x + * = 9 + 2.
+    int data = static_cast<int>(std::count(art.begin(), art.end(), 'o'));
+    int z = static_cast<int>(std::count(art.begin(), art.end(), 'z'));
+    int x = static_cast<int>(std::count(art.begin(), art.end(), 'x'));
+    int ded = static_cast<int>(std::count(art.begin(), art.end(), '*'));
+    EXPECT_EQ(data + z + x, 9);   // every data transmon drawn once
+    EXPECT_EQ(ded, 2);            // d-1 dedicated ancillas
+    EXPECT_EQ(z + x, 6);          // merged checks
+}
+
+TEST(Render, OrderViewUsesDigits)
+{
+    SurfaceLayout layout(3);
+    std::string art = LayoutRenderer::renderOrder(layout, CheckBasis::Z);
+    for (char c : {'0', '1', '2', '3'})
+        EXPECT_NE(art.find(c), std::string::npos);
+    EXPECT_NE(art.find('Z'), std::string::npos);
+    EXPECT_EQ(art.find('X'), std::string::npos);
+}
+
+TEST(Layout, RejectsBadDistance)
+{
+    EXPECT_DEATH(SurfaceLayout(4), "odd");
+    EXPECT_DEATH(SurfaceLayout(1), "odd");
+}
+
+} // namespace
+} // namespace vlq

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "core/lattice_surgery.h"
+#include "core/logical_machine.h"
+#include "core/paging.h"
+
+namespace vlq {
+namespace {
+
+DeviceConfig
+device(int w = 2, int h = 2, int k = 10)
+{
+    DeviceConfig cfg;
+    cfg.embedding = EmbeddingKind::Compact;
+    cfg.distance = 3;
+    cfg.gridWidth = w;
+    cfg.gridHeight = h;
+    cfg.cavityDepth = k;
+    return cfg;
+}
+
+TEST(LatticeSurgeryTest, CnotSequenceIsSixSteps)
+{
+    auto seq = latticeSurgeryCnotSequence();
+    int total = 0;
+    for (const auto& s : seq)
+        total += s.timesteps;
+    EXPECT_EQ(total, LogicalOpCosts::latticeSurgeryCnot);
+    EXPECT_EQ(total, 6);
+}
+
+TEST(LatticeSurgeryTest, TransversalSixTimesFaster)
+{
+    EXPECT_EQ(LogicalOpCosts::latticeSurgeryCnot /
+                  LogicalOpCosts::transversalCnot,
+              6);
+}
+
+TEST(RefreshSchedulerTest, IdleStaleBoundedByResidents)
+{
+    RefreshScheduler sched(1, 10);
+    std::vector<int> slots;
+    for (int i = 0; i < 5; ++i)
+        slots.push_back(sched.addResident(0));
+    std::vector<bool> busy{false};
+    for (int t = 0; t < 100; ++t)
+        sched.step(busy);
+    // Round-robin over 5 residents: staleness stays below 5(+1 edge).
+    EXPECT_LE(sched.maxStalenessObserved(), 5);
+    EXPECT_EQ(sched.refreshCount(), 100u);
+}
+
+TEST(RefreshSchedulerTest, BusyStackDelaysRefresh)
+{
+    RefreshScheduler sched(1, 10);
+    int slot = sched.addResident(0);
+    std::vector<bool> busy{true};
+    for (int t = 0; t < 7; ++t)
+        sched.step(busy);
+    EXPECT_EQ(sched.staleness(slot), 7);
+    sched.step({false});
+    EXPECT_EQ(sched.staleness(slot), 1); // refreshed then aged
+}
+
+TEST(RefreshSchedulerTest, TouchResetsStaleness)
+{
+    RefreshScheduler sched(2, 4);
+    int a = sched.addResident(0);
+    int b = sched.addResident(0);
+    (void)b;
+    std::vector<bool> busy{true, false};
+    sched.step(busy);
+    sched.step(busy);
+    EXPECT_EQ(sched.staleness(a), 2);
+    sched.touch(a);
+    EXPECT_EQ(sched.staleness(a), 0);
+}
+
+TEST(RefreshSchedulerTest, CapacityEnforced)
+{
+    RefreshScheduler sched(1, 2);
+    sched.addResident(0);
+    sched.addResident(0);
+    EXPECT_DEATH(sched.addResident(0), "capacity");
+}
+
+TEST(LogicalMachineTest, AllocAssignsDistinctAddresses)
+{
+    LogicalMachine machine(device());
+    LogicalQubit a = machine.alloc();
+    LogicalQubit b = machine.alloc();
+    LogicalQubit c = machine.alloc();
+    EXPECT_FALSE(machine.addressOf(a) == machine.addressOf(b));
+    EXPECT_FALSE(machine.addressOf(a) == machine.addressOf(c));
+    EXPECT_EQ(machine.numAllocated(), 3);
+    machine.release(b);
+    EXPECT_EQ(machine.numAllocated(), 2);
+}
+
+TEST(LogicalMachineTest, StackKeepsOneFreeMode)
+{
+    DeviceConfig cfg = device(1, 1, 4);
+    LogicalMachine machine(cfg);
+    // Capacity = k - 1 = 3.
+    machine.allocAt({0, 0});
+    machine.allocAt({0, 0});
+    machine.allocAt({0, 0});
+    EXPECT_DEATH(machine.allocAt({0, 0}), "full");
+}
+
+TEST(LogicalMachineTest, TransversalCnotRequiresColocation)
+{
+    LogicalMachine machine(device(2, 1));
+    LogicalQubit a = machine.allocAt({0, 0});
+    LogicalQubit b = machine.allocAt({1, 0});
+    EXPECT_DEATH(machine.cnotTransversal(a, b), "co-located");
+}
+
+TEST(LogicalMachineTest, TransversalCnotTakesOneStep)
+{
+    LogicalMachine machine(device(1, 1));
+    LogicalQubit a = machine.allocAt({0, 0});
+    LogicalQubit b = machine.allocAt({0, 0});
+    int before = machine.currentStep();
+    machine.cnotTransversal(a, b);
+    EXPECT_EQ(machine.currentStep() - before, 1);
+}
+
+TEST(LogicalMachineTest, LatticeSurgeryCnotTakesSixSteps)
+{
+    LogicalMachine machine(device(2, 2));
+    LogicalQubit a = machine.allocAt({0, 0});
+    LogicalQubit b = machine.allocAt({1, 1});
+    int before = machine.currentStep();
+    machine.cnotLatticeSurgery(a, b);
+    EXPECT_EQ(machine.currentStep() - before, 6);
+}
+
+TEST(LogicalMachineTest, CnotViaColocation)
+{
+    LogicalMachine machine(device(2, 1));
+    LogicalQubit a = machine.allocAt({0, 0});
+    LogicalQubit b = machine.allocAt({1, 0});
+    int before = machine.currentStep();
+    machine.cnotViaColocation(a, b);
+    // Move (1) + transversal CNOT (1) = 2 steps; 6x -> 3x faster than
+    // lattice surgery depending on the move.
+    EXPECT_EQ(machine.currentStep() - before, 2);
+    EXPECT_EQ(machine.addressOf(b).stack, machine.addressOf(a).stack);
+
+    // With move back: 3 steps total.
+    LogicalQubit c = machine.allocAt({1, 0});
+    before = machine.currentStep();
+    machine.cnotViaColocation(a, c, true);
+    EXPECT_EQ(machine.currentStep() - before, 3);
+    EXPECT_EQ(machine.addressOf(c).stack, (PhysicalAddress{1, 0}));
+}
+
+TEST(LogicalMachineTest, MoveUpdatesAddress)
+{
+    LogicalMachine machine(device(3, 1));
+    LogicalQubit q = machine.allocAt({0, 0});
+    machine.moveQubit(q, {2, 0});
+    EXPECT_EQ(machine.addressOf(q).stack, (PhysicalAddress{2, 0}));
+    EXPECT_EQ(machine.currentStep(), 1);
+}
+
+TEST(LogicalMachineTest, RefreshKeepsIdleQubitsFresh)
+{
+    DeviceConfig cfg = device(1, 1, 10);
+    LogicalMachine machine(cfg);
+    for (int i = 0; i < 5; ++i)
+        machine.alloc();
+    machine.idle(100);
+    // 5 residents, idle stack: staleness bounded by resident count.
+    EXPECT_LE(machine.maxStaleness(), 5);
+}
+
+TEST(LogicalMachineTest, BusyOpsGrowStaleness)
+{
+    DeviceConfig cfg = device(1, 1, 10);
+    LogicalMachine machine(cfg);
+    LogicalQubit a = machine.allocAt({0, 0});
+    LogicalQubit b = machine.allocAt({0, 0});
+    machine.alloc(); // a third resident that never gets touched
+    for (int i = 0; i < 20; ++i)
+        machine.cnotTransversal(a, b);
+    // The untouched resident aged during all 20 busy steps.
+    EXPECT_GE(machine.maxStaleness(), 20);
+}
+
+TEST(LogicalMachineTest, ScheduleRecordsOps)
+{
+    LogicalMachine machine(device());
+    LogicalQubit a = machine.allocAt({0, 0});
+    machine.initQubit(a);
+    machine.singleQubitGate(a, "H");
+    machine.measureQubit(a, "Z");
+    ASSERT_EQ(machine.schedule().size(), 3u);
+    EXPECT_NE(machine.schedule()[0].description.find("init"),
+              std::string::npos);
+    EXPECT_NE(machine.schedule()[2].description.find("measure_Z"),
+              std::string::npos);
+}
+
+TEST(LogicalMachineTest, MoveManyPacksDisjointRoutes)
+{
+    // Two moves with disjoint routes share one timestep.
+    LogicalMachine machine(device(4, 2));
+    LogicalQubit a = machine.allocAt({0, 0});
+    LogicalQubit b = machine.allocAt({0, 1});
+    int steps = machine.moveMany({{a, {1, 0}}, {b, {1, 1}}});
+    EXPECT_EQ(steps, 1);
+    EXPECT_EQ(machine.addressOf(a).stack, (PhysicalAddress{1, 0}));
+    EXPECT_EQ(machine.addressOf(b).stack, (PhysicalAddress{1, 1}));
+}
+
+TEST(LogicalMachineTest, MoveManySerializesIntersectingRoutes)
+{
+    // Both routes cross stack (1,0): the second move waits a wave.
+    LogicalMachine machine(device(4, 1));
+    LogicalQubit a = machine.allocAt({0, 0});
+    LogicalQubit b = machine.allocAt({1, 0});
+    int steps = machine.moveMany({{a, {2, 0}}, {b, {3, 0}}});
+    EXPECT_EQ(steps, 2);
+}
+
+TEST(LogicalMachineTest, MoveManyNoOpMovesAreFree)
+{
+    LogicalMachine machine(device(2, 1));
+    LogicalQubit a = machine.allocAt({0, 0});
+    int steps = machine.moveMany({{a, {0, 0}}});
+    EXPECT_EQ(steps, 0);
+}
+
+TEST(LogicalMachineTest, MeasureReleasesCapacity)
+{
+    DeviceConfig cfg = device(1, 1, 3); // capacity 2
+    LogicalMachine machine(cfg);
+    LogicalQubit a = machine.allocAt({0, 0});
+    machine.allocAt({0, 0});
+    machine.measureQubit(a, "Z");
+    // Slot freed: allocation succeeds again.
+    LogicalQubit c = machine.allocAt({0, 0});
+    EXPECT_GE(c, 0);
+}
+
+} // namespace
+} // namespace vlq

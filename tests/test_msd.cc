@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "msd/distillation_circuit.h"
+#include "msd/factory.h"
+#include "msd/protocols.h"
+
+namespace vlq {
+namespace {
+
+TEST(Protocols, PaperConstants)
+{
+    DistillationProtocol fast = fastLatticeProtocol();
+    EXPECT_EQ(fast.transmonsAtD5, 1499);
+    EXPECT_DOUBLE_EQ(fast.patchesPerCopy, 30.0);
+    EXPECT_DOUBLE_EQ(fast.stepsPerTState, 6.0);
+
+    DistillationProtocol small = smallLatticeProtocol();
+    EXPECT_EQ(small.transmonsAtD5, 549);
+    EXPECT_DOUBLE_EQ(small.patchesPerCopy, 11.0);
+    EXPECT_DOUBLE_EQ(small.stepsPerTState, 11.0);
+
+    DistillationProtocol vq = vqubitsProtocol(true, true);
+    EXPECT_EQ(vq.transmonsAtD5, 49);
+    EXPECT_EQ(vq.cavitiesAtD5, 25);
+    EXPECT_EQ(vq.totalQubitsAtD5(), 299);
+    EXPECT_DOUBLE_EQ(vq.stepsPerTState, 99.0);
+
+    DistillationProtocol vqc = vqubitsProtocol(false, true);
+    EXPECT_EQ(vqc.transmonsAtD5, 29);
+    EXPECT_EQ(vqc.totalQubitsAtD5(), 279);
+
+    EXPECT_DOUBLE_EQ(vqubitsProtocol(true, false).stepsPerTState, 110.0);
+}
+
+TEST(Protocols, Figure13aRates)
+{
+    // Paper Fig. 13a with 100 patches: VQubits ~1.01, Small ~0.83,
+    // Fast ~0.56; speedups 1.22x over Small and 1.82x over Fast.
+    double patches = 100.0;
+    double fast = fastLatticeProtocol().ratePerStep(patches);
+    double small = smallLatticeProtocol().ratePerStep(patches);
+    double vq = vqubitsProtocol(true, true).ratePerStep(patches);
+    EXPECT_NEAR(fast, 100.0 / 180.0, 1e-9);
+    EXPECT_NEAR(small, 100.0 / 121.0, 1e-9);
+    EXPECT_NEAR(vq, 100.0 / 99.0, 1e-9);
+    EXPECT_NEAR(vq / small, 1.22, 0.01);
+    EXPECT_NEAR(vq / fast, 1.82, 0.01);
+}
+
+TEST(Protocols, Figure13bSpace)
+{
+    EXPECT_NEAR(fastLatticeProtocol().patchesForUnitRate(), 180.0, 1e-9);
+    EXPECT_NEAR(smallLatticeProtocol().patchesForUnitRate(), 121.0, 1e-9);
+    EXPECT_NEAR(vqubitsProtocol(true, true).patchesForUnitRate(), 99.0,
+                1e-9);
+}
+
+TEST(Protocols, Figure13RowOrder)
+{
+    auto rows = figure13Rows(100.0);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].name, "Fast");
+    EXPECT_EQ(rows[1].name, "Small");
+    EXPECT_EQ(rows[2].name, "VQubits (natural)");
+    // VQubits wins.
+    EXPECT_GT(rows[2].rate, rows[1].rate);
+    EXPECT_GT(rows[1].rate, rows[0].rate);
+}
+
+TEST(DistillationProgramTest, PaperOpCounts)
+{
+    DistillationProgram prog = DistillationProgram::fifteenToOne();
+    int inits = prog.countOps(LogicalOpKind::InitZero)
+              + prog.countOps(LogicalOpKind::InitPlus)
+              + prog.countOps(LogicalOpKind::InitT);
+    EXPECT_EQ(inits, 16);
+    EXPECT_EQ(prog.countOps(LogicalOpKind::Cnot), 35);
+    EXPECT_EQ(prog.countOps(LogicalOpKind::MeasureZ)
+                  + prog.countOps(LogicalOpKind::MeasureX),
+              15);
+    EXPECT_EQ(prog.numQubits, 16);
+    EXPECT_EQ(prog.maxLiveQubits, 6);
+}
+
+TEST(DistillationProgramTest, OpsUseValidQubits)
+{
+    DistillationProgram prog = DistillationProgram::fifteenToOne();
+    for (const auto& op : prog.ops) {
+        EXPECT_GE(op.q0, 0);
+        EXPECT_LT(op.q0, prog.numQubits);
+        if (op.kind == LogicalOpKind::Cnot) {
+            EXPECT_GE(op.q1, 0);
+            EXPECT_LT(op.q1, prog.numQubits);
+            EXPECT_NE(op.q0, op.q1);
+        }
+    }
+    EXPECT_FALSE(prog.ops.front().str().empty());
+}
+
+TEST(Factory, ScheduleFitsSingleStack)
+{
+    DeviceConfig cfg;
+    cfg.embedding = EmbeddingKind::Natural;
+    cfg.distance = 5;
+    cfg.gridWidth = 1;
+    cfg.gridHeight = 1;
+    cfg.cavityDepth = 10;
+    FactoryScheduleResult result = scheduleFifteenToOne(cfg);
+    EXPECT_EQ(result.transversalCnots, 35);
+    EXPECT_LE(result.peakQubits, 6);
+    // Every op serializes on the single stack: 16 + 35 + 15 = 66
+    // timesteps is the lower bound our scheduler must meet exactly.
+    EXPECT_EQ(result.timesteps, 66);
+    // The paper quotes 110 steps for its (more conservative) schedule;
+    // ours must not exceed that.
+    EXPECT_LE(result.timesteps, 110);
+}
+
+TEST(Factory, RequiresEnoughModes)
+{
+    DeviceConfig cfg;
+    cfg.embedding = EmbeddingKind::Natural;
+    cfg.gridWidth = 1;
+    cfg.gridHeight = 1;
+    cfg.cavityDepth = 5;
+    EXPECT_DEATH(scheduleFifteenToOne(cfg), "15-to-1");
+}
+
+} // namespace
+} // namespace vlq

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "noise/hardware_params.h"
+#include "noise/noise_model.h"
+
+namespace vlq {
+namespace {
+
+TEST(HardwareParams, TableOneDefaults)
+{
+    HardwareParams hw = HardwareParams::transmonsWithMemory();
+    EXPECT_DOUBLE_EQ(hw.t1Transmon, 100.0e3); // 100 us
+    EXPECT_DOUBLE_EQ(hw.t1Cavity, 1.0e6);     // 1 ms
+    EXPECT_DOUBLE_EQ(hw.tGate1, 50.0);
+    EXPECT_DOUBLE_EQ(hw.tGate2, 200.0);
+    EXPECT_DOUBLE_EQ(hw.tGateTm, 200.0);
+    EXPECT_DOUBLE_EQ(hw.tLoadStore, 150.0);
+}
+
+TEST(NoiseModel, DerivedRates)
+{
+    NoiseModel nm = NoiseModel::atPhysicalRate(
+        4e-3, HardwareParams::transmonsWithMemory());
+    EXPECT_DOUBLE_EQ(nm.p2, 4e-3);
+    EXPECT_DOUBLE_EQ(nm.pTm, 4e-3);
+    EXPECT_DOUBLE_EQ(nm.pLoadStore, 4e-3);
+    EXPECT_DOUBLE_EQ(nm.p1, 4e-4);
+    EXPECT_DOUBLE_EQ(nm.pMeas, 4e-3);
+    EXPECT_DOUBLE_EQ(nm.pReset, 0.0);
+    EXPECT_DOUBLE_EQ(nm.idleScale, 2.0); // 4e-3 / 2e-3
+}
+
+TEST(NoiseModel, FixedCoherenceOption)
+{
+    NoiseModel nm = NoiseModel::atPhysicalRate(
+        8e-3, HardwareParams::transmonsWithMemory(), false);
+    EXPECT_DOUBLE_EQ(nm.idleScale, 1.0);
+}
+
+TEST(NoiseModel, IdleErrorFormula)
+{
+    NoiseModel nm = NoiseModel::atPhysicalRate(
+        2e-3, HardwareParams::transmonsWithMemory());
+    // lambda = 1 - exp(-dt/T1) at the reference point.
+    double dt = 1000.0; // 1 us
+    double expectT = 1.0 - std::exp(-dt / 100.0e3);
+    double expectC = 1.0 - std::exp(-dt / 1.0e6);
+    EXPECT_NEAR(nm.idleError(WireKind::Transmon, dt), expectT, 1e-12);
+    EXPECT_NEAR(nm.idleError(WireKind::CavityMode, dt), expectC, 1e-12);
+    // Cavity storage is ~10x less error-prone.
+    EXPECT_NEAR(nm.idleError(WireKind::Transmon, dt)
+                    / nm.idleError(WireKind::CavityMode, dt),
+                10.0, 0.1);
+}
+
+TEST(NoiseModel, IdleErrorScalesLinearly)
+{
+    NoiseModel nm2 = NoiseModel::atPhysicalRate(
+        2e-3, HardwareParams::transmonsWithMemory());
+    NoiseModel nm4 = NoiseModel::atPhysicalRate(
+        4e-3, HardwareParams::transmonsWithMemory());
+    double dt = 500.0;
+    EXPECT_NEAR(nm4.idleError(WireKind::Transmon, dt),
+                2.0 * nm2.idleError(WireKind::Transmon, dt), 1e-12);
+}
+
+TEST(NoiseModel, IdleErrorCapped)
+{
+    NoiseModel nm = NoiseModel::atPhysicalRate(
+        2e-1, HardwareParams::transmonsWithMemory());
+    EXPECT_LE(nm.idleError(WireKind::Transmon, 1e9), 0.75);
+}
+
+TEST(NoiseModel, ZeroAndNegativeDurations)
+{
+    NoiseModel nm = NoiseModel::atPhysicalRate(
+        2e-3, HardwareParams::transmonsWithMemory());
+    EXPECT_EQ(nm.idleError(WireKind::Transmon, 0.0), 0.0);
+    EXPECT_EQ(nm.idleError(WireKind::Transmon, -5.0), 0.0);
+}
+
+} // namespace
+} // namespace vlq

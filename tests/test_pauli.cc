@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "pauli/bitvec.h"
+#include "pauli/pauli.h"
+#include "pauli/pauli_string.h"
+#include "util/rng.h"
+
+namespace vlq {
+namespace {
+
+TEST(Pauli, Components)
+{
+    EXPECT_FALSE(pauliX(Pauli::I));
+    EXPECT_FALSE(pauliZ(Pauli::I));
+    EXPECT_TRUE(pauliX(Pauli::X));
+    EXPECT_FALSE(pauliZ(Pauli::X));
+    EXPECT_FALSE(pauliX(Pauli::Z));
+    EXPECT_TRUE(pauliZ(Pauli::Z));
+    EXPECT_TRUE(pauliX(Pauli::Y));
+    EXPECT_TRUE(pauliZ(Pauli::Y));
+}
+
+TEST(Pauli, MakeRoundTrip)
+{
+    for (Pauli p : {Pauli::I, Pauli::X, Pauli::Y, Pauli::Z})
+        EXPECT_EQ(makePauli(pauliX(p), pauliZ(p)), p);
+}
+
+TEST(Pauli, ProductGroupStructure)
+{
+    // Every element squares to identity (mod phase).
+    for (Pauli p : {Pauli::I, Pauli::X, Pauli::Y, Pauli::Z})
+        EXPECT_EQ(pauliProduct(p, p), Pauli::I);
+    EXPECT_EQ(pauliProduct(Pauli::X, Pauli::Z), Pauli::Y);
+    EXPECT_EQ(pauliProduct(Pauli::X, Pauli::Y), Pauli::Z);
+    EXPECT_EQ(pauliProduct(Pauli::Z, Pauli::Y), Pauli::X);
+}
+
+TEST(Pauli, ProductPhases)
+{
+    // XZ = -iY, ZX = +iY, XY = iZ, YX = -iZ, YZ = iX, ZY = -iX.
+    EXPECT_EQ(pauliProductPhase(Pauli::X, Pauli::Z), 3);
+    EXPECT_EQ(pauliProductPhase(Pauli::Z, Pauli::X), 1);
+    EXPECT_EQ(pauliProductPhase(Pauli::X, Pauli::Y), 1);
+    EXPECT_EQ(pauliProductPhase(Pauli::Y, Pauli::X), 3);
+    EXPECT_EQ(pauliProductPhase(Pauli::Y, Pauli::Z), 1);
+    EXPECT_EQ(pauliProductPhase(Pauli::Z, Pauli::Y), 3);
+    EXPECT_EQ(pauliProductPhase(Pauli::I, Pauli::X), 0);
+}
+
+TEST(Pauli, Commutation)
+{
+    EXPECT_TRUE(pauliCommutes(Pauli::I, Pauli::X));
+    EXPECT_TRUE(pauliCommutes(Pauli::X, Pauli::X));
+    EXPECT_FALSE(pauliCommutes(Pauli::X, Pauli::Z));
+    EXPECT_FALSE(pauliCommutes(Pauli::X, Pauli::Y));
+    EXPECT_FALSE(pauliCommutes(Pauli::Y, Pauli::Z));
+}
+
+TEST(Pauli, Names)
+{
+    EXPECT_EQ(pauliName(Pauli::X), "X");
+    EXPECT_EQ(pauliFromName('y'), Pauli::Y);
+    EXPECT_EQ(pauliFromName('I'), Pauli::I);
+}
+
+TEST(BitVec, SetGetFlip)
+{
+    BitVec v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_TRUE(v.none());
+    v.set(0, true);
+    v.set(129, true);
+    v.flip(64);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(64));
+    EXPECT_TRUE(v.get(129));
+    EXPECT_FALSE(v.get(1));
+    EXPECT_EQ(v.popcount(), 3u);
+    v.flip(64);
+    EXPECT_EQ(v.popcount(), 2u);
+}
+
+TEST(BitVec, XorAndParity)
+{
+    BitVec a(100);
+    BitVec b(100);
+    a.set(3, true);
+    a.set(70, true);
+    b.set(70, true);
+    b.set(99, true);
+    a ^= b;
+    EXPECT_TRUE(a.get(3));
+    EXPECT_FALSE(a.get(70));
+    EXPECT_TRUE(a.get(99));
+    EXPECT_TRUE(a.parity() == false); // two bits set
+}
+
+TEST(BitVec, OnesIndices)
+{
+    BitVec v(200);
+    v.set(5, true);
+    v.set(64, true);
+    v.set(199, true);
+    auto ones = v.onesIndices();
+    ASSERT_EQ(ones.size(), 3u);
+    EXPECT_EQ(ones[0], 5u);
+    EXPECT_EQ(ones[1], 64u);
+    EXPECT_EQ(ones[2], 199u);
+}
+
+TEST(BitVec, AndParity)
+{
+    BitVec a(64);
+    BitVec b(64);
+    a.set(1, true);
+    a.set(2, true);
+    b.set(2, true);
+    b.set(3, true);
+    EXPECT_TRUE(a.andParity(b)); // overlap = {2}, odd
+    b.set(1, true);
+    EXPECT_FALSE(a.andParity(b)); // overlap = {1,2}, even
+}
+
+TEST(BitVec, ResizePreservesAndZeroes)
+{
+    BitVec v(10);
+    v.set(9, true);
+    v.resize(100);
+    EXPECT_TRUE(v.get(9));
+    EXPECT_FALSE(v.get(50));
+    v.resize(5);
+    v.resize(100);
+    EXPECT_FALSE(v.get(9)); // truncated away
+}
+
+TEST(PauliString, FromStringRoundTrip)
+{
+    PauliString p = PauliString::fromString("XIZY");
+    EXPECT_EQ(p.size(), 4u);
+    EXPECT_EQ(p.get(0), Pauli::X);
+    EXPECT_EQ(p.get(1), Pauli::I);
+    EXPECT_EQ(p.get(2), Pauli::Z);
+    EXPECT_EQ(p.get(3), Pauli::Y);
+    EXPECT_EQ(p.str(), "XIZY");
+}
+
+TEST(PauliString, WeightAndIdentity)
+{
+    PauliString p = PauliString::fromString("IXIYZ");
+    EXPECT_EQ(p.weight(), 3u);
+    EXPECT_FALSE(p.isIdentity());
+    PauliString id(5);
+    EXPECT_TRUE(id.isIdentity());
+}
+
+TEST(PauliString, MultiplicationMatchesSitewise)
+{
+    PauliString a = PauliString::fromString("XXYZI");
+    PauliString b = PauliString::fromString("XZIYY");
+    PauliString c = a;
+    c *= b;
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(c.get(i), pauliProduct(a.get(i), b.get(i)));
+}
+
+TEST(PauliString, CommutationExamples)
+{
+    // Single anticommuting site -> anticommute.
+    EXPECT_FALSE(PauliString::fromString("XI").commutesWith(
+        PauliString::fromString("ZI")));
+    // Two anticommuting sites -> commute.
+    EXPECT_TRUE(PauliString::fromString("XX").commutesWith(
+        PauliString::fromString("ZZ")));
+    // Identity commutes with everything.
+    EXPECT_TRUE(PauliString(4).commutesWith(
+        PauliString::fromString("XYZX")));
+}
+
+class PauliStringProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PauliStringProperty, CommutationMatchesSiteCount)
+{
+    // commutesWith must equal the parity of anticommuting sites.
+    Rng rng(static_cast<uint64_t>(GetParam()));
+    const size_t n = 20;
+    for (int trial = 0; trial < 50; ++trial) {
+        PauliString a(n);
+        PauliString b(n);
+        for (size_t i = 0; i < n; ++i) {
+            a.set(i, static_cast<Pauli>(rng.nextBelow(4)));
+            b.set(i, static_cast<Pauli>(rng.nextBelow(4)));
+        }
+        int anti = 0;
+        for (size_t i = 0; i < n; ++i)
+            if (!pauliCommutes(a.get(i), b.get(i)))
+                ++anti;
+        EXPECT_EQ(a.commutesWith(b), anti % 2 == 0);
+    }
+}
+
+TEST_P(PauliStringProperty, MultiplicationIsAssociative)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+    const size_t n = 16;
+    for (int trial = 0; trial < 30; ++trial) {
+        PauliString a(n);
+        PauliString b(n);
+        PauliString c(n);
+        for (size_t i = 0; i < n; ++i) {
+            a.set(i, static_cast<Pauli>(rng.nextBelow(4)));
+            b.set(i, static_cast<Pauli>(rng.nextBelow(4)));
+            c.set(i, static_cast<Pauli>(rng.nextBelow(4)));
+        }
+        PauliString ab = a;
+        ab *= b;
+        PauliString abc1 = ab;
+        abc1 *= c;
+        PauliString bc = b;
+        bc *= c;
+        PauliString abc2 = a;
+        abc2 *= bc;
+        EXPECT_EQ(abc1, abc2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PauliStringProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace
+} // namespace vlq

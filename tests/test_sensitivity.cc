@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "mc/sensitivity.h"
+
+namespace vlq {
+namespace {
+
+GeneratorConfig
+operatingPoint()
+{
+    GeneratorConfig cfg;
+    cfg.cavityDepth = 10;
+    cfg.schedule = ExtractionSchedule::Interleaved;
+    cfg.noise = NoiseModel::atPhysicalRate(
+        2e-3, HardwareParams::transmonsWithMemory(), false);
+    return cfg;
+}
+
+TEST(Sensitivity, PanelsCoverPaperFigure)
+{
+    auto panels = figure12Panels(4);
+    ASSERT_EQ(panels.size(), 7u);
+    EXPECT_EQ(panels[0].name, "SC-SC error sensitivity");
+    EXPECT_EQ(panels[6].name, "Cavity size sensitivity");
+    for (const auto& p : panels) {
+        EXPECT_FALSE(p.values.empty());
+        EXPECT_TRUE(static_cast<bool>(p.apply));
+    }
+}
+
+TEST(Sensitivity, ApplyMutatesOnlyItsParameter)
+{
+    auto panels = figure12Panels(4);
+    GeneratorConfig cfg = operatingPoint();
+    panels[1].apply(cfg, 5e-3); // load/store error
+    EXPECT_DOUBLE_EQ(cfg.noise.pLoadStore, 5e-3);
+    EXPECT_DOUBLE_EQ(cfg.noise.p2, 2e-3); // untouched
+
+    GeneratorConfig cfg2 = operatingPoint();
+    panels[6].apply(cfg2, 20.0); // cavity size
+    EXPECT_EQ(cfg2.cavityDepth, 20);
+    EXPECT_DOUBLE_EQ(cfg2.noise.pLoadStore, 2e-3);
+}
+
+TEST(Sensitivity, RunProducesGridOfEstimates)
+{
+    SensitivitySpec spec;
+    spec.name = "toy";
+    spec.axisLabel = "p2";
+    spec.values = {1e-3, 8e-3};
+    spec.apply = [](GeneratorConfig& c, double x) { c.noise.p2 = x; };
+
+    McOptions mc;
+    mc.trials = 200;
+    SensitivityResult result = runSensitivity(
+        EmbeddingKind::Baseline2D, operatingPoint(), spec, {3, 5}, mc);
+    ASSERT_EQ(result.points.size(), 2u);
+    ASSERT_EQ(result.points[0].size(), 2u);
+    // Monotone in the swept parameter (coarse statistical check).
+    double lowP = result.points[0][0].combinedRate();
+    double highP = result.points[1][0].combinedRate();
+    EXPECT_LE(lowP, highP + 0.05);
+}
+
+TEST(Sensitivity, CavityT1SweepMonotone)
+{
+    // Shorter cavity T1 must not reduce the logical error rate.
+    auto panels = figure12Panels(4);
+    const SensitivitySpec& t1Panel = panels[3];
+    ASSERT_EQ(t1Panel.name, "Cavity T1 sensitivity");
+    McOptions mc;
+    mc.trials = 300;
+    SensitivityResult result = runSensitivity(
+        EmbeddingKind::Compact, operatingPoint(), t1Panel, {3}, mc);
+    double shortT1 = result.points.front()[0].combinedRate();
+    double longT1 = result.points.back()[0].combinedRate();
+    EXPECT_GT(shortT1, longT1);
+}
+
+} // namespace
+} // namespace vlq

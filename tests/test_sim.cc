@@ -1,0 +1,426 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/frame.h"
+#include "sim/statevector.h"
+#include "sim/tableau.h"
+#include "sim/tomography.h"
+#include "util/rng.h"
+
+namespace vlq {
+namespace {
+
+TEST(StateVector, BellState)
+{
+    StateVector sv(2);
+    sv.h(0);
+    sv.cnot(0, 1);
+    const auto& a = sv.amplitudes();
+    double inv = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(std::abs(a[0]), inv, 1e-12);
+    EXPECT_NEAR(std::abs(a[3]), inv, 1e-12);
+    EXPECT_NEAR(std::abs(a[1]), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(a[2]), 0.0, 1e-12);
+}
+
+TEST(StateVector, PauliExpectations)
+{
+    StateVector sv(1);
+    EXPECT_NEAR(sv.expectation(PauliString::fromString("Z")), 1.0, 1e-12);
+    sv.x(0);
+    EXPECT_NEAR(sv.expectation(PauliString::fromString("Z")), -1.0, 1e-12);
+    StateVector plus(1);
+    plus.h(0);
+    EXPECT_NEAR(plus.expectation(PauliString::fromString("X")), 1.0, 1e-12);
+    EXPECT_NEAR(plus.expectation(PauliString::fromString("Z")), 0.0, 1e-12);
+}
+
+TEST(StateVector, SGateOnPlus)
+{
+    StateVector sv(1);
+    sv.h(0);
+    sv.s(0);
+    // S|+> = |+i>, the +1 eigenstate of Y.
+    EXPECT_NEAR(sv.expectation(PauliString::fromString("Y")), 1.0, 1e-12);
+}
+
+TEST(StateVector, TGateSquaredIsS)
+{
+    StateVector a(1);
+    a.h(0);
+    a.t(0);
+    a.t(0);
+    StateVector b(1);
+    b.h(0);
+    b.s(0);
+    EXPECT_NEAR(std::abs(a.overlap(b)), 1.0, 1e-12);
+}
+
+TEST(StateVector, MeasureCollapses)
+{
+    Rng rng(3);
+    StateVector sv(2);
+    sv.h(0);
+    sv.cnot(0, 1);
+    bool m0 = sv.measureZ(0, rng);
+    bool m1 = sv.measureZ(1, rng);
+    EXPECT_EQ(m0, m1); // Bell correlations
+    EXPECT_NEAR(sv.probOne(0), m0 ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(StateVector, ResetGivesZero)
+{
+    Rng rng(4);
+    StateVector sv(1);
+    sv.h(0);
+    sv.reset(0, rng);
+    EXPECT_NEAR(sv.probOne(0), 0.0, 1e-12);
+}
+
+TEST(StateVector, SwapMovesState)
+{
+    StateVector sv(2);
+    sv.x(0);
+    sv.swapGate(0, 1);
+    EXPECT_NEAR(sv.probOne(0), 0.0, 1e-12);
+    EXPECT_NEAR(sv.probOne(1), 1.0, 1e-12);
+}
+
+TEST(Tableau, DeterministicMeasurementOfZero)
+{
+    TableauSimulator sim(3);
+    bool det = false;
+    EXPECT_FALSE(sim.measureZ(0, &det));
+    EXPECT_TRUE(det);
+}
+
+TEST(Tableau, PlusStateRandomThenRepeatable)
+{
+    TableauSimulator sim(1, 99);
+    sim.h(0);
+    bool det = true;
+    bool first = sim.measureZ(0, &det);
+    EXPECT_FALSE(det);
+    bool second = sim.measureZ(0, &det);
+    EXPECT_TRUE(det);
+    EXPECT_EQ(first, second);
+}
+
+TEST(Tableau, BellCorrelations)
+{
+    for (uint64_t seed = 0; seed < 10; ++seed) {
+        TableauSimulator sim(2, seed);
+        sim.h(0);
+        sim.cnot(0, 1);
+        bool a = sim.measureZ(0);
+        bool det = false;
+        bool b = sim.measureZ(1, &det);
+        EXPECT_TRUE(det);
+        EXPECT_EQ(a, b);
+    }
+}
+
+TEST(Tableau, PauliSignTracksState)
+{
+    TableauSimulator sim(2);
+    EXPECT_EQ(sim.pauliSign(PauliString::fromString("ZI")), 1);
+    sim.x(0);
+    EXPECT_EQ(sim.pauliSign(PauliString::fromString("ZI")), -1);
+    sim.h(1);
+    EXPECT_EQ(sim.pauliSign(PauliString::fromString("IX")), 1);
+    EXPECT_EQ(sim.pauliSign(PauliString::fromString("IZ")), 0); // random
+    // Entangled stabilizer: ZZ on Bell pair.
+    TableauSimulator bell(2);
+    bell.h(0);
+    bell.cnot(0, 1);
+    EXPECT_EQ(bell.pauliSign(PauliString::fromString("ZZ")), 1);
+    EXPECT_EQ(bell.pauliSign(PauliString::fromString("XX")), 1);
+    EXPECT_EQ(bell.pauliSign(PauliString::fromString("ZI")), 0);
+}
+
+TEST(Tableau, ResetFromEntangled)
+{
+    TableauSimulator sim(2, 5);
+    sim.h(0);
+    sim.cnot(0, 1);
+    sim.reset(0);
+    bool det = false;
+    EXPECT_FALSE(sim.measureZ(0, &det));
+    EXPECT_TRUE(det);
+}
+
+/** Cross-validation: tableau vs state vector on random Clifford
+ *  circuits, comparing the sign of random Pauli observables. */
+class CrossSim : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(CrossSim, TableauMatchesStateVector)
+{
+    Rng rng(GetParam());
+    const size_t n = 5;
+    TableauSimulator tab(n, GetParam());
+    StateVector sv(n);
+
+    for (int step = 0; step < 60; ++step) {
+        switch (rng.nextBelow(4)) {
+          case 0: {
+            size_t q = rng.nextBelow(n);
+            tab.h(q);
+            sv.h(q);
+            break;
+          }
+          case 1: {
+            size_t q = rng.nextBelow(n);
+            tab.s(q);
+            sv.s(q);
+            break;
+          }
+          case 2: {
+            size_t a = rng.nextBelow(n);
+            size_t b = rng.nextBelow(n);
+            if (a == b)
+                break;
+            tab.cnot(a, b);
+            sv.cnot(a, b);
+            break;
+          }
+          default: {
+            size_t q = rng.nextBelow(n);
+            tab.x(q);
+            sv.x(q);
+            break;
+          }
+        }
+    }
+
+    for (int trial = 0; trial < 20; ++trial) {
+        PauliString p(n);
+        for (size_t i = 0; i < n; ++i)
+            p.set(i, static_cast<Pauli>(rng.nextBelow(4)));
+        int sign = tab.pauliSign(p);
+        double expect = sv.expectation(p);
+        if (sign == 0)
+            EXPECT_NEAR(expect, 0.0, 1e-9) << p.str();
+        else
+            EXPECT_NEAR(expect, static_cast<double>(sign), 1e-9)
+                << p.str();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossSim,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(Frame, CnotPropagatesX)
+{
+    Circuit c(2);
+    c.xError(0, 1.0); // deterministic X on qubit 0
+    c.cnot(0, 1);
+    c.measureZ(0);
+    c.measureZ(1);
+    FrameSimulator sim(c);
+    Rng rng(1);
+    BitVec flips = sim.sampleMeasurementFlips(rng);
+    EXPECT_TRUE(flips.get(0));
+    EXPECT_TRUE(flips.get(1));
+}
+
+TEST(Frame, ZErrorInvisibleInZBasis)
+{
+    Circuit c(1);
+    c.zError(0, 1.0);
+    c.measureZ(0);
+    FrameSimulator sim(c);
+    Rng rng(1);
+    EXPECT_FALSE(sim.sampleMeasurementFlips(rng).get(0));
+}
+
+TEST(Frame, HConvertsZToX)
+{
+    Circuit c(1);
+    c.zError(0, 1.0);
+    c.h(0);
+    c.measureZ(0);
+    FrameSimulator sim(c);
+    Rng rng(1);
+    EXPECT_TRUE(sim.sampleMeasurementFlips(rng).get(0));
+}
+
+TEST(Frame, ResetClearsFrame)
+{
+    Circuit c(1);
+    c.xError(0, 1.0);
+    c.reset(0);
+    c.measureZ(0);
+    FrameSimulator sim(c);
+    Rng rng(1);
+    EXPECT_FALSE(sim.sampleMeasurementFlips(rng).get(0));
+}
+
+TEST(Frame, SwapMovesFrame)
+{
+    Circuit c(2);
+    c.xError(0, 1.0);
+    c.swapGate(0, 1);
+    c.measureZ(0);
+    c.measureZ(1);
+    FrameSimulator sim(c);
+    Rng rng(1);
+    BitVec flips = sim.sampleMeasurementFlips(rng);
+    EXPECT_FALSE(flips.get(0));
+    EXPECT_TRUE(flips.get(1));
+}
+
+TEST(Frame, MeasurementFlipProbability)
+{
+    Circuit c(1);
+    c.measureZ(0, 0.25);
+    FrameSimulator sim(c);
+    Rng rng(42);
+    int flips = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        if (sim.sampleMeasurementFlips(rng).get(0))
+            ++flips;
+    EXPECT_NEAR(static_cast<double>(flips) / n, 0.25, 0.01);
+}
+
+TEST(Frame, InjectedFaultPropagation)
+{
+    Circuit c(2);
+    c.depolarize1(0, 0.001); // op 0: the injection site
+    c.cnot(0, 1);
+    c.measureZ(0);
+    c.measureZ(1);
+    FrameSimulator sim(c);
+    BitVec x = sim.propagateInjected(0, Pauli::X);
+    EXPECT_TRUE(x.get(0));
+    EXPECT_TRUE(x.get(1));
+    BitVec z = sim.propagateInjected(0, Pauli::Z);
+    EXPECT_FALSE(z.get(0));
+    EXPECT_FALSE(z.get(1));
+}
+
+TEST(Frame, DetectorAndObservableHelpers)
+{
+    Circuit c(1);
+    uint32_t m0 = c.measureZ(0);
+    uint32_t m1 = c.measureZ(0);
+    Detector d;
+    d.measurements = {m0, m1};
+    c.addDetector(d);
+    uint32_t obs = c.addObservable();
+    c.observableInclude(obs, m1);
+
+    BitVec flips(2);
+    flips.set(0, true);
+    BitVec det = FrameSimulator::detectorFlips(c, flips);
+    EXPECT_TRUE(det.get(0));
+    EXPECT_EQ(FrameSimulator::observableFlips(c, flips), 0u);
+    flips.set(1, true);
+    det = FrameSimulator::detectorFlips(c, flips);
+    EXPECT_FALSE(det.get(0));
+    EXPECT_EQ(FrameSimulator::observableFlips(c, flips), 1u);
+}
+
+TEST(PauliPropagatorTest, CnotConjugation)
+{
+    Circuit c(2);
+    c.cnot(0, 1);
+    PauliString p = PauliString::fromString("XI");
+    int sign = 1;
+    PauliPropagator::conjugate(p, sign, c);
+    EXPECT_EQ(p.str(), "XX");
+    EXPECT_EQ(sign, 1);
+
+    p = PauliString::fromString("IZ");
+    PauliPropagator::conjugate(p, sign, c);
+    EXPECT_EQ(p.str(), "ZZ");
+    EXPECT_EQ(sign, 1);
+
+    p = PauliString::fromString("XZ");
+    sign = 1;
+    PauliPropagator::conjugate(p, sign, c);
+    EXPECT_EQ(p.str(), "YY");
+    EXPECT_EQ(sign, -1); // CNOT (X o Z) CNOT = -Y o Y
+}
+
+TEST(PauliPropagatorTest, HAndSConjugation)
+{
+    Circuit c(1);
+    c.h(0);
+    PauliString p = PauliString::fromString("X");
+    int sign = 1;
+    PauliPropagator::conjugate(p, sign, c);
+    EXPECT_EQ(p.str(), "Z");
+    EXPECT_EQ(sign, 1);
+
+    p = PauliString::fromString("Y");
+    sign = 1;
+    PauliPropagator::conjugate(p, sign, c);
+    EXPECT_EQ(p.str(), "Y");
+    EXPECT_EQ(sign, -1);
+
+    Circuit cs(1);
+    cs.s(0);
+    p = PauliString::fromString("X");
+    sign = 1;
+    PauliPropagator::conjugate(p, sign, cs);
+    EXPECT_EQ(p.str(), "Y");
+    EXPECT_EQ(sign, 1);
+}
+
+TEST(TomographyTest, CnotCircuitMatchesIdealCnot)
+{
+    Circuit c(2);
+    c.cnot(0, 1);
+    auto ptm = Tomography::ofCircuit(c, 2);
+    auto ideal = Tomography::idealCnot(2, 0, 1);
+    EXPECT_LT(Tomography::maxDifference(ptm, ideal), 1e-9);
+    EXPECT_NEAR(Tomography::processFidelity(ptm, ideal), 1.0, 1e-9);
+}
+
+TEST(TomographyTest, SwapConjugatedCnot)
+{
+    // CNOT(0->1) implemented by swapping, CNOT(1->0), swapping back.
+    Circuit c(2);
+    c.swapGate(0, 1);
+    c.cnot(1, 0);
+    c.swapGate(0, 1);
+    auto ptm = Tomography::ofCircuit(c, 2);
+    auto ideal = Tomography::idealCnot(2, 0, 1);
+    EXPECT_LT(Tomography::maxDifference(ptm, ideal), 1e-9);
+}
+
+TEST(TomographyTest, DistinguishesDifferentGates)
+{
+    Circuit c(2);
+    c.cnot(1, 0); // reversed control/target
+    auto ptm = Tomography::ofCircuit(c, 2);
+    auto ideal = Tomography::idealCnot(2, 0, 1);
+    EXPECT_GT(Tomography::maxDifference(ptm, ideal), 0.5);
+}
+
+/**
+ * The paper's transversal CNOT verification (Sec. III-B, X3 in
+ * DESIGN.md): the mode-transmon-mediated CNOT sequence -- load the
+ * control into the transmon, CNOT to the mode of the target, store --
+ * implements an exact CNOT between two cavity modes.
+ */
+TEST(TomographyTest, TransversalCnotBuildingBlock)
+{
+    // Wires: 0 = control mode, 1 = target mode, 2 = transmon.
+    Circuit c(3);
+    c.swapGate(0, 2);  // load control
+    c.cnot(2, 1);      // transmon-mode CNOT onto target mode
+    c.swapGate(0, 2);  // store control
+    auto ptm = Tomography::ofCircuit(c, 3);
+    Circuit ideal(3);
+    ideal.cnot(0, 1);
+    auto ptmIdeal = Tomography::ofCircuit(ideal, 3);
+    EXPECT_LT(Tomography::maxDifference(ptm, ptmIdeal), 1e-9);
+}
+
+} // namespace
+} // namespace vlq

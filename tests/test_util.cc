@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/threadpool.h"
+
+namespace vlq {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.nextU64() == b.nextU64())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, DoubleMeanNearHalf)
+{
+    Rng rng(99);
+    RunningStat stat;
+    for (int i = 0; i < 100000; ++i)
+        stat.add(rng.nextDouble());
+    EXPECT_NEAR(stat.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(123);
+    int hits = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        if (rng.bernoulli(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(5);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = rng.nextBelow(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all residues hit
+}
+
+TEST(Rng, SplitStreamsIndependent)
+{
+    Rng root(77);
+    Rng s0 = root.split(0);
+    Rng s1 = root.split(1);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (s0.nextU64() == s1.nextU64())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng root(77);
+    Rng a = root.split(5);
+    Rng b = Rng(77).split(5);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(RunningStat, MeanVariance)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stderrOfMean(), 0.0);
+}
+
+TEST(Binomial, RateAndWilson)
+{
+    BinomialEstimate e{10, 100};
+    EXPECT_DOUBLE_EQ(e.rate(), 0.1);
+    auto [lo, hi] = e.wilson();
+    EXPECT_LT(lo, 0.1);
+    EXPECT_GT(hi, 0.1);
+    EXPECT_GT(lo, 0.0);
+    EXPECT_LT(hi, 1.0);
+}
+
+TEST(Binomial, ZeroTrials)
+{
+    BinomialEstimate e{0, 0};
+    EXPECT_EQ(e.rate(), 0.0);
+    auto [lo, hi] = e.wilson();
+    EXPECT_EQ(lo, 0.0);
+    EXPECT_EQ(hi, 1.0);
+}
+
+TEST(Binomial, WilsonShrinksWithTrials)
+{
+    BinomialEstimate small{5, 50};
+    BinomialEstimate large{500, 5000};
+    auto [lo1, hi1] = small.wilson();
+    auto [lo2, hi2] = large.wilson();
+    EXPECT_LT(hi2 - lo2, hi1 - lo1);
+}
+
+TEST(Stats, LogLogCrossingFindsIntersection)
+{
+    // y1 = x, y2 = x^2: cross at x = 1.
+    std::vector<double> xs;
+    std::vector<double> y1;
+    std::vector<double> y2;
+    for (double x : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+        xs.push_back(x);
+        y1.push_back(x);
+        y2.push_back(x * x);
+    }
+    double c = logLogCrossing(xs, y1, y2);
+    EXPECT_NEAR(c, 1.0, 1e-9);
+}
+
+TEST(Stats, LogLogCrossingNoneReturnsNegative)
+{
+    std::vector<double> xs{1, 2, 3};
+    std::vector<double> y1{1, 2, 3};
+    std::vector<double> y2{2, 4, 6};
+    EXPECT_LT(logLogCrossing(xs, y1, y2), 0.0);
+}
+
+TEST(Stats, LogLogCrossingSkipsZeros)
+{
+    std::vector<double> xs{1, 2, 3, 4};
+    std::vector<double> y1{0.0, 2, 3, 4};
+    std::vector<double> y2{0.0, 4, 3.5, 3.9};
+    double c = logLogCrossing(xs, y1, y2);
+    EXPECT_GT(c, 2.0);
+    EXPECT_LT(c, 4.0);
+}
+
+TEST(Stats, Median)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+    EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+}
+
+TEST(Stats, Logspace)
+{
+    auto v = logspace(1.0, 100.0, 3);
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_NEAR(v[0], 1.0, 1e-12);
+    EXPECT_NEAR(v[1], 10.0, 1e-9);
+    EXPECT_NEAR(v[2], 100.0, 1e-9);
+}
+
+TEST(Table, AlignedOutput)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "2.5"});
+    std::ostringstream ss;
+    t.print(ss);
+    std::string out = ss.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TablePrinter::sci(0.00123, 2), "1.23e-03");
+}
+
+TEST(Env, FallbackWhenUnset)
+{
+    unsetenv("VLQ_TEST_UNSET");
+    EXPECT_EQ(envInt("VLQ_TEST_UNSET", 7), 7);
+    EXPECT_EQ(envDouble("VLQ_TEST_UNSET", 1.5), 1.5);
+    EXPECT_EQ(envString("VLQ_TEST_UNSET", "d"), "d");
+}
+
+TEST(Env, ParsesValues)
+{
+    setenv("VLQ_TEST_SET", "42", 1);
+    EXPECT_EQ(envInt("VLQ_TEST_SET", 0), 42);
+    setenv("VLQ_TEST_SET", "2.5", 1);
+    EXPECT_DOUBLE_EQ(envDouble("VLQ_TEST_SET", 0.0), 2.5);
+    setenv("VLQ_TEST_SET", "abc", 1);
+    EXPECT_EQ(envInt("VLQ_TEST_SET", 9), 9); // malformed -> fallback
+    unsetenv("VLQ_TEST_SET");
+}
+
+TEST(ThreadPool, CoversRangeOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(1000, [&](uint64_t b, uint64_t e, unsigned) {
+        for (uint64_t i = b; i < e; ++i)
+            hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.numThreads(), 1u);
+    uint64_t sum = 0;
+    pool.parallelFor(100, [&](uint64_t b, uint64_t e, unsigned w) {
+        EXPECT_EQ(w, 0u);
+        for (uint64_t i = b; i < e; ++i)
+            sum += i;
+    });
+    EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPool, EmptyRange)
+{
+    ThreadPool pool(4);
+    bool called = false;
+    pool.parallelFor(0, [&](uint64_t, uint64_t, unsigned) {
+        called = true;
+    });
+    EXPECT_FALSE(called);
+}
+
+TEST(Csv, HeaderAndRows)
+{
+    CsvWriter csv({"x", "y"});
+    csv.addRow({"1", "2"});
+    csv.addNumericRow({3.5, 4.25});
+    std::string s = csv.str();
+    EXPECT_EQ(s, "x,y\n1,2\n3.5,4.25\n");
+}
+
+TEST(Csv, EscapesSpecialCells)
+{
+    CsvWriter csv({"a"});
+    csv.addRow({"hello, world"});
+    csv.addRow({"quote\"inside"});
+    std::string s = csv.str();
+    EXPECT_NE(s.find("\"hello, world\""), std::string::npos);
+    EXPECT_NE(s.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Csv, WritesFile)
+{
+    CsvWriter csv({"v"});
+    csv.addNumericRow({42.0});
+    std::string path = "/tmp/vlq_test_csv.csv";
+    ASSERT_TRUE(csv.writeFile(path));
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "v");
+    std::getline(in, line);
+    EXPECT_EQ(line, "42");
+}
+
+TEST(Csv, FailsOnBadPath)
+{
+    CsvWriter csv({"v"});
+    EXPECT_FALSE(csv.writeFile("/nonexistent-dir/x.csv"));
+}
+
+} // namespace
+} // namespace vlq
