@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arch/device.h"
+#include "core/lattice_surgery.h"
+#include "core/logical_machine.h"
+
+namespace vlq {
+namespace {
+
+bool
+contains(const std::string& haystack, const std::string& needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+TEST(LatticeSurgerySequenceTest, TotalDurationMatchesCostModel)
+{
+    auto seq = latticeSurgeryCnotSequence();
+    int total = 0;
+    for (const auto& s : seq) {
+        EXPECT_GE(s.timesteps, 1);
+        total += s.timesteps;
+    }
+    EXPECT_EQ(total, LogicalOpCosts::latticeSurgeryCnot);
+}
+
+TEST(LatticeSurgerySequenceTest, EveryMergeIsFollowedByASplit)
+{
+    auto seq = latticeSurgeryCnotSequence();
+    int merges = 0;
+    int splits = 0;
+    for (size_t i = 0; i < seq.size(); ++i) {
+        if (contains(seq[i].description, "merge")) {
+            ++merges;
+            ASSERT_LT(i + 1, seq.size())
+                << "sequence ends on an open merge";
+            EXPECT_TRUE(contains(seq[i + 1].description, "split"))
+                << "merge at step " << i << " not followed by a split: "
+                << seq[i + 1].description;
+        }
+        if (contains(seq[i].description, "split"))
+            ++splits;
+    }
+    // Fig. 4: X-basis merge with the target, Z-basis merge with the
+    // control, each undone by a split.
+    EXPECT_EQ(merges, 2);
+    EXPECT_EQ(splits, 2);
+}
+
+TEST(LatticeSurgerySequenceTest, AncillaIsCreatedFirstAndMeasuredLast)
+{
+    auto seq = latticeSurgeryCnotSequence();
+    ASSERT_GE(seq.size(), 2u);
+    EXPECT_TRUE(contains(seq.front().description, "ancilla"));
+    EXPECT_TRUE(contains(seq.back().description, "measure"));
+    // The two merges use complementary bases (X parity with the target,
+    // Z parity with the control).
+    bool sawX = false;
+    bool sawZ = false;
+    for (const auto& s : seq) {
+        if (!contains(s.description, "merge"))
+            continue;
+        if (contains(s.description, "X parity"))
+            sawX = true;
+        if (contains(s.description, "Z parity"))
+            sawZ = true;
+    }
+    EXPECT_TRUE(sawX);
+    EXPECT_TRUE(sawZ);
+}
+
+TEST(LatticeSurgerySequenceTest, CostModelRanksOperations)
+{
+    // The surgery CNOT is the most expensive primitive in the model; the
+    // rest are single-timestep operations.
+    EXPECT_GT(LogicalOpCosts::latticeSurgeryCnot,
+              LogicalOpCosts::transversalCnot);
+    EXPECT_EQ(LogicalOpCosts::transversalCnot, 1);
+    EXPECT_EQ(LogicalOpCosts::move, 1);
+    EXPECT_EQ(LogicalOpCosts::init, 1);
+    EXPECT_EQ(LogicalOpCosts::measure, 1);
+    EXPECT_EQ(LogicalOpCosts::singleQubit, 1);
+}
+
+TEST(LatticeSurgerySequenceTest, MachineCnotTakesSixTimesteps)
+{
+    DeviceConfig cfg;
+    cfg.embedding = EmbeddingKind::Compact;
+    cfg.distance = 3;
+    cfg.gridWidth = 2;
+    cfg.gridHeight = 2;
+    cfg.cavityDepth = 4;
+
+    LogicalMachine machine(cfg);
+    LogicalQubit c = machine.alloc();
+    LogicalQubit t = machine.alloc();
+    machine.initQubit(c);
+    machine.initQubit(t);
+
+    int before = machine.currentStep();
+    machine.cnotLatticeSurgery(c, t);
+    EXPECT_EQ(machine.currentStep() - before,
+              LogicalOpCosts::latticeSurgeryCnot);
+}
+
+} // namespace
+} // namespace vlq

@@ -83,9 +83,10 @@ TEST_P(LayoutTest, NoDataTouchedTwiceInOneStep)
         std::set<int32_t> touched;
         for (const auto& p : layout.plaquettes()) {
             int32_t q = layout.dataAtStep(p, step);
-            if (q >= 0)
+            if (q >= 0) {
                 EXPECT_TRUE(touched.insert(q).second)
                     << "data " << q << " reused in step " << step;
+            }
         }
     }
 }
@@ -127,10 +128,12 @@ TEST(Layout, BoundaryCheckPlacement)
 {
     SurfaceLayout layout(5);
     for (const auto& p : layout.plaquettes()) {
-        if (p.cy == 0 || p.cy == 10)
+        if (p.cy == 0 || p.cy == 10) {
             EXPECT_EQ(p.basis, CheckBasis::X) << "top/bottom must be X";
-        if (p.cx == 0 || p.cx == 10)
+        }
+        if (p.cx == 0 || p.cx == 10) {
             EXPECT_EQ(p.basis, CheckBasis::Z) << "left/right must be Z";
+        }
     }
 }
 

@@ -44,11 +44,9 @@ TEST(Sensitivity, ApplyMutatesOnlyItsParameter)
 
 TEST(Sensitivity, RunProducesGridOfEstimates)
 {
-    SensitivitySpec spec;
-    spec.name = "toy";
-    spec.axisLabel = "p2";
-    spec.values = {1e-3, 8e-3};
-    spec.apply = [](GeneratorConfig& c, double x) { c.noise.p2 = x; };
+    SensitivitySpec spec{
+        "toy", "p2", {1e-3, 8e-3},
+        [](GeneratorConfig& c, double x) { c.noise.p2 = x; }};
 
     McOptions mc;
     mc.trials = 200;
