@@ -17,9 +17,11 @@
  *                          reading consistent with the paper's plots --
  *                          see EXPERIMENTS.md)
  *   VLQ_SEED    RNG seed
+ *   VLQ_DECODER decoder backend: mwpm (default), union-find/uf, greedy
  */
 #include <iostream>
 
+#include "decoder/decoder_factory.h"
 #include "mc/threshold.h"
 #include "util/csv.h"
 #include "util/env.h"
@@ -43,11 +45,13 @@ main()
     cfg.mc.trials =
         static_cast<uint64_t>(envInt("VLQ_TRIALS", full ? 4000 : 2000));
     cfg.mc.seed = static_cast<uint64_t>(envInt("VLQ_SEED", 0x5eed));
+    cfg.mc.decoder = decoderKindFromEnv(DecoderKind::Mwpm);
 
     std::cout << "=== Figure 11: error thresholds (trials/point = "
               << cfg.mc.trials << ", coherence "
               << (cfg.scaleCoherence ? "scales with p" : "fixed Table I")
-              << ", k = " << cfg.cavityDepth << ") ===\n";
+              << ", k = " << cfg.cavityDepth << ", decoder = "
+              << decoderKindName(cfg.mc.decoder) << ") ===\n";
 
     const double paperPth[5] = {0.009, 0.009, 0.008, 0.008, 0.008};
     int setupIdx = 0;

@@ -4,13 +4,16 @@
  * evaluation setup and locate the error threshold, like one panel of
  * the paper's Fig. 11.
  *
- * Usage: threshold_scan [setup 0..4] [trials]
+ * Usage: threshold_scan [setup 0..4] [trials] [decoder]
  *   0 Baseline, 1 Natural-AAO, 2 Natural-Interleaved,
  *   3 Compact-AAO, 4 Compact-Interleaved
+ *   decoder: mwpm (default), union-find/uf, greedy; the VLQ_DECODER
+ *   environment variable sets the default when the argument is absent.
  */
 #include <cstdlib>
 #include <iostream>
 
+#include "decoder/decoder_factory.h"
 #include "mc/threshold.h"
 #include "util/table.h"
 
@@ -33,9 +36,20 @@ main(int argc, char** argv)
     cfg.distances = {3, 5, 7};
     cfg.physicalPs = logspace(3e-3, 2e-2, 6);
     cfg.mc.trials = trials;
+    cfg.mc.decoder = decoderKindFromEnv(DecoderKind::Mwpm);
+    if (argc > 3) {
+        auto kind = parseDecoderKind(argv[3]);
+        if (!kind) {
+            std::cerr << "unknown decoder '" << argv[3]
+                      << "' (try: mwpm, greedy, union-find)\n";
+            return 1;
+        }
+        cfg.mc.decoder = *kind;
+    }
 
     std::cout << "Scanning " << setup.name() << " with " << trials
-              << " trials/point...\n\n";
+              << " trials/point using the "
+              << decoderKindName(cfg.mc.decoder) << " decoder...\n\n";
     ThresholdResult result = scanThreshold(setup, cfg);
 
     std::vector<std::string> headers{"p"};

@@ -1,0 +1,26 @@
+#ifndef VLQ_DECODER_DECODER_H
+#define VLQ_DECODER_DECODER_H
+
+#include <cstdint>
+
+#include "pauli/bitvec.h"
+
+namespace vlq {
+
+/** Interface shared by the decoders (enables decoder ablations). */
+class Decoder
+{
+  public:
+    virtual ~Decoder() = default;
+
+    /**
+     * Predict the observable flips explaining a detection-event set.
+     * @param detectorFlips one bit per detector.
+     * @return predicted observable bitmask.
+     */
+    virtual uint32_t decode(const BitVec& detectorFlips) const = 0;
+};
+
+} // namespace vlq
+
+#endif // VLQ_DECODER_DECODER_H

@@ -1,0 +1,142 @@
+#include "decoder/decoder_factory.h"
+
+#include <cstdio>
+#include <string>
+
+#include "decoder/mwpm_decoder.h"
+#include "decoder/union_find.h"
+#include "util/env.h"
+
+namespace vlq {
+
+namespace {
+
+std::unique_ptr<Decoder>
+makeMwpm(const DetectorErrorModel& dem)
+{
+    return std::make_unique<MwpmDecoder>(dem);
+}
+
+std::unique_ptr<Decoder>
+makeGreedy(const DetectorErrorModel& dem)
+{
+    return std::make_unique<GreedyDecoder>(dem);
+}
+
+std::unique_ptr<Decoder>
+makeUnionFind(const DetectorErrorModel& dem)
+{
+    return std::make_unique<UnionFindDecoder>(dem);
+}
+
+std::vector<DecoderRegistration>&
+mutableRegistry()
+{
+    static std::vector<DecoderRegistration> registry{
+        {DecoderKind::Mwpm, "mwpm", "blossom matching", makeMwpm},
+        {DecoderKind::Greedy, "greedy", "", makeGreedy},
+        {DecoderKind::UnionFind, "union-find", "unionfind uf",
+         makeUnionFind},
+    };
+    return registry;
+}
+
+/** True when `word` appears in the space-separated list `list`. */
+bool
+listContains(const char* list, const std::string& word)
+{
+    std::string_view rest(list);
+    while (!rest.empty()) {
+        size_t sep = rest.find(' ');
+        std::string_view token = rest.substr(0, sep);
+        if (token == word)
+            return true;
+        if (sep == std::string_view::npos)
+            break;
+        rest.remove_prefix(sep + 1);
+    }
+    return false;
+}
+
+} // namespace
+
+const std::vector<DecoderRegistration>&
+decoderRegistry()
+{
+    return mutableRegistry();
+}
+
+void
+registerDecoder(const DecoderRegistration& registration)
+{
+    for (DecoderRegistration& entry : mutableRegistry()) {
+        if (entry.kind == registration.kind) {
+            entry = registration;
+            return;
+        }
+    }
+    mutableRegistry().push_back(registration);
+}
+
+std::unique_ptr<Decoder>
+makeDecoder(DecoderKind kind, const DetectorErrorModel& dem)
+{
+    for (const DecoderRegistration& entry : decoderRegistry())
+        if (entry.kind == kind)
+            return entry.maker(dem);
+    // Unreachable for the built-in kinds; fail safe to the reference
+    // decoder rather than crash.
+    return makeMwpm(dem);
+}
+
+std::unique_ptr<Decoder>
+makeDecoder(std::string_view name, const DetectorErrorModel& dem)
+{
+    std::optional<DecoderKind> kind = parseDecoderKind(name);
+    if (!kind)
+        return nullptr;
+    return makeDecoder(*kind, dem);
+}
+
+const char*
+decoderKindName(DecoderKind kind)
+{
+    for (const DecoderRegistration& entry : decoderRegistry())
+        if (entry.kind == kind)
+            return entry.name;
+    return "unknown";
+}
+
+std::optional<DecoderKind>
+parseDecoderKind(std::string_view name)
+{
+    std::string lowered = asciiLower(name);
+    if (lowered.empty())
+        return std::nullopt;
+    for (const DecoderRegistration& entry : decoderRegistry()) {
+        if (lowered == entry.name
+            || listContains(entry.aliases, lowered))
+            return entry.kind;
+    }
+    return std::nullopt;
+}
+
+DecoderKind
+decoderKindFromEnv(DecoderKind fallback, const char* variable)
+{
+    std::string value = envLower(variable, "");
+    if (value.empty())
+        return fallback;
+    std::optional<DecoderKind> kind = parseDecoderKind(value);
+    if (!kind) {
+        std::fprintf(stderr,
+                     "warning: %s=%s is not a registered decoder; "
+                     "using %s\n",
+                     variable, value.c_str(),
+                     decoderKindName(fallback));
+        return fallback;
+    }
+    return *kind;
+}
+
+} // namespace vlq

@@ -1,0 +1,172 @@
+#include "decoder/decoding_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace vlq {
+
+namespace {
+
+/** Independent-flip combination of two probabilities. */
+double
+combineP(double a, double b)
+{
+    return a + b - 2.0 * a * b;
+}
+
+double
+weightOf(double p)
+{
+    double clamped = std::min(std::max(p, 1e-14), 0.499999);
+    return std::log((1.0 - clamped) / clamped);
+}
+
+} // namespace
+
+DecodingGraph::DecodingGraph(uint32_t numDetectors)
+    : numDetectors_(numDetectors)
+{
+}
+
+uint32_t
+DecodingGraph::edgeIndexFor(uint32_t a, uint32_t b)
+{
+    uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+    auto [it, inserted] =
+        edgeIndex_.try_emplace(key, static_cast<uint32_t>(edges_.size()));
+    if (inserted) {
+        DecodingEdge e;
+        e.a = a;
+        e.b = b;
+        edges_.push_back(e);
+        bestContribution_.push_back(0.0);
+    }
+    return it->second;
+}
+
+void
+DecodingGraph::addContribution(uint32_t a, uint32_t b, double probability,
+                               uint32_t observables)
+{
+    if (a > b)
+        std::swap(a, b);
+    uint32_t idx = edgeIndexFor(a, b);
+    DecodingEdge& e = edges_[idx];
+    e.probability = combineP(e.probability, probability);
+    if (probability > bestContribution_[idx]) {
+        if (bestContribution_[idx] > 0.0 && e.observables != observables)
+            ++stats_.observableConflicts;
+        e.observables = observables;
+        bestContribution_[idx] = probability;
+    } else if (e.observables != observables) {
+        ++stats_.observableConflicts;
+    }
+}
+
+void
+DecodingGraph::finalize()
+{
+    minWeight_ = 0.0;
+    adjacency_.assign(numNodes(), {});
+    for (uint32_t i = 0; i < edges_.size(); ++i) {
+        DecodingEdge& e = edges_[i];
+        e.weight = weightOf(e.probability);
+        adjacency_[e.a].push_back(i);
+        if (e.b != e.a)
+            adjacency_[e.b].push_back(i);
+        if (minWeight_ == 0.0 || e.weight < minWeight_)
+            minWeight_ = e.weight;
+    }
+}
+
+DecodingGraph
+DecodingGraph::build(const DetectorErrorModel& dem)
+{
+    DecodingGraph g(dem.numDetectors());
+    const uint32_t boundary = g.boundaryNode();
+
+    // Pass 1: note the pairs/boundary hits that known fault outcomes
+    // produce, so correlated (>2 detector) outcomes can be decomposed
+    // into edges the graph already understands.
+    std::set<std::pair<uint32_t, uint32_t>> knownPairs;
+    std::set<uint32_t> knownBoundary;
+    for (const auto& ch : dem.channels()) {
+        for (const auto& o : ch.outcomes) {
+            if (o.detectors.size() == 1) {
+                knownBoundary.insert(o.detectors[0]);
+            } else if (o.detectors.size() == 2) {
+                uint32_t a = o.detectors[0];
+                uint32_t b = o.detectors[1];
+                knownPairs.insert({std::min(a, b), std::max(a, b)});
+            }
+        }
+    }
+
+    // Pass 2: accumulate every outcome into edges.
+    for (const auto& ch : dem.channels()) {
+        for (const auto& o : ch.outcomes) {
+            if (o.detectors.empty()) {
+                continue; // pure observable flips are undetectable
+            } else if (o.detectors.size() == 1) {
+                g.addContribution(o.detectors[0], boundary, o.probability,
+                                  o.observables);
+            } else if (o.detectors.size() == 2) {
+                g.addContribution(o.detectors[0], o.detectors[1],
+                                  o.probability, o.observables);
+            } else {
+                // Decompose into known pairs; leftovers pair arbitrarily.
+                std::vector<uint32_t> rest(o.detectors.begin(),
+                                           o.detectors.end());
+                std::vector<std::pair<uint32_t, uint32_t>> pieces;
+                bool usedKnown = false;
+                for (size_t i = 0; i < rest.size();) {
+                    bool found = false;
+                    for (size_t j = i + 1; j < rest.size(); ++j) {
+                        auto key = std::make_pair(
+                            std::min(rest[i], rest[j]),
+                            std::max(rest[i], rest[j]));
+                        if (knownPairs.count(key)) {
+                            pieces.push_back(key);
+                            rest.erase(rest.begin()
+                                       + static_cast<long>(j));
+                            rest.erase(rest.begin()
+                                       + static_cast<long>(i));
+                            found = true;
+                            usedKnown = true;
+                            break;
+                        }
+                    }
+                    if (!found)
+                        ++i;
+                }
+                // Leftovers: pair consecutively, odd one to boundary.
+                bool forced = false;
+                for (size_t i = 0; i + 1 < rest.size(); i += 2) {
+                    pieces.push_back({std::min(rest[i], rest[i + 1]),
+                                      std::max(rest[i], rest[i + 1])});
+                    forced = true;
+                }
+                if (rest.size() % 2 == 1) {
+                    pieces.push_back({rest.back(), boundary});
+                    forced = !knownBoundary.count(rest.back());
+                }
+                if (forced)
+                    ++g.stats_.forcedPairings;
+                else if (usedKnown)
+                    ++g.stats_.decomposed;
+                // Attribute the observable mask to the first piece.
+                for (size_t i = 0; i < pieces.size(); ++i) {
+                    g.addContribution(pieces[i].first, pieces[i].second,
+                                      o.probability,
+                                      i == 0 ? o.observables : 0);
+                }
+            }
+        }
+    }
+
+    g.finalize();
+    return g;
+}
+
+} // namespace vlq

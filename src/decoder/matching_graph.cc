@@ -1,13 +1,8 @@
 #include "decoder/matching_graph.h"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
-#include <map>
 #include <queue>
-#include <set>
-
-#include "util/logging.h"
 
 namespace vlq {
 
@@ -15,145 +10,21 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-struct EdgeAccumulator
-{
-    double p = 0.0;
-    uint32_t obs = 0;
-    double bestContribution = 0.0;
-};
-
-/** Independent-flip combination of two probabilities. */
-double
-combineP(double a, double b)
-{
-    return a + b - 2.0 * a * b;
-}
-
-double
-weightOf(double p)
-{
-    double clamped = std::min(std::max(p, 1e-14), 0.499999);
-    return std::log((1.0 - clamped) / clamped);
-}
-
 } // namespace
 
 MatchingGraph
 MatchingGraph::build(const DetectorErrorModel& dem)
 {
+    return build(DecodingGraph::build(dem));
+}
+
+MatchingGraph
+MatchingGraph::build(const DecodingGraph& graph)
+{
     MatchingGraph g;
-    g.numNodes_ = dem.numDetectors();
-    const uint32_t boundary = g.numNodes_;
-
-    // Accumulate edges keyed by node pair (boundary edges use the
-    // boundary id as second node).
-    std::map<std::pair<uint32_t, uint32_t>, EdgeAccumulator> acc;
-    auto addContribution = [&](uint32_t a, uint32_t b, double p,
-                               uint32_t obsMask) {
-        if (a > b)
-            std::swap(a, b);
-        EdgeAccumulator& e = acc[{a, b}];
-        e.p = combineP(e.p, p);
-        if (p > e.bestContribution) {
-            if (e.bestContribution > 0.0 && e.obs != obsMask)
-                ++g.stats_.observableConflicts;
-            e.obs = obsMask;
-            e.bestContribution = p;
-        } else if (e.obs != obsMask) {
-            ++g.stats_.observableConflicts;
-        }
-    };
-
-    // Pass 1: collect 1- and 2-detector outcomes, and note known pairs.
-    std::set<std::pair<uint32_t, uint32_t>> knownPairs;
-    std::set<uint32_t> knownBoundary;
-    for (const auto& ch : dem.channels()) {
-        for (const auto& o : ch.outcomes) {
-            if (o.detectors.size() == 1) {
-                knownBoundary.insert(o.detectors[0]);
-            } else if (o.detectors.size() == 2) {
-                uint32_t a = o.detectors[0];
-                uint32_t b = o.detectors[1];
-                knownPairs.insert({std::min(a, b), std::max(a, b)});
-            }
-        }
-    }
-    for (const auto& ch : dem.channels()) {
-        for (const auto& o : ch.outcomes) {
-            if (o.detectors.empty()) {
-                continue; // pure observable flips are undetectable
-            } else if (o.detectors.size() == 1) {
-                addContribution(o.detectors[0], boundary, o.probability,
-                                o.observables);
-            } else if (o.detectors.size() == 2) {
-                addContribution(o.detectors[0], o.detectors[1],
-                                o.probability, o.observables);
-            } else {
-                // Decompose into known pairs; leftovers pair arbitrarily.
-                std::vector<uint32_t> rest(o.detectors.begin(),
-                                           o.detectors.end());
-                std::vector<std::pair<uint32_t, uint32_t>> pieces;
-                bool usedKnown = false;
-                for (size_t i = 0; i < rest.size();) {
-                    bool found = false;
-                    for (size_t j = i + 1; j < rest.size(); ++j) {
-                        auto key = std::make_pair(
-                            std::min(rest[i], rest[j]),
-                            std::max(rest[i], rest[j]));
-                        if (knownPairs.count(key)) {
-                            pieces.push_back(key);
-                            rest.erase(rest.begin()
-                                       + static_cast<long>(j));
-                            rest.erase(rest.begin()
-                                       + static_cast<long>(i));
-                            found = true;
-                            usedKnown = true;
-                            break;
-                        }
-                    }
-                    if (!found)
-                        ++i;
-                }
-                // Leftovers: pair consecutively, odd one to boundary.
-                bool forced = false;
-                for (size_t i = 0; i + 1 < rest.size(); i += 2) {
-                    pieces.push_back({std::min(rest[i], rest[i + 1]),
-                                      std::max(rest[i], rest[i + 1])});
-                    forced = true;
-                }
-                if (rest.size() % 2 == 1) {
-                    pieces.push_back({rest.back(), boundary});
-                    forced = !knownBoundary.count(rest.back());
-                }
-                if (forced)
-                    ++g.stats_.forcedPairings;
-                else if (usedKnown)
-                    ++g.stats_.decomposed;
-                // Attribute the observable mask to the first piece.
-                for (size_t i = 0; i < pieces.size(); ++i) {
-                    addContribution(pieces[i].first, pieces[i].second,
-                                    o.probability,
-                                    i == 0 ? o.observables : 0);
-                }
-            }
-        }
-    }
-
-    g.edgeCount_ = acc.size();
-
-    // Adjacency for Dijkstra over nodes 0..numNodes_ (boundary last).
-    struct Adj
-    {
-        uint32_t to;
-        double w;
-        uint32_t obs;
-    };
-    std::vector<std::vector<Adj>> adj(g.stride());
-    for (const auto& [key, e] : acc) {
-        double w = weightOf(e.p);
-        adj[key.first].push_back(Adj{key.second, w, e.obs});
-        adj[key.second].push_back(Adj{key.first, w, e.obs});
-    }
+    g.numNodes_ = graph.numDetectors();
+    g.edgeCount_ = graph.edges().size();
+    g.stats_ = graph.stats();
 
     const uint32_t n = g.stride();
     g.dist_.assign(static_cast<size_t>(n) * n,
@@ -175,12 +46,14 @@ MatchingGraph::build(const DetectorErrorModel& dem)
             pq.pop();
             if (d > dist[v])
                 continue;
-            for (const auto& e : adj[v]) {
-                double nd = d + e.w;
-                if (nd < dist[e.to]) {
-                    dist[e.to] = nd;
-                    pobs[e.to] = pobs[v] ^ e.obs;
-                    pq.push({nd, e.to});
+            for (uint32_t ei : graph.incidentEdges(v)) {
+                const DecodingEdge& e = graph.edges()[ei];
+                uint32_t to = e.a == v ? e.b : e.a;
+                double nd = d + e.weight;
+                if (nd < dist[to]) {
+                    dist[to] = nd;
+                    pobs[to] = pobs[v] ^ e.observables;
+                    pq.push({nd, to});
                 }
             }
         }

@@ -4,39 +4,29 @@
 #include <cstdint>
 #include <vector>
 
+#include "decoder/decoding_graph.h"
 #include "dem/detector_model.h"
 
 namespace vlq {
 
 /**
- * Decoding graph derived from a detector error model.
+ * Dense all-pairs view of the decoding graph used by the matching
+ * decoders (exact blossom MWPM and the greedy ablation).
  *
- * Nodes are detectors plus one virtual boundary node. Every fault
- * outcome flipping one detector contributes a boundary edge; two
- * detectors, a regular edge; more than two (rare correlated events) are
- * greedily decomposed into known edges. Parallel contributions combine
- * as independent flip probabilities (p = p1 + p2 - 2 p1 p2) and edge
- * weights are the standard log-likelihood ratios ln((1-p)/p).
- *
- * After build(), all-pairs shortest paths (with the XOR of observable
- * masks along each path) are precomputed so per-trial decoding only
- * needs table lookups.
+ * The sparse edge structure comes from DecodingGraph (shared with the
+ * union-find backend); on top of it this precomputes all-pairs shortest
+ * paths (with the XOR of observable masks along each path) so per-trial
+ * decoding only needs table lookups.
  */
 class MatchingGraph
 {
   public:
-    /** Diagnostics from graph construction. */
-    struct BuildStats
-    {
-        /** Outcomes with >2 detectors that fit known edges. */
-        uint32_t decomposed = 0;
-        /** Outcomes with >2 detectors needing arbitrary pairing. */
-        uint32_t forcedPairings = 0;
-        /** Edges whose contributions disagreed on the observable. */
-        uint32_t observableConflicts = 0;
-    };
+    using BuildStats = DecodingGraph::BuildStats;
 
     static MatchingGraph build(const DetectorErrorModel& dem);
+
+    /** Run all-pairs shortest paths over an existing sparse graph. */
+    static MatchingGraph build(const DecodingGraph& graph);
 
     /** Number of detector nodes (excludes the boundary). */
     uint32_t numNodes() const { return numNodes_; }

@@ -4,25 +4,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "decoder/decoder.h"
 #include "decoder/matching_graph.h"
 #include "dem/detector_model.h"
 #include "pauli/bitvec.h"
 
 namespace vlq {
-
-/** Interface shared by the decoders (enables decoder ablations). */
-class Decoder
-{
-  public:
-    virtual ~Decoder() = default;
-
-    /**
-     * Predict the observable flips explaining a detection-event set.
-     * @param detectorFlips one bit per detector.
-     * @return predicted observable bitmask.
-     */
-    virtual uint32_t decode(const BitVec& detectorFlips) const = 0;
-};
 
 /**
  * Minimum-weight perfect-matching decoder (the paper's "maximum

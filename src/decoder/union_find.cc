@@ -1,0 +1,589 @@
+#include "decoder/union_find.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+namespace vlq {
+
+namespace {
+
+/**
+ * Per-thread workspace. Sized to the graph on every decode (vectors
+ * keep their capacity between shots, so steady-state decoding does not
+ * allocate) and shared safely across decoder instances because decode()
+ * never yields mid-use.
+ */
+struct Scratch
+{
+    // Cluster state, indexed by node; parity/btouch are valid at roots.
+    std::vector<uint32_t> parent;
+    std::vector<uint8_t> parity;
+    std::vector<uint8_t> btouch;
+    std::vector<uint8_t> absorbed;
+    std::vector<uint8_t> defect;
+    std::vector<std::vector<uint32_t>> frontier;
+    std::vector<uint32_t> stamp;
+    std::vector<uint32_t> active;
+    std::vector<uint32_t> nextActive;
+
+    // Edge state.
+    std::vector<uint16_t> support;
+    std::vector<uint8_t> grown;
+    std::vector<uint32_t> grownList;
+    std::vector<uint32_t> edgeStamp;
+    std::vector<uint8_t> edgeMult;
+    std::vector<uint32_t> roundEdges;
+    std::vector<uint32_t> mergeQueue;
+
+    // Peeling state. Dijkstra arrays are cleared through `touched` so
+    // each search pays only for what it explored; the pair cache holds
+    // global defect-pair distances, which are shot-independent, so it
+    // persists across shots (keyed to the owning decoder's epoch).
+    std::vector<std::vector<uint32_t>> clusterDefects; // by root
+    std::vector<std::vector<uint32_t>> clusterEdges;   // by root
+    std::vector<uint32_t> roots;
+    std::vector<uint32_t> touched;
+    std::vector<double> dist;
+    std::vector<uint32_t> pathObs;
+    std::vector<uint8_t> finalized;
+    // Large-cluster forest peel.
+    std::vector<std::vector<uint32_t>> treeAdj; // by vertex
+    std::vector<uint32_t> bfsVerts;
+    std::vector<uint32_t> order;
+    std::vector<uint32_t> parentEdge;
+    uint64_t cacheEpoch = 0;
+    std::unordered_map<uint64_t, std::pair<double, uint32_t>> pairCache;
+
+    void reset(uint32_t numNodes, uint32_t numEdges, uint64_t epoch)
+    {
+        parent.resize(numNodes);
+        for (uint32_t i = 0; i < numNodes; ++i)
+            parent[i] = i;
+        parity.assign(numNodes, 0);
+        btouch.assign(numNodes, 0);
+        absorbed.assign(numNodes, 0);
+        defect.assign(numNodes, 0);
+        if (frontier.size() < numNodes)
+            frontier.resize(numNodes);
+        for (uint32_t i = 0; i < numNodes; ++i)
+            frontier[i].clear();
+        stamp.assign(numNodes, 0);
+        active.clear();
+        nextActive.clear();
+        support.assign(numEdges, 0);
+        grown.assign(numEdges, 0);
+        grownList.clear();
+        edgeStamp.assign(numEdges, 0);
+        edgeMult.resize(numEdges); // stamp-guarded, no clear needed
+        roundEdges.clear();
+        mergeQueue.clear();
+        if (clusterDefects.size() < numNodes) {
+            clusterDefects.resize(numNodes);
+            clusterEdges.resize(numNodes);
+            treeAdj.resize(numNodes);
+        }
+        parentEdge.resize(numNodes);
+        roots.clear();
+        bfsVerts.clear();
+        order.clear();
+        touched.clear();
+        dist.assign(numNodes,
+                    std::numeric_limits<double>::infinity());
+        pathObs.assign(numNodes, 0);
+        finalized.assign(numNodes, 0);
+        if (cacheEpoch != epoch) {
+            cacheEpoch = epoch;
+            pairCache.clear();
+        }
+    }
+
+    uint32_t find(uint32_t x)
+    {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    }
+};
+
+Scratch&
+scratch()
+{
+    static thread_local Scratch s;
+    return s;
+}
+
+} // namespace
+
+UnionFindDecoder::UnionFindDecoder(const DetectorErrorModel& dem,
+                                   uint32_t granularity)
+    : UnionFindDecoder(DecodingGraph::build(dem), granularity)
+{
+}
+
+UnionFindDecoder::UnionFindDecoder(DecodingGraph graph,
+                                   uint32_t granularity)
+    : graph_(std::move(graph))
+{
+    static std::atomic<uint64_t> nextEpoch{1};
+    cacheEpoch_ = nextEpoch.fetch_add(1, std::memory_order_relaxed);
+    if (granularity == 0)
+        granularity = 1;
+    const double minW = graph_.minWeight();
+    capacity_.resize(graph_.edges().size());
+    for (size_t i = 0; i < capacity_.size(); ++i) {
+        double ticks = minW > 0.0
+            ? graph_.edges()[i].weight / minW
+                * static_cast<double>(granularity)
+            : static_cast<double>(granularity);
+        capacity_[i] = static_cast<uint16_t>(
+            std::clamp<long long>(std::llround(ticks), 1, 60000));
+    }
+
+    // One Dijkstra from the boundary gives every detector's global
+    // shortest boundary path (weight and observables) -- the matching's
+    // defect-to-boundary option, for free at decode time.
+    const uint32_t n = graph_.numNodes();
+    boundaryDist_.assign(n, std::numeric_limits<double>::infinity());
+    boundaryObs_.assign(n, 0);
+    boundaryDist_[graph_.boundaryNode()] = 0.0;
+    using QItem = std::pair<double, uint32_t>;
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<QItem>>
+        pq;
+    pq.push({0.0, graph_.boundaryNode()});
+    std::vector<uint8_t> done(n, 0);
+    while (!pq.empty()) {
+        auto [d, v] = pq.top();
+        pq.pop();
+        if (done[v])
+            continue;
+        done[v] = 1;
+        for (uint32_t e : graph_.incidentEdges(v)) {
+            const DecodingEdge& edge = graph_.edges()[e];
+            uint32_t to = edge.a == v ? edge.b : edge.a;
+            double nd = d + edge.weight;
+            if (nd < boundaryDist_[to]) {
+                boundaryDist_[to] = nd;
+                boundaryObs_[to] =
+                    boundaryObs_[v] ^ edge.observables;
+                pq.push({nd, to});
+            }
+        }
+    }
+}
+
+uint32_t
+UnionFindDecoder::decode(const BitVec& detectorFlips) const
+{
+    return decode(detectorFlips, nullptr);
+}
+
+uint32_t
+UnionFindDecoder::decode(const BitVec& detectorFlips,
+                         DecodeInfo* info) const
+{
+    if (info)
+        *info = DecodeInfo{};
+    std::vector<uint32_t> events = detectorFlips.onesIndices();
+    if (events.empty())
+        return 0;
+
+    const uint32_t n = graph_.numNodes();
+    const uint32_t numEdges = static_cast<uint32_t>(graph_.edges().size());
+    const uint32_t boundary = graph_.boundaryNode();
+
+    Scratch& s = scratch();
+    s.reset(n, numEdges, cacheEpoch_);
+    s.btouch[boundary] = 1;
+    s.absorbed[boundary] = 1;
+
+    for (uint32_t v : events) {
+        s.parity[v] = 1;
+        s.defect[v] = 1;
+        s.absorbed[v] = 1;
+        const auto& inc = graph_.incidentEdges(v);
+        s.frontier[v].assign(inc.begin(), inc.end());
+        s.active.push_back(v);
+    }
+    if (info)
+        info->initialClusters = static_cast<uint32_t>(events.size());
+
+    // A vertex first reached by cluster growth contributes its incident
+    // edges so the cluster keeps expanding past it. The boundary never
+    // grows (absorbed from the start).
+    auto ensureAbsorbed = [&](uint32_t v) {
+        if (s.absorbed[v])
+            return;
+        s.absorbed[v] = 1;
+        auto& f = s.frontier[v];
+        for (uint32_t e : graph_.incidentEdges(v))
+            if (!s.grown[e])
+                f.push_back(e);
+    };
+
+    auto mergeEdge = [&](uint32_t e) {
+        const DecodingEdge& edge = graph_.edges()[e];
+        ensureAbsorbed(edge.a);
+        ensureAbsorbed(edge.b);
+        uint32_t u = s.find(edge.a);
+        uint32_t v = s.find(edge.b);
+        if (u == v)
+            return; // cycle within one cluster: not a forest edge
+        // Boundary contact freezes a cluster but does NOT union it
+        // into the boundary component: two clusters that each reached
+        // the boundary before reaching each other are strictly better
+        // off matching to the boundary separately, so keeping them
+        // apart is exact -- and it stops the shared boundary node from
+        // chaining unrelated clusters into one giant matching problem.
+        if (u == boundary || v == boundary) {
+            s.btouch[u == boundary ? v : u] = 1;
+            return;
+        }
+        if (s.frontier[u].size() < s.frontier[v].size())
+            std::swap(u, v);
+        s.parent[v] = u;
+        s.parity[u] ^= s.parity[v];
+        s.btouch[u] |= s.btouch[v];
+        auto& fu = s.frontier[u];
+        auto& fv = s.frontier[v];
+        fu.insert(fu.end(), fv.begin(), fv.end());
+        fv.clear();
+    };
+
+    // Growth is event-driven: each round, every active cluster claims
+    // its frontier edges (an edge claimed from both endpoints grows at
+    // twice the rate), then time advances by the smallest number of
+    // ticks that fills some claimed edge. Rounds therefore scale with
+    // merge/freeze events, not with the weight quantization.
+    uint32_t rounds = 0;
+    while (!s.active.empty()) {
+        ++rounds;
+        s.roundEdges.clear();
+        uint32_t delta = UINT32_MAX;
+        for (uint32_t root : s.active) {
+            auto& fr = s.frontier[root];
+            size_t keep = 0;
+            for (size_t i = 0; i < fr.size(); ++i) {
+                uint32_t e = fr[i];
+                if (s.grown[e])
+                    continue;
+                uint32_t remaining = capacity_[e] - s.support[e];
+                if (s.edgeStamp[e] != rounds) {
+                    s.edgeStamp[e] = rounds;
+                    s.edgeMult[e] = 1;
+                    s.roundEdges.push_back(e);
+                    delta = std::min(delta, remaining);
+                } else {
+                    // Claimed again (other endpoint or a duplicate
+                    // list entry): fills proportionally faster.
+                    uint32_t m = ++s.edgeMult[e];
+                    delta = std::min(delta, (remaining + m - 1) / m);
+                }
+                fr[keep++] = e;
+            }
+            fr.resize(keep);
+        }
+        if (s.roundEdges.empty())
+            break; // odd clusters with nowhere left to grow
+        s.mergeQueue.clear();
+        for (uint32_t e : s.roundEdges) {
+            uint32_t grownTo = s.support[e]
+                + static_cast<uint32_t>(s.edgeMult[e]) * delta;
+            if (grownTo >= capacity_[e]) {
+                s.support[e] = capacity_[e];
+                s.grown[e] = 1;
+                s.grownList.push_back(e);
+                s.mergeQueue.push_back(e);
+            } else {
+                s.support[e] = static_cast<uint16_t>(grownTo);
+            }
+        }
+        for (uint32_t e : s.mergeQueue)
+            mergeEdge(e);
+
+        s.nextActive.clear();
+        for (uint32_t root : s.active) {
+            uint32_t r = s.find(root);
+            if (s.stamp[r] == rounds)
+                continue;
+            s.stamp[r] = rounds;
+            if (s.parity[r] && !s.btouch[r])
+                s.nextActive.push_back(r);
+        }
+        s.active.swap(s.nextActive);
+    }
+
+    // Peeling. Group defects (and grown edges) by cluster root; each
+    // cluster resolves independently. Small clusters -- the bulk of
+    // the work below threshold -- get a minimum-weight matching of
+    // their defects on global shortest-path distances, which is what
+    // makes the result agree with MWPM on small syndromes up to
+    // genuine weight degeneracy. Large clusters (rare, near or above
+    // threshold) fall back to the classic linear peel of a spanning
+    // forest of their grown edges.
+    for (uint32_t v : events) {
+        uint32_t r = s.find(v);
+        if (s.clusterDefects[r].empty())
+            s.roots.push_back(r);
+        s.clusterDefects[r].push_back(v);
+    }
+    for (uint32_t e : s.grownList) {
+        const DecodingEdge& edge = graph_.edges()[e];
+        if (edge.a == boundary || edge.b == boundary)
+            continue; // boundary exits use the precomputed table
+        s.clusterEdges[s.find(edge.a)].push_back(e);
+    }
+
+    constexpr size_t kExactMatching = 6;
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    uint32_t obs = 0;
+    uint32_t matchedPairs = 0;
+    uint32_t boundaryMatches = 0;
+    using QItem = std::pair<double, uint32_t>;
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<QItem>>
+        pq;
+
+    // Classic union-find peeling for one large cluster: build a BFS
+    // spanning tree of the cluster's grown edges, peel it leaves-first
+    // XOR-ing a tree edge whenever the child side carries a defect,
+    // and send any leftover root defect to the boundary via the table.
+    auto peelForest = [&](uint32_t r,
+                          const std::vector<uint32_t>& defects) {
+        for (uint32_t e : s.clusterEdges[r]) {
+            const DecodingEdge& edge = graph_.edges()[e];
+            for (uint32_t v : {edge.a, edge.b}) {
+                if (s.treeAdj[v].empty())
+                    s.bfsVerts.push_back(v);
+            }
+            s.treeAdj[edge.a].push_back(e);
+            s.treeAdj[edge.b].push_back(e);
+        }
+        uint32_t root = defects[0];
+        s.order.clear();
+        s.order.push_back(root);
+        s.finalized[root] = 1;
+        for (size_t qi = 0; qi < s.order.size(); ++qi) {
+            uint32_t v = s.order[qi];
+            for (uint32_t e : s.treeAdj[v]) {
+                const DecodingEdge& edge = graph_.edges()[e];
+                uint32_t to = edge.a == v ? edge.b : edge.a;
+                if (!s.finalized[to]) {
+                    s.finalized[to] = 1;
+                    s.parentEdge[to] = e;
+                    s.order.push_back(to);
+                }
+            }
+        }
+        for (size_t qi = s.order.size(); qi-- > 1;) {
+            uint32_t v = s.order[qi];
+            if (!s.defect[v])
+                continue;
+            const DecodingEdge& edge =
+                graph_.edges()[s.parentEdge[v]];
+            uint32_t u = edge.a == v ? edge.b : edge.a;
+            obs ^= edge.observables;
+            s.defect[v] = 0;
+            s.defect[u] ^= 1;
+            ++matchedPairs;
+        }
+        if (s.defect[root]) {
+            s.defect[root] = 0;
+            if (std::isfinite(boundaryDist_[root])) {
+                obs ^= boundaryObs_[root];
+                ++boundaryMatches;
+            }
+        }
+        for (uint32_t v : s.order)
+            s.finalized[v] = 0;
+        for (uint32_t v : s.bfsVerts)
+            s.treeAdj[v].clear();
+        s.bfsVerts.clear();
+    };
+
+    auto pairKey = [](uint32_t u, uint32_t v) {
+        return (static_cast<uint64_t>(std::min(u, v)) << 32)
+            | std::max(u, v);
+    };
+    uint32_t searchId = rounds; // reuse s.stamp, values past growth's
+    std::vector<double> pairW;
+    std::vector<uint32_t> pairObs;
+    std::vector<double> bndW;
+    std::vector<uint32_t> bndObs;
+    for (uint32_t r : s.roots) {
+        const auto& defects = s.clusterDefects[r];
+        const size_t k = defects.size();
+        if (k > kExactMatching) {
+            peelForest(r, defects);
+            s.clusterEdges[r].clear();
+            s.clusterDefects[r].clear();
+            continue;
+        }
+        pairW.assign(k * k, kInf);
+        pairObs.assign(k * k, 0);
+        bndW.resize(k);
+        bndObs.resize(k);
+        for (size_t i = 0; i < k; ++i) {
+            bndW[i] = boundaryDist_[defects[i]];
+            bndObs[i] = boundaryObs_[defects[i]];
+        }
+
+        // Defect-pair shortest paths, globally exact and memoized
+        // across shots (a global distance does not depend on the
+        // shot). Cache misses are filled by one multi-target Dijkstra
+        // per source defect, pruned at bndW[src] + max remaining bndW:
+        // a pair costing more than its two boundary chains combined
+        // can never enter a minimum matching, so recording it as
+        // unreachable is exact (and cacheable). Paths never route
+        // through the boundary node -- boundary pairing is a separate
+        // option, exactly as in the blossom formulation.
+        for (size_t i = 0; i + 1 < k; ++i) {
+            uint32_t src = defects[i];
+            ++searchId;
+            uint32_t targets = 0;
+            double maxBnd = 0.0;
+            for (size_t j = i + 1; j < k; ++j) {
+                auto it = s.pairCache.find(pairKey(src, defects[j]));
+                if (it != s.pairCache.end()) {
+                    pairW[i * k + j] = pairW[j * k + i] =
+                        it->second.first;
+                    pairObs[i * k + j] = pairObs[j * k + i] =
+                        it->second.second;
+                    continue;
+                }
+                s.stamp[defects[j]] = searchId;
+                ++targets;
+                maxBnd = std::max(maxBnd, bndW[j]);
+            }
+            if (targets == 0)
+                continue;
+            const double limit = bndW[i] + maxBnd;
+            bool pruned = false;
+            s.dist[src] = 0.0;
+            s.touched.push_back(src);
+            pq.push({0.0, src});
+            while (!pq.empty()) {
+                auto [d, x] = pq.top();
+                pq.pop();
+                if (s.finalized[x])
+                    continue;
+                s.finalized[x] = 1;
+                if (d > limit) {
+                    pruned = true;
+                    break;
+                }
+                if (s.stamp[x] == searchId && x != src) {
+                    size_t j = 0;
+                    for (size_t jj = i + 1; jj < k; ++jj)
+                        if (defects[jj] == x) {
+                            j = jj;
+                            break;
+                        }
+                    pairW[i * k + j] = pairW[j * k + i] = d;
+                    pairObs[i * k + j] = pairObs[j * k + i] =
+                        s.pathObs[x];
+                    s.pairCache.emplace(pairKey(src, x),
+                                        std::make_pair(d,
+                                                       s.pathObs[x]));
+                    s.stamp[x] = 0;
+                    if (--targets == 0)
+                        break;
+                }
+                for (uint32_t e : graph_.incidentEdges(x)) {
+                    const DecodingEdge& edge = graph_.edges()[e];
+                    uint32_t to = edge.a == x ? edge.b : edge.a;
+                    if (to == boundary)
+                        continue;
+                    double nd = d + edge.weight;
+                    if (nd < s.dist[to]) {
+                        if (s.dist[to] == kInf)
+                            s.touched.push_back(to);
+                        s.dist[to] = nd;
+                        s.pathObs[to] = s.pathObs[x] ^ edge.observables;
+                        pq.push({nd, to});
+                    }
+                }
+            }
+            while (!pq.empty())
+                pq.pop();
+            for (uint32_t x : s.touched) {
+                s.dist[x] = kInf;
+                s.pathObs[x] = 0;
+                s.finalized[x] = 0;
+            }
+            s.touched.clear();
+            if (pruned) {
+                // Remaining targets are provably boundary-dominated.
+                for (size_t j = i + 1; j < k; ++j) {
+                    if (s.stamp[defects[j]] == searchId) {
+                        s.pairCache.emplace(
+                            pairKey(src, defects[j]),
+                            std::make_pair(kInf, 0u));
+                        s.stamp[defects[j]] = 0;
+                    }
+                }
+            } else {
+                for (size_t j = i + 1; j < k; ++j)
+                    if (s.stamp[defects[j]] == searchId)
+                        s.stamp[defects[j]] = 0;
+            }
+        }
+
+        // Exact minimum-weight matching of the defects (boundary
+        // optional), by branch-and-bound over pairings.
+        double bestW = kInf;
+        uint32_t bestObs = 0;
+        uint32_t bestPairs = 0;
+        uint32_t bestBnds = 0;
+        auto search = [&](auto&& self, uint32_t used, double w,
+                          uint32_t o, uint32_t pairs,
+                          uint32_t bnds) -> void {
+            if (w >= bestW)
+                return;
+            size_t i = 0;
+            while (i < k && ((used >> i) & 1u))
+                ++i;
+            if (i == k) {
+                bestW = w;
+                bestObs = o;
+                bestPairs = pairs;
+                bestBnds = bnds;
+                return;
+            }
+            uint32_t mi = used | (1u << i);
+            if (std::isfinite(bndW[i]))
+                self(self, mi, w + bndW[i], o ^ bndObs[i], pairs,
+                     bnds + 1);
+            for (size_t j = i + 1; j < k; ++j) {
+                if ((used >> j) & 1u)
+                    continue;
+                double wij = pairW[i * k + j];
+                if (std::isfinite(wij))
+                    self(self, mi | (1u << j), w + wij,
+                         o ^ pairObs[i * k + j], pairs + 1, bnds);
+            }
+        };
+        search(search, 0, 0.0, 0, 0, 0);
+        if (std::isfinite(bestW)) {
+            obs ^= bestObs;
+            matchedPairs += bestPairs;
+            boundaryMatches += bestBnds;
+        }
+
+        s.clusterEdges[r].clear();
+        s.clusterDefects[r].clear();
+    }
+
+    if (info) {
+        info->growthRounds = rounds;
+        info->matchedPairs = matchedPairs;
+        info->boundaryMatches = boundaryMatches;
+    }
+    return obs;
+}
+
+} // namespace vlq

@@ -3,7 +3,7 @@
 #include <atomic>
 #include <memory>
 
-#include "decoder/mwpm_decoder.h"
+#include "decoder/decoder_factory.h"
 #include "dem/detector_model.h"
 #include "dem/sampler.h"
 #include "util/rng.h"
@@ -28,11 +28,7 @@ estimateLogicalErrorBasis(EmbeddingKind embedding,
     DetectorErrorModel dem = DetectorErrorModel::build(gen.circuit);
     FaultSampler sampler(dem);
 
-    std::unique_ptr<Decoder> decoder;
-    if (options.decoder == DecoderKind::Mwpm)
-        decoder = std::make_unique<MwpmDecoder>(dem);
-    else
-        decoder = std::make_unique<GreedyDecoder>(dem);
+    std::unique_ptr<Decoder> decoder = makeDecoder(options.decoder, dem);
 
     // Distinguish the two bases in the trial RNG stream.
     uint64_t baseSeed = options.seed

@@ -4,12 +4,10 @@
 #include <cstdint>
 
 #include "core/generator_common.h"
+#include "decoder/decoder_factory.h"
 #include "util/stats.h"
 
 namespace vlq {
-
-/** Which decoder a Monte-Carlo run uses. */
-enum class DecoderKind : uint8_t { Mwpm, Greedy };
 
 /** Options controlling one Monte-Carlo estimation. */
 struct McOptions

@@ -1,5 +1,6 @@
 #include "util/env.h"
 
+#include <cctype>
 #include <cstdlib>
 
 namespace vlq {
@@ -37,6 +38,22 @@ envString(const char* name, const std::string& fallback)
     if (!v || !*v)
         return fallback;
     return std::string(v);
+}
+
+std::string
+envLower(const char* name, const std::string& fallback)
+{
+    return asciiLower(envString(name, fallback));
+}
+
+std::string
+asciiLower(std::string_view s)
+{
+    std::string out(s);
+    for (char& c : out)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return out;
 }
 
 } // namespace vlq

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace vlq {
 
@@ -14,6 +15,15 @@ namespace vlq {
 int64_t envInt(const char* name, int64_t fallback);
 double envDouble(const char* name, double fallback);
 std::string envString(const char* name, const std::string& fallback);
+
+/**
+ * Like envString but normalized to ASCII lowercase, for
+ * case-insensitive choice knobs (e.g. VLQ_DECODER=MWPM).
+ */
+std::string envLower(const char* name, const std::string& fallback);
+
+/** ASCII-lowercase a string (shared by the choice-knob parsers). */
+std::string asciiLower(std::string_view s);
 
 } // namespace vlq
 

@@ -1,0 +1,518 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "core/generator_common.h"
+#include "decoder/decoder_factory.h"
+#include "decoder/matching_graph.h"
+#include "decoder/mwpm_decoder.h"
+#include "decoder/union_find.h"
+#include "dem/detector_model.h"
+#include "dem/sampler.h"
+#include "mc/monte_carlo.h"
+#include "util/rng.h"
+
+namespace vlq {
+namespace {
+
+GeneratorConfig
+configFor(int d, double p, ExtractionSchedule sched,
+          CheckBasis basis = CheckBasis::Z)
+{
+    GeneratorConfig cfg;
+    cfg.distance = d;
+    cfg.memoryBasis = basis;
+    cfg.schedule = sched;
+    cfg.cavityDepth = 3;
+    cfg.noise = NoiseModel::atPhysicalRate(
+        p, HardwareParams::transmonsWithMemory());
+    return cfg;
+}
+
+BitVec
+syndromeOf(const std::vector<uint32_t>& detectors, uint32_t numDetectors)
+{
+    BitVec v(numDetectors);
+    for (uint32_t d : detectors)
+        v.flip(d);
+    return v;
+}
+
+/**
+ * Enumerate every pairing of the events (event-event via shortest
+ * paths, or event-boundary) and record its (weight, observable mask).
+ * This is the exact search MWPM optimizes over, so it defines the
+ * ground truth for "equal-weight correction" acceptance.
+ */
+void
+enumeratePairings(const std::vector<uint32_t>& events,
+                  const MatchingGraph& g, std::vector<bool>& used,
+                  double w, uint32_t obs,
+                  std::vector<std::pair<double, uint32_t>>& out)
+{
+    size_t i = 0;
+    while (i < events.size() && used[i])
+        ++i;
+    if (i == events.size()) {
+        out.push_back({w, obs});
+        return;
+    }
+    used[i] = true;
+    double wb = g.boundaryDistance(events[i]);
+    if (std::isfinite(wb))
+        enumeratePairings(events, g, used, w + wb,
+                          obs ^ g.boundaryObservables(events[i]), out);
+    for (size_t j = i + 1; j < events.size(); ++j) {
+        if (used[j])
+            continue;
+        double wij = g.distance(events[i], events[j]);
+        if (!std::isfinite(wij))
+            continue;
+        used[j] = true;
+        enumeratePairings(events, g, used, w + wij,
+                          obs ^ g.pathObservables(events[i], events[j]),
+                          out);
+        used[j] = false;
+    }
+    used[i] = false;
+}
+
+/**
+ * Accept a union-find prediction when some pairing achieving it is
+ * within `relTol` of the minimum pairing weight: either the decoders
+ * agree, or the syndrome is (near-)degenerate and both corrections are
+ * minimum-weight. The tolerance absorbs the UF weight quantization
+ * (1/granularity per edge); genuinely wrong pairings differ by at
+ * least one full edge weight and stay rejected.
+ */
+::testing::AssertionResult
+ufPredictionIsMinWeight(uint32_t ufObs,
+                        const std::vector<uint32_t>& events,
+                        const MatchingGraph& g, double relTol = 0.05)
+{
+    std::vector<std::pair<double, uint32_t>> pairings;
+    std::vector<bool> used(events.size(), false);
+    enumeratePairings(events, g, used, 0.0, 0, pairings);
+    if (pairings.empty())
+        return ::testing::AssertionFailure() << "no pairing exists";
+    double best = pairings[0].first;
+    for (const auto& [w, o] : pairings)
+        best = std::min(best, w);
+    double bestForUf = -1.0;
+    for (const auto& [w, o] : pairings)
+        if (o == ufObs && (bestForUf < 0.0 || w < bestForUf))
+            bestForUf = w;
+    if (bestForUf < 0.0)
+        return ::testing::AssertionFailure()
+            << "no pairing yields uf obs " << ufObs;
+    if (bestForUf > best * (1.0 + relTol) + 1e-9)
+        return ::testing::AssertionFailure()
+            << "uf obs " << ufObs << " costs " << bestForUf
+            << " but optimum costs " << best;
+    return ::testing::AssertionSuccess();
+}
+
+// ---------------------------------------------------------------------------
+// DecodingGraph construction
+// ---------------------------------------------------------------------------
+
+TEST(DecodingGraphTest, HandBuiltAccumulation)
+{
+    DecodingGraph g(3);
+    EXPECT_EQ(g.numDetectors(), 3u);
+    EXPECT_EQ(g.numNodes(), 4u);
+    EXPECT_EQ(g.boundaryNode(), 3u);
+
+    g.addContribution(0, 1, 0.01, 5);
+    g.addContribution(1, 0, 0.02, 7); // same edge, stronger, new obs
+    g.addContribution(1, 2, 0.01, 0);
+    g.addContribution(0, g.boundaryNode(), 0.03, 1);
+    g.finalize();
+
+    ASSERT_EQ(g.edges().size(), 3u);
+    const DecodingEdge& e01 = g.edges()[0];
+    EXPECT_EQ(e01.a, 0u);
+    EXPECT_EQ(e01.b, 1u);
+    EXPECT_NEAR(e01.probability, 0.01 + 0.02 - 2 * 0.01 * 0.02, 1e-12);
+    EXPECT_EQ(e01.observables, 7u); // the stronger contribution wins
+    EXPECT_EQ(g.stats().observableConflicts, 1u);
+
+    EXPECT_EQ(g.incidentEdges(0).size(), 2u);
+    EXPECT_EQ(g.incidentEdges(1).size(), 2u);
+    EXPECT_EQ(g.incidentEdges(2).size(), 1u);
+    EXPECT_EQ(g.incidentEdges(3).size(), 1u);
+    EXPECT_EQ(g.otherEndpoint(0, 0u), 1u);
+    EXPECT_EQ(g.otherEndpoint(0, 1u), 0u);
+
+    // Weight = ln((1-p)/p); the boundary edge (p=0.03) is cheapest.
+    double w03 = std::log((1.0 - 0.03) / 0.03);
+    EXPECT_NEAR(g.minWeight(), w03, 1e-12);
+}
+
+TEST(DecodingGraphTest, DemBuildMatchesMatchingGraph)
+{
+    GeneratorConfig cfg = configFor(3, 2e-3,
+                                    ExtractionSchedule::AllAtOnce);
+    GeneratedCircuit gen = generateBaselineMemory(cfg);
+    DetectorErrorModel dem = DetectorErrorModel::build(gen.circuit);
+    DecodingGraph sparse = DecodingGraph::build(dem);
+    MatchingGraph dense = MatchingGraph::build(sparse);
+
+    EXPECT_EQ(sparse.numDetectors(), dem.numDetectors());
+    EXPECT_GT(sparse.edges().size(), 0u);
+    EXPECT_EQ(dense.numEdges(), sparse.edges().size());
+    EXPECT_EQ(dense.stats().forcedPairings,
+              sparse.stats().forcedPairings);
+
+    // Every single edge is itself a shortest-path upper bound.
+    for (const DecodingEdge& e : sparse.edges()) {
+        double d = e.b == sparse.boundaryNode()
+            ? dense.boundaryDistance(e.a)
+            : dense.distance(e.a, e.b);
+        EXPECT_LE(d, e.weight + 1e-5);
+        EXPECT_GT(d, 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Union-find on hand-built graphs: growth, merging, peeling
+// ---------------------------------------------------------------------------
+
+/**
+ * Chain: B -(p=.03,obs 1)- 0 -(p=.01)- 1 -(p=.02,obs 2)- 2 -(p=.03)- B
+ * Weights: 3.48 / 4.60 / 3.89 / 3.48.
+ */
+DecodingGraph
+chainGraph()
+{
+    DecodingGraph g(3);
+    g.addContribution(0, g.boundaryNode(), 0.03, 1);
+    g.addContribution(0, 1, 0.01, 0);
+    g.addContribution(1, 2, 0.02, 2);
+    g.addContribution(2, g.boundaryNode(), 0.03, 0);
+    g.finalize();
+    return g;
+}
+
+TEST(UnionFindTest, EmptySyndromeNoCorrection)
+{
+    UnionFindDecoder uf(chainGraph());
+    UnionFindDecoder::DecodeInfo info;
+    EXPECT_EQ(uf.decode(BitVec(3), &info), 0u);
+    EXPECT_EQ(info.growthRounds, 0u);
+    EXPECT_EQ(info.matchedPairs, 0u);
+    EXPECT_EQ(info.boundaryMatches, 0u);
+}
+
+TEST(UnionFindTest, SingleDefectMatchesToNearestBoundary)
+{
+    UnionFindDecoder uf(chainGraph());
+    EXPECT_EQ(uf.decode(syndromeOf({0}, 3)), 1u);
+    EXPECT_EQ(uf.decode(syndromeOf({2}, 3)), 0u);
+}
+
+TEST(UnionFindTest, AdjacentDefectsMergeThroughDirectEdge)
+{
+    UnionFindDecoder uf(chainGraph());
+    UnionFindDecoder::DecodeInfo info;
+    // 0-1 direct (4.60, grown from both ends) beats 0's boundary
+    // (3.48, grown from one end only).
+    EXPECT_EQ(uf.decode(syndromeOf({0, 1}, 3), &info), 0u);
+    EXPECT_EQ(info.initialClusters, 2u);
+    EXPECT_EQ(info.matchedPairs, 1u);
+    EXPECT_EQ(info.boundaryMatches, 0u);
+    EXPECT_EQ(uf.decode(syndromeOf({1, 2}, 3)), 2u);
+}
+
+TEST(UnionFindTest, FarDefectsFreezeAtTheirBoundaries)
+{
+    UnionFindDecoder uf(chainGraph());
+    UnionFindDecoder::DecodeInfo info;
+    // Boundary pairing (3.48 + 3.48) beats the middle path (8.49):
+    // both clusters freeze on boundary contact and peel separately.
+    EXPECT_EQ(uf.decode(syndromeOf({0, 2}, 3), &info), 1u);
+    EXPECT_EQ(info.matchedPairs, 0u);
+    EXPECT_EQ(info.boundaryMatches, 2u);
+}
+
+TEST(UnionFindTest, MiddleDefectTakesCheaperBoundaryPath)
+{
+    UnionFindDecoder uf(chainGraph());
+    // From 1: right path 3.89+3.48=7.37 beats left 4.60+3.48=8.07.
+    EXPECT_EQ(uf.decode(syndromeOf({1}, 3)), 2u);
+}
+
+/**
+ * Tree: 0 -(obs 1)- 1 -(obs 0)- 2, 1 -(obs 8)- 3 -(obs 4)- B,
+ * uniform p=0.01. Exercises absorption of pristine vertices and
+ * multi-edge peeling.
+ */
+DecodingGraph
+treeGraph()
+{
+    DecodingGraph g(4);
+    g.addContribution(0, 1, 0.01, 1);
+    g.addContribution(1, 2, 0.01, 0);
+    g.addContribution(1, 3, 0.01, 8);
+    g.addContribution(3, g.boundaryNode(), 0.01, 4);
+    g.finalize();
+    return g;
+}
+
+TEST(UnionFindTest, ClustersGrowThroughPristineVertices)
+{
+    UnionFindDecoder uf(treeGraph());
+    UnionFindDecoder::DecodeInfo info;
+    // Defects at 0 and 2 meet around vertex 1.
+    EXPECT_EQ(uf.decode(syndromeOf({0, 2}, 4), &info), 1u);
+    EXPECT_EQ(info.matchedPairs, 1u);
+    EXPECT_EQ(info.boundaryMatches, 0u);
+    EXPECT_GT(info.growthRounds, 0u);
+}
+
+TEST(UnionFindTest, PeelingWalksWholeBoundaryPath)
+{
+    UnionFindDecoder uf(treeGraph());
+    // Lone defect at 0: only escape is 0-1-3-B, XOR 1^8^4 = 13.
+    EXPECT_EQ(uf.decode(syndromeOf({0}, 4)), 13u);
+}
+
+TEST(UnionFindTest, EvenClusterOfFourResolvesInternally)
+{
+    UnionFindDecoder uf(treeGraph());
+    // All four defects: peeling pairs 0-1 and 2..3 along tree edges;
+    // total correction is XOR of all tree edges used with odd defect
+    // counts below them: 0-1 (obs 1), 1-2 (obs 0), 1-3 (obs 8)...
+    // exact expectation: peel leaves 0,2,3: obs 1 ^ 0 ^ 8 = 9, leaving
+    // vertex 1 defect-free (it absorbed three flips + its own).
+    EXPECT_EQ(uf.decode(syndromeOf({0, 1, 2, 3}, 4)), 9u);
+}
+
+TEST(UnionFindTest, WeightQuantizationTracksRatios)
+{
+    UnionFindDecoder uf(chainGraph(), 32);
+    const auto& edges = uf.graph().edges();
+    double minW = uf.graph().minWeight();
+    for (uint32_t e = 0; e < edges.size(); ++e) {
+        double exact = edges[e].weight / minW * 32.0;
+        EXPECT_NEAR(uf.edgeCapacity(e), exact, 0.51) << "edge " << e;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Agreement with MWPM on real detector error models
+// ---------------------------------------------------------------------------
+
+TEST(UnionFindAgreementTest, AllSingleFaultsAtDistanceThree)
+{
+    for (int embInt : {0, 1, 2}) {
+        GeneratorConfig cfg = configFor(3, 2e-3,
+                                        ExtractionSchedule::AllAtOnce);
+        GeneratedCircuit gen = generateMemoryCircuit(
+            static_cast<EmbeddingKind>(embInt), cfg);
+        DetectorErrorModel dem = DetectorErrorModel::build(gen.circuit);
+        MwpmDecoder mwpm(dem);
+        UnionFindDecoder uf(dem);
+        int checked = 0;
+        for (const auto& ch : dem.channels()) {
+            for (const auto& o : ch.outcomes) {
+                BitVec det = syndromeOf(o.detectors,
+                                        dem.numDetectors());
+                uint32_t predicted = uf.decode(det);
+                if (predicted != mwpm.decode(det)) {
+                    std::vector<uint32_t> events = det.onesIndices();
+                    EXPECT_TRUE(ufPredictionIsMinWeight(
+                        predicted, events, mwpm.graph()))
+                        << "embedding " << embInt << " op "
+                        << ch.opIndex;
+                }
+                ++checked;
+            }
+        }
+        EXPECT_GT(checked, 100);
+    }
+}
+
+TEST(UnionFindAgreementTest, AllFaultPairsAtDistanceThree)
+{
+    GeneratorConfig cfg = configFor(3, 2e-3,
+                                    ExtractionSchedule::AllAtOnce);
+    GeneratedCircuit gen = generateBaselineMemory(cfg);
+    DetectorErrorModel dem = DetectorErrorModel::build(gen.circuit);
+    MwpmDecoder mwpm(dem);
+    UnionFindDecoder uf(dem);
+
+    const auto& chs = dem.channels();
+    // The full cross product: cheap because the equal-weight
+    // enumeration only runs on (rare) disagreements.
+    int checked = 0;
+    int disagreements = 0;
+    for (size_t i = 0; i < chs.size(); ++i) {
+        for (size_t j = i + 1; j < chs.size(); ++j) {
+            const auto& oi = chs[i].outcomes.front();
+            const auto& oj = chs[j].outcomes.front();
+            BitVec det = syndromeOf(oi.detectors, dem.numDetectors());
+            for (uint32_t d : oj.detectors)
+                det.flip(d);
+            uint32_t predicted = uf.decode(det);
+            if (predicted != mwpm.decode(det)) {
+                ++disagreements;
+                std::vector<uint32_t> events = det.onesIndices();
+                ASSERT_TRUE(ufPredictionIsMinWeight(predicted, events,
+                                                    mwpm.graph()))
+                    << "pair " << i << "," << j;
+            }
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 30000);
+    // Disagreements must be rare degenerate ties, not the norm.
+    EXPECT_LT(disagreements, checked / 10);
+}
+
+TEST(UnionFindAgreementTest, FaultPairsAtDistanceFive)
+{
+    GeneratorConfig cfg = configFor(5, 2e-3,
+                                    ExtractionSchedule::AllAtOnce);
+    GeneratedCircuit gen = generateBaselineMemory(cfg);
+    DetectorErrorModel dem = DetectorErrorModel::build(gen.circuit);
+    MwpmDecoder mwpm(dem);
+    UnionFindDecoder uf(dem);
+
+    const auto& chs = dem.channels();
+    int checked = 0;
+    for (size_t i = 0; i < chs.size(); i += 37) {
+        for (size_t j = i + 1; j < chs.size(); j += 53) {
+            const auto& oi = chs[i].outcomes.front();
+            const auto& oj = chs[j].outcomes.front();
+            BitVec det = syndromeOf(oi.detectors, dem.numDetectors());
+            for (uint32_t d : oj.detectors)
+                det.flip(d);
+            uint32_t predicted = uf.decode(det);
+            if (predicted != mwpm.decode(det)) {
+                std::vector<uint32_t> events = det.onesIndices();
+                ASSERT_TRUE(ufPredictionIsMinWeight(predicted, events,
+                                                    mwpm.graph()))
+                    << "pair " << i << "," << j;
+            }
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 50);
+}
+
+TEST(UnionFindAgreementTest, SampledShotsMostlyAgreeWithMwpm)
+{
+    GeneratorConfig cfg = configFor(3, 5e-3,
+                                    ExtractionSchedule::AllAtOnce);
+    GeneratedCircuit gen = generateBaselineMemory(cfg);
+    DetectorErrorModel dem = DetectorErrorModel::build(gen.circuit);
+    FaultSampler sampler(dem);
+    MwpmDecoder mwpm(dem);
+    UnionFindDecoder uf(dem);
+
+    Rng root(0x5eedf00d);
+    const int shots = 400;
+    int agree = 0;
+    BitVec det(dem.numDetectors());
+    uint32_t obsFlips = 0;
+    for (int i = 0; i < shots; ++i) {
+        Rng rng = root.split(static_cast<uint64_t>(i));
+        sampler.sampleInto(rng, det, obsFlips);
+        if (uf.decode(det) == mwpm.decode(det))
+            ++agree;
+    }
+    EXPECT_GE(agree, shots * 9 / 10) << agree << "/" << shots;
+}
+
+// ---------------------------------------------------------------------------
+// Factory and registry
+// ---------------------------------------------------------------------------
+
+TEST(DecoderFactoryTest, RegistryHasBuiltins)
+{
+    ASSERT_GE(decoderRegistry().size(), 3u);
+    EXPECT_STREQ(decoderKindName(DecoderKind::Mwpm), "mwpm");
+    EXPECT_STREQ(decoderKindName(DecoderKind::Greedy), "greedy");
+    EXPECT_STREQ(decoderKindName(DecoderKind::UnionFind), "union-find");
+}
+
+TEST(DecoderFactoryTest, ParsesNamesAndAliases)
+{
+    EXPECT_EQ(parseDecoderKind("mwpm"), DecoderKind::Mwpm);
+    EXPECT_EQ(parseDecoderKind("MWPM"), DecoderKind::Mwpm);
+    EXPECT_EQ(parseDecoderKind("blossom"), DecoderKind::Mwpm);
+    EXPECT_EQ(parseDecoderKind("greedy"), DecoderKind::Greedy);
+    EXPECT_EQ(parseDecoderKind("union-find"), DecoderKind::UnionFind);
+    EXPECT_EQ(parseDecoderKind("UnionFind"), DecoderKind::UnionFind);
+    EXPECT_EQ(parseDecoderKind("uf"), DecoderKind::UnionFind);
+    EXPECT_FALSE(parseDecoderKind("bogus").has_value());
+    EXPECT_FALSE(parseDecoderKind("").has_value());
+}
+
+TEST(DecoderFactoryTest, MakesEveryRegisteredBackend)
+{
+    GeneratorConfig cfg = configFor(3, 2e-3,
+                                    ExtractionSchedule::AllAtOnce);
+    GeneratedCircuit gen = generateBaselineMemory(cfg);
+    DetectorErrorModel dem = DetectorErrorModel::build(gen.circuit);
+    BitVec empty(dem.numDetectors());
+    for (const DecoderRegistration& entry : decoderRegistry()) {
+        std::unique_ptr<Decoder> dec = makeDecoder(entry.kind, dem);
+        ASSERT_NE(dec, nullptr) << entry.name;
+        EXPECT_EQ(dec->decode(empty), 0u) << entry.name;
+    }
+    EXPECT_NE(makeDecoder("uf", dem), nullptr);
+    EXPECT_EQ(makeDecoder("bogus", dem), nullptr);
+}
+
+TEST(DecoderFactoryTest, EnvKnobSelectsBackend)
+{
+    ::setenv("VLQ_DECODER_TESTVAR", "Union-Find", 1);
+    EXPECT_EQ(decoderKindFromEnv(DecoderKind::Mwpm,
+                                 "VLQ_DECODER_TESTVAR"),
+              DecoderKind::UnionFind);
+    ::setenv("VLQ_DECODER_TESTVAR", "greedy", 1);
+    EXPECT_EQ(decoderKindFromEnv(DecoderKind::Mwpm,
+                                 "VLQ_DECODER_TESTVAR"),
+              DecoderKind::Greedy);
+    ::setenv("VLQ_DECODER_TESTVAR", "nonsense", 1);
+    EXPECT_EQ(decoderKindFromEnv(DecoderKind::UnionFind,
+                                 "VLQ_DECODER_TESTVAR"),
+              DecoderKind::UnionFind);
+    ::unsetenv("VLQ_DECODER_TESTVAR");
+    EXPECT_EQ(decoderKindFromEnv(DecoderKind::Greedy,
+                                 "VLQ_DECODER_TESTVAR"),
+              DecoderKind::Greedy);
+}
+
+// ---------------------------------------------------------------------------
+// End to end through Monte-Carlo
+// ---------------------------------------------------------------------------
+
+TEST(UnionFindMcTest, LogicalErrorWithinTwiceMwpmBelowThreshold)
+{
+    GeneratorConfig cfg = configFor(3, 5e-3,
+                                    ExtractionSchedule::AllAtOnce);
+    McOptions mwpmOpts;
+    mwpmOpts.trials = 1200;
+    mwpmOpts.seed = 0x5eed;
+    McOptions ufOpts = mwpmOpts;
+    ufOpts.decoder = DecoderKind::UnionFind;
+
+    LogicalErrorPoint a = estimateLogicalError(EmbeddingKind::Baseline2D,
+                                               cfg, mwpmOpts);
+    LogicalErrorPoint b = estimateLogicalError(EmbeddingKind::Baseline2D,
+                                               cfg, ufOpts);
+    EXPECT_GT(a.combinedRate(), 0.0);
+    EXPECT_GT(b.combinedRate(), 0.0);
+    // Acceptance bar: UF stays within 2x of MWPM below threshold (with
+    // a small absolute slack for binomial noise at these trial counts).
+    EXPECT_LE(b.combinedRate(), 2.0 * a.combinedRate() + 0.02)
+        << "uf " << b.combinedRate() << " mwpm " << a.combinedRate();
+}
+
+} // namespace
+} // namespace vlq
