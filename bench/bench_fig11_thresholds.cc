@@ -18,8 +18,17 @@
  *                          see EXPERIMENTS.md)
  *   VLQ_SEED    RNG seed
  *   VLQ_DECODER decoder backend: mwpm (default), union-find/uf, greedy
+ *   VLQ_BATCH   shots per Monte-Carlo batch        [default 256]
+ *   VLQ_TARGET_FAILURES  early-stop each point after this many
+ *                        failures (0 = run every trial)
+ * Flags:
+ *   --csv <path>  emit all curves as machine-readable CSV
+ *                 (record,setup,distance,p,value rows; the CI
+ *                 bench-regression job diffs the rate records against
+ *                 bench/reference/fig11_thresholds.csv)
  */
 #include <iostream>
+#include <string>
 
 #include "decoder/decoder_factory.h"
 #include "mc/threshold.h"
@@ -30,8 +39,19 @@
 using namespace vlq;
 
 int
-main()
+main(int argc, char** argv)
 {
+    std::string csvPath;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--csv" && i + 1 < argc) {
+            csvPath = argv[++i];
+        } else {
+            std::cerr << "usage: " << argv[0] << " [--csv <path>]\n";
+            return 1;
+        }
+    }
+
     const bool full = envInt("VLQ_FULL", 0) != 0;
     ThresholdScanConfig cfg;
     cfg.distances = full ? std::vector<int>{3, 5, 7, 9, 11}
@@ -42,16 +62,25 @@ main()
     cfg.scaleCoherence = envInt("VLQ_SCALE_COHERENCE", 0) != 0;
     cfg.gapModel = envInt("VLQ_GAP_PER_ROUND", 0) != 0
         ? PagingGapModel::PerRound : PagingGapModel::BlockOnce;
-    cfg.mc.trials =
-        static_cast<uint64_t>(envInt("VLQ_TRIALS", full ? 4000 : 2000));
-    cfg.mc.seed = static_cast<uint64_t>(envInt("VLQ_SEED", 0x5eed));
+    cfg.mc.trials = envU64("VLQ_TRIALS", full ? 4000 : 2000);
+    cfg.mc.seed = envU64("VLQ_SEED", 0x5eed);
     cfg.mc.decoder = decoderKindFromEnv(DecoderKind::Mwpm);
+    cfg.mc.batchSize =
+        static_cast<uint32_t>(envU64("VLQ_BATCH", 256));
+    cfg.mc.targetFailures = envU64("VLQ_TARGET_FAILURES", 0);
 
     std::cout << "=== Figure 11: error thresholds (trials/point = "
               << cfg.mc.trials << ", coherence "
               << (cfg.scaleCoherence ? "scales with p" : "fixed Table I")
               << ", k = " << cfg.cavityDepth << ", decoder = "
-              << decoderKindName(cfg.mc.decoder) << ") ===\n";
+              << decoderKindName(cfg.mc.decoder) << ", batch = "
+              << cfg.mc.batchSize;
+    if (cfg.mc.targetFailures > 0)
+        std::cout << ", early-stop at " << cfg.mc.targetFailures
+                  << " failures";
+    std::cout << ") ===\n";
+
+    CsvWriter combined({"record", "setup", "distance", "p", "value"});
 
     const double paperPth[5] = {0.009, 0.009, 0.008, 0.008, 0.008};
     int setupIdx = 0;
@@ -69,9 +98,15 @@ main()
                 TablePrinter::sci(cfg.physicalPs[j], 2)};
             std::vector<double> nums{cfg.physicalPs[j]};
             for (const auto& curve : result.curves) {
-                row.push_back(TablePrinter::sci(
-                    curve.points[j].combinedRate(), 2));
-                nums.push_back(curve.points[j].combinedRate());
+                double rate = curve.points[j].combinedRate();
+                row.push_back(TablePrinter::sci(rate, 2));
+                nums.push_back(rate);
+                if (!csvPath.empty())
+                    combined.addRow(
+                        {"rate", setup.name(),
+                         std::to_string(curve.distance),
+                         TablePrinter::sci(cfg.physicalPs[j], 2),
+                         std::to_string(rate)});
             }
             t.addRow(row);
             csv.addNumericRow(nums);
@@ -84,6 +119,9 @@ main()
             if (!csv.writeFile(path))
                 std::cerr << "failed to write " << path << "\n";
         }
+        if (!csvPath.empty())
+            combined.addRow({"pth", setup.name(), "", "",
+                             std::to_string(result.pth)});
         std::cout << "threshold estimate pth = ";
         if (result.pth > 0)
             std::cout << TablePrinter::sci(result.pth, 2);
@@ -98,6 +136,10 @@ main()
                       << " per distance step (>1 below threshold)\n";
         }
         ++setupIdx;
+    }
+    if (!csvPath.empty() && !combined.writeFile(csvPath)) {
+        std::cerr << "failed to write " << csvPath << "\n";
+        return 1;
     }
     return 0;
 }

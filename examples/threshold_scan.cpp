@@ -4,17 +4,25 @@
  * evaluation setup and locate the error threshold, like one panel of
  * the paper's Fig. 11.
  *
- * Usage: threshold_scan [setup 0..4] [trials] [decoder]
+ * Usage: threshold_scan [setup 0..4] [trials] [decoder] [target]
  *   0 Baseline, 1 Natural-AAO, 2 Natural-Interleaved,
  *   3 Compact-AAO, 4 Compact-Interleaved
  *   decoder: mwpm (default), union-find/uf, greedy; the VLQ_DECODER
  *   environment variable sets the default when the argument is absent.
+ *   target: stop each point early after this many failures (0 = run
+ *   every trial). VLQ_BATCH sets the Monte-Carlo batch size.
+ *
+ * Points stream as they finish, with running failure counts for the
+ * point being sampled -- the batched engine commits batches in trial
+ * order, so the stream (and the final counts) are reproducible for
+ * any thread count or batch size.
  */
 #include <cstdlib>
 #include <iostream>
 
 #include "decoder/decoder_factory.h"
 #include "mc/threshold.h"
+#include "util/env.h"
 #include "util/table.h"
 
 using namespace vlq;
@@ -37,6 +45,8 @@ main(int argc, char** argv)
     cfg.physicalPs = logspace(3e-3, 2e-2, 6);
     cfg.mc.trials = trials;
     cfg.mc.decoder = decoderKindFromEnv(DecoderKind::Mwpm);
+    cfg.mc.batchSize = static_cast<uint32_t>(envU64("VLQ_BATCH", 256));
+    cfg.mc.targetFailures = envU64("VLQ_TARGET_FAILURES", 0);
     if (argc > 3) {
         auto kind = parseDecoderKind(argv[3]);
         if (!kind) {
@@ -46,10 +56,38 @@ main(int argc, char** argv)
         }
         cfg.mc.decoder = *kind;
     }
+    if (argc > 4) {
+        long long target = std::atoll(argv[4]);
+        cfg.mc.targetFailures =
+            target > 0 ? static_cast<uint64_t>(target) : 0;
+    }
+
+    // Stream running counts: overwrite one status line per basis run,
+    // then print the finished point on its own line.
+    cfg.mc.progress = [](const McProgress& p) {
+        if (p.trialsDone == p.totalTrials
+            || p.trialsDone % 16384 < 256)
+            std::cout << "\r    sampling: " << p.failures
+                      << " failures / " << p.trialsDone << " of "
+                      << p.totalTrials << " trials " << std::flush;
+    };
+    cfg.pointProgress = [](const LogicalErrorPoint& pt) {
+        std::cout << "\r  d=" << pt.distance << "  p="
+                  << TablePrinter::sci(pt.physicalP, 2) << "  rate="
+                  << TablePrinter::sci(pt.combinedRate(), 2) << "  ("
+                  << pt.basisZ.successes + pt.basisX.successes
+                  << " failures / " << pt.basisZ.trials + pt.basisX.trials
+                  << " trials)          \n";
+    };
 
     std::cout << "Scanning " << setup.name() << " with " << trials
               << " trials/point using the "
-              << decoderKindName(cfg.mc.decoder) << " decoder...\n\n";
+              << decoderKindName(cfg.mc.decoder) << " decoder (batch "
+              << cfg.mc.batchSize;
+    if (cfg.mc.targetFailures > 0)
+        std::cout << ", early-stop at " << cfg.mc.targetFailures
+                  << " failures";
+    std::cout << ")...\n\n";
     ThresholdResult result = scanThreshold(setup, cfg);
 
     std::vector<std::string> headers{"p"};
@@ -64,6 +102,7 @@ main(int argc, char** argv)
                 TablePrinter::sci(c.points[j].combinedRate(), 2));
         t.addRow(row);
     }
+    std::cout << "\n";
     t.print(std::cout);
 
     if (result.pth > 0)

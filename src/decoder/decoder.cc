@@ -1,0 +1,46 @@
+#include "decoder/decoder.h"
+
+#include "dem/shot_batch.h"
+#include "util/logging.h"
+
+namespace vlq {
+
+void
+Decoder::decodeBatch(const ShotBatch& batch,
+                     std::span<uint32_t> predictions) const
+{
+    VLQ_ASSERT(predictions.size() >= batch.numShots(),
+               "decodeBatch predictions span too small");
+    BitVec detectors(batch.numDetectors());
+    for (uint32_t wi = 0; wi < batch.wordsPerRow(); ++wi) {
+        uint64_t nonTrivial = batch.nonTrivialMask(wi);
+        uint32_t base = wi * ShotBatch::kWordBits;
+        uint32_t lanes = std::min<uint32_t>(ShotBatch::kWordBits,
+                                            batch.numShots() - base);
+        for (uint32_t lane = 0; lane < lanes; ++lane) {
+            uint32_t s = base + lane;
+            if (!((nonTrivial >> lane) & 1)) {
+                predictions[s] = 0;
+                continue;
+            }
+            batch.extractShot(s, detectors);
+            predictions[s] = decode(detectors);
+        }
+    }
+}
+
+void
+Decoder::decodeBatchEvents(
+    const ShotBatch& batch, std::span<uint32_t> predictions,
+    const std::function<uint32_t(const std::vector<uint32_t>&)>&
+        decodeEvents) const
+{
+    VLQ_ASSERT(predictions.size() >= batch.numShots(),
+               "decodeBatch predictions span too small");
+    static thread_local std::vector<std::vector<uint32_t>> events;
+    batch.gatherEvents(events);
+    for (uint32_t s = 0; s < batch.numShots(); ++s)
+        predictions[s] = decodeEvents(events[s]);
+}
+
+} // namespace vlq

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "decoder/blossom.h"
+#include "dem/shot_batch.h"
 #include "util/logging.h"
 
 namespace vlq {
@@ -16,13 +17,30 @@ MwpmDecoder::MwpmDecoder(const DetectorErrorModel& dem)
 uint32_t
 MwpmDecoder::decode(const BitVec& detectorFlips) const
 {
-    std::vector<uint32_t> events = detectorFlips.onesIndices();
+    return decodeEvents(detectorFlips.onesIndices());
+}
+
+void
+MwpmDecoder::decodeBatch(const ShotBatch& batch,
+                         std::span<uint32_t> predictions) const
+{
+    decodeBatchEvents(batch, predictions,
+                      [this](const std::vector<uint32_t>& events) {
+                          return decodeEvents(events);
+                      });
+}
+
+uint32_t
+MwpmDecoder::decodeEvents(const std::vector<uint32_t>& events) const
+{
     const int m = static_cast<int>(events.size());
     if (m == 0)
         return 0;
 
-    // Nodes 0..m-1: events; m..2m-1: private boundary copies.
-    std::vector<MatchEdge> edges;
+    // Nodes 0..m-1: events; m..2m-1: private boundary copies. The edge
+    // buffer keeps its capacity across shots of a batch.
+    static thread_local std::vector<MatchEdge> edges;
+    edges.clear();
     edges.reserve(static_cast<size_t>(m) * m + m);
     for (int i = 0; i < m; ++i) {
         for (int j = i + 1; j < m; ++j) {
@@ -63,7 +81,22 @@ GreedyDecoder::GreedyDecoder(const DetectorErrorModel& dem)
 uint32_t
 GreedyDecoder::decode(const BitVec& detectorFlips) const
 {
-    std::vector<uint32_t> events = detectorFlips.onesIndices();
+    return decodeEvents(detectorFlips.onesIndices());
+}
+
+void
+GreedyDecoder::decodeBatch(const ShotBatch& batch,
+                           std::span<uint32_t> predictions) const
+{
+    decodeBatchEvents(batch, predictions,
+                      [this](const std::vector<uint32_t>& events) {
+                          return decodeEvents(events);
+                      });
+}
+
+uint32_t
+GreedyDecoder::decodeEvents(const std::vector<uint32_t>& events) const
+{
     const size_t m = events.size();
     if (m == 0)
         return 0;
@@ -74,7 +107,8 @@ GreedyDecoder::decode(const BitVec& detectorFlips) const
         uint32_t i;
         uint32_t j; // j == i means boundary
     };
-    std::vector<Cand> cands;
+    static thread_local std::vector<Cand> cands;
+    cands.clear();
     for (uint32_t i = 0; i < m; ++i) {
         for (uint32_t j = i + 1; j < m; ++j) {
             double w = graph_.distance(events[i], events[j]);
@@ -88,16 +122,17 @@ GreedyDecoder::decode(const BitVec& detectorFlips) const
     std::sort(cands.begin(), cands.end(),
               [](const Cand& a, const Cand& b) { return a.w < b.w; });
 
-    std::vector<bool> used(m, false);
+    static thread_local std::vector<uint8_t> used;
+    used.assign(m, 0);
     uint32_t obs = 0;
     for (const auto& c : cands) {
         if (used[c.i] || (c.j != c.i && used[c.j]))
             continue;
-        used[c.i] = true;
+        used[c.i] = 1;
         if (c.j == c.i) {
             obs ^= graph_.boundaryObservables(events[c.i]);
         } else {
-            used[c.j] = true;
+            used[c.j] = 1;
             obs ^= graph_.pathObservables(events[c.i], events[c.j]);
         }
     }

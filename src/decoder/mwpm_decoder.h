@@ -29,9 +29,20 @@ class MwpmDecoder : public Decoder
 
     uint32_t decode(const BitVec& detectorFlips) const override;
 
+    /**
+     * Batched decode: event lists come from one sparse sweep over the
+     * batch and the edge-list buffer is reused across shots (the
+     * all-pairs distance table is precomputed, so per-shot setup is
+     * the only scratch left to amortize).
+     */
+    void decodeBatch(const ShotBatch& batch,
+                     std::span<uint32_t> predictions) const override;
+
     const MatchingGraph& graph() const { return graph_; }
 
   private:
+    uint32_t decodeEvents(const std::vector<uint32_t>& events) const;
+
     MatchingGraph graph_;
 };
 
@@ -47,9 +58,15 @@ class GreedyDecoder : public Decoder
 
     uint32_t decode(const BitVec& detectorFlips) const override;
 
+    /** Batched decode reusing the candidate-pair buffer per shot. */
+    void decodeBatch(const ShotBatch& batch,
+                     std::span<uint32_t> predictions) const override;
+
     const MatchingGraph& graph() const { return graph_; }
 
   private:
+    uint32_t decodeEvents(const std::vector<uint32_t>& events) const;
+
     MatchingGraph graph_;
 };
 

@@ -7,15 +7,24 @@
 #include <queue>
 #include <unordered_map>
 
+#include "dem/shot_batch.h"
+
 namespace vlq {
 
 namespace {
 
 /**
- * Per-thread workspace. Sized to the graph on every decode (vectors
+ * Per-thread workspace. Sized to the graph on first contact (vectors
  * keep their capacity between shots, so steady-state decoding does not
  * allocate) and shared safely across decoder instances because decode()
  * never yields mid-use.
+ *
+ * Stamps (stamp, edgeStamp) compare against a monotonically increasing
+ * per-thread counter instead of being cleared per shot, and the
+ * Dijkstra arrays (dist, pathObs, finalized) are restored through
+ * `touched` by every user: the exact-matching fast path therefore
+ * touches only O(events) scratch state per shot. Only the growth path
+ * pays the full per-shot reset of the cluster arenas.
  */
 struct Scratch
 {
@@ -26,7 +35,7 @@ struct Scratch
     std::vector<uint8_t> absorbed;
     std::vector<uint8_t> defect;
     std::vector<std::vector<uint32_t>> frontier;
-    std::vector<uint32_t> stamp;
+    std::vector<uint64_t> stamp;
     std::vector<uint32_t> active;
     std::vector<uint32_t> nextActive;
 
@@ -34,7 +43,7 @@ struct Scratch
     std::vector<uint16_t> support;
     std::vector<uint8_t> grown;
     std::vector<uint32_t> grownList;
-    std::vector<uint32_t> edgeStamp;
+    std::vector<uint64_t> edgeStamp;
     std::vector<uint8_t> edgeMult;
     std::vector<uint32_t> roundEdges;
     std::vector<uint32_t> mergeQueue;
@@ -55,50 +64,128 @@ struct Scratch
     std::vector<uint32_t> bfsVerts;
     std::vector<uint32_t> order;
     std::vector<uint32_t> parentEdge;
+    // Exact-matching workspace (persists across shots of a batch).
+    std::vector<double> pairW;
+    std::vector<uint32_t> pairObs;
+    std::vector<double> bndW;
+    std::vector<uint32_t> bndObs;
+    std::vector<double> defLB;
+    std::priority_queue<std::pair<double, uint32_t>,
+                        std::vector<std::pair<double, uint32_t>>,
+                        std::greater<std::pair<double, uint32_t>>>
+        pq;
+    uint64_t counter = 0; // stamp source; never reset
     uint64_t cacheEpoch = 0;
     std::unordered_map<uint64_t, std::pair<double, uint32_t>> pairCache;
+    // For small graphs the pair cache is a flat lazy matrix instead:
+    // O(1) array reads beat hash lookups ~10x, and the gather phase of
+    // the exact matcher is lookup-bound once the cache is warm.
+    uint32_t flatN = 0; // matrix side, 0 = use the hash map
+    std::vector<uint8_t> pairKnownFlat;
+    std::vector<double> pairDistFlat;
+    std::vector<uint32_t> pairObsFlat;
 
-    void reset(uint32_t numNodes, uint32_t numEdges, uint64_t epoch)
+    /** Size arrays for a graph; clears nothing (fast-path entry). */
+    void ensure(uint32_t numNodes, uint32_t numEdges, uint64_t epoch)
     {
-        parent.resize(numNodes);
-        for (uint32_t i = 0; i < numNodes; ++i)
-            parent[i] = i;
-        parity.assign(numNodes, 0);
-        btouch.assign(numNodes, 0);
-        absorbed.assign(numNodes, 0);
-        defect.assign(numNodes, 0);
-        if (frontier.size() < numNodes)
+        if (parent.size() < numNodes) {
+            size_t old = parent.size();
+            parent.resize(numNodes);
+            for (size_t i = old; i < numNodes; ++i)
+                parent[i] = static_cast<uint32_t>(i);
+            parity.resize(numNodes, 0);
+            btouch.resize(numNodes, 0);
+            absorbed.resize(numNodes, 0);
+            defect.resize(numNodes, 0);
             frontier.resize(numNodes);
-        for (uint32_t i = 0; i < numNodes; ++i)
-            frontier[i].clear();
-        stamp.assign(numNodes, 0);
-        active.clear();
-        nextActive.clear();
-        support.assign(numEdges, 0);
-        grown.assign(numEdges, 0);
-        grownList.clear();
-        edgeStamp.assign(numEdges, 0);
-        edgeMult.resize(numEdges); // stamp-guarded, no clear needed
-        roundEdges.clear();
-        mergeQueue.clear();
-        if (clusterDefects.size() < numNodes) {
+            stamp.resize(numNodes, 0);
             clusterDefects.resize(numNodes);
             clusterEdges.resize(numNodes);
             treeAdj.resize(numNodes);
+            parentEdge.resize(numNodes);
+            dist.resize(numNodes,
+                        std::numeric_limits<double>::infinity());
+            pathObs.resize(numNodes, 0);
+            finalized.resize(numNodes, 0);
         }
-        parentEdge.resize(numNodes);
+        if (support.size() < numEdges) {
+            support.resize(numEdges, 0);
+            grown.resize(numEdges, 0);
+            edgeStamp.resize(numEdges, 0);
+            edgeMult.resize(numEdges); // stamp-guarded, no init needed
+        }
+        if (cacheEpoch != epoch) {
+            cacheEpoch = epoch;
+            pairCache.clear();
+            constexpr uint32_t kFlatCacheMaxNodes = 512;
+            flatN = numNodes <= kFlatCacheMaxNodes ? numNodes : 0;
+            size_t cells = static_cast<size_t>(flatN) * flatN;
+            pairKnownFlat.assign(cells, 0);
+            pairDistFlat.resize(cells);
+            pairObsFlat.resize(cells);
+        }
+    }
+
+    bool cacheFind(uint32_t u, uint32_t v, double& w, uint32_t& o)
+    {
+        if (flatN) {
+            size_t idx = static_cast<size_t>(u) * flatN + v;
+            if (!pairKnownFlat[idx])
+                return false;
+            w = pairDistFlat[idx];
+            o = pairObsFlat[idx];
+            return true;
+        }
+        uint64_t key = (static_cast<uint64_t>(std::min(u, v)) << 32)
+            | std::max(u, v);
+        auto it = pairCache.find(key);
+        if (it == pairCache.end())
+            return false;
+        w = it->second.first;
+        o = it->second.second;
+        return true;
+    }
+
+    void cacheStore(uint32_t u, uint32_t v, double w, uint32_t o)
+    {
+        if (flatN) {
+            size_t a = static_cast<size_t>(u) * flatN + v;
+            size_t b = static_cast<size_t>(v) * flatN + u;
+            pairKnownFlat[a] = pairKnownFlat[b] = 1;
+            pairDistFlat[a] = pairDistFlat[b] = w;
+            pairObsFlat[a] = pairObsFlat[b] = o;
+            return;
+        }
+        uint64_t key = (static_cast<uint64_t>(std::min(u, v)) << 32)
+            | std::max(u, v);
+        pairCache.emplace(key, std::make_pair(w, o));
+    }
+
+    /** Full per-shot reset of the cluster arenas (growth-path entry).
+     *  The stamp and Dijkstra arrays are deliberately left alone --
+     *  they are maintained by the monotonic-counter / touched-list
+     *  protocols. */
+    void reset(uint32_t numNodes, uint32_t numEdges)
+    {
+        for (uint32_t i = 0; i < numNodes; ++i)
+            parent[i] = i;
+        std::fill_n(parity.begin(), numNodes, uint8_t{0});
+        std::fill_n(btouch.begin(), numNodes, uint8_t{0});
+        std::fill_n(absorbed.begin(), numNodes, uint8_t{0});
+        std::fill_n(defect.begin(), numNodes, uint8_t{0});
+        for (uint32_t i = 0; i < numNodes; ++i)
+            frontier[i].clear();
+        active.clear();
+        nextActive.clear();
+        std::fill_n(support.begin(), numEdges, uint16_t{0});
+        std::fill_n(grown.begin(), numEdges, uint8_t{0});
+        grownList.clear();
+        roundEdges.clear();
+        mergeQueue.clear();
         roots.clear();
         bfsVerts.clear();
         order.clear();
         touched.clear();
-        dist.assign(numNodes,
-                    std::numeric_limits<double>::infinity());
-        pathObs.assign(numNodes, 0);
-        finalized.assign(numNodes, 0);
-        if (cacheEpoch != epoch) {
-            cacheEpoch = epoch;
-            pairCache.clear();
-        }
     }
 
     uint32_t find(uint32_t x)
@@ -121,19 +208,20 @@ scratch()
 } // namespace
 
 UnionFindDecoder::UnionFindDecoder(const DetectorErrorModel& dem,
-                                   uint32_t granularity)
-    : UnionFindDecoder(DecodingGraph::build(dem), granularity)
+                                   UnionFindOptions options)
+    : UnionFindDecoder(DecodingGraph::build(dem), options)
 {
 }
 
 UnionFindDecoder::UnionFindDecoder(DecodingGraph graph,
-                                   uint32_t granularity)
-    : graph_(std::move(graph))
+                                   UnionFindOptions options)
+    : graph_(std::move(graph)),
+      exactSyndromeThreshold_(
+          std::min<uint32_t>(options.exactSyndromeThreshold, 16))
 {
     static std::atomic<uint64_t> nextEpoch{1};
     cacheEpoch_ = nextEpoch.fetch_add(1, std::memory_order_relaxed);
-    if (granularity == 0)
-        granularity = 1;
+    uint32_t granularity = std::max<uint32_t>(options.granularity, 1);
     const double minW = graph_.minWeight();
     capacity_.resize(graph_.edges().size());
     for (size_t i = 0; i < capacity_.size(); ++i) {
@@ -180,16 +268,32 @@ UnionFindDecoder::UnionFindDecoder(DecodingGraph graph,
 uint32_t
 UnionFindDecoder::decode(const BitVec& detectorFlips) const
 {
-    return decode(detectorFlips, nullptr);
+    return decodeEvents(detectorFlips.onesIndices(), nullptr);
 }
 
 uint32_t
 UnionFindDecoder::decode(const BitVec& detectorFlips,
                          DecodeInfo* info) const
 {
+    return decodeEvents(detectorFlips.onesIndices(), info);
+}
+
+void
+UnionFindDecoder::decodeBatch(const ShotBatch& batch,
+                              std::span<uint32_t> predictions) const
+{
+    decodeBatchEvents(batch, predictions,
+                      [this](const std::vector<uint32_t>& events) {
+                          return decodeEvents(events, nullptr);
+                      });
+}
+
+uint32_t
+UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
+                               DecodeInfo* info) const
+{
     if (info)
         *info = DecodeInfo{};
-    std::vector<uint32_t> events = detectorFlips.onesIndices();
     if (events.empty())
         return 0;
 
@@ -198,7 +302,280 @@ UnionFindDecoder::decode(const BitVec& detectorFlips,
     const uint32_t boundary = graph_.boundaryNode();
 
     Scratch& s = scratch();
-    s.reset(n, numEdges, cacheEpoch_);
+    s.ensure(n, numEdges, cacheEpoch_);
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    uint32_t obs = 0;
+    uint32_t matchedPairs = 0;
+    uint32_t boundaryMatches = 0;
+    auto& pq = s.pq;
+    auto& pairW = s.pairW;
+    auto& pairObs = s.pairObs;
+    auto& bndW = s.bndW;
+    auto& bndObs = s.bndObs;
+    auto& defLB = s.defLB;
+
+    /**
+     * Exact minimum-weight matching of one defect set (boundary
+     * optional) over global shortest-path distances. Used for whole
+     * small syndromes (fast path) and for small grown clusters.
+     *
+     * Defect-pair shortest paths are globally exact and memoized
+     * across shots (a global distance does not depend on the shot).
+     * Cache misses are filled by one multi-target Dijkstra per source
+     * defect, pruned at bndW[src] + max remaining bndW: a pair costing
+     * more than its two boundary chains combined can never enter a
+     * minimum matching, so recording it as unreachable is exact (and
+     * cacheable). Paths never route through the boundary node --
+     * boundary pairing is a separate option, exactly as in the
+     * blossom formulation.
+     */
+    auto matchDefectsExact = [&](const std::vector<uint32_t>& defects) {
+        const size_t k = defects.size();
+        // Lone defect: the precomputed boundary chain is the matching.
+        if (k == 1) {
+            if (std::isfinite(boundaryDist_[defects[0]])) {
+                obs ^= boundaryObs_[defects[0]];
+                ++boundaryMatches;
+            }
+            return;
+        }
+        // Defect pair with a warm cache: one compare, no arrays. Ties
+        // prefer the boundary, matching the branch-and-bound's order.
+        if (k == 2) {
+            double w;
+            uint32_t o;
+            if (s.cacheFind(defects[0], defects[1], w, o)) {
+                double b = boundaryDist_[defects[0]]
+                    + boundaryDist_[defects[1]];
+                if (w < b) {
+                    obs ^= o;
+                    ++matchedPairs;
+                } else if (std::isfinite(b)) {
+                    obs ^= boundaryObs_[defects[0]]
+                        ^ boundaryObs_[defects[1]];
+                    boundaryMatches += 2;
+                } else if (std::isfinite(w)) {
+                    obs ^= o;
+                    ++matchedPairs;
+                }
+                return;
+            }
+        }
+        pairW.assign(k * k, kInf);
+        pairObs.assign(k * k, 0);
+        bndW.resize(k);
+        bndObs.resize(k);
+        for (size_t i = 0; i < k; ++i) {
+            bndW[i] = boundaryDist_[defects[i]];
+            bndObs[i] = boundaryObs_[defects[i]];
+        }
+
+        for (size_t i = 0; i + 1 < k; ++i) {
+            uint32_t src = defects[i];
+            const uint64_t searchId = ++s.counter;
+            uint32_t targets = 0;
+            double maxBnd = 0.0;
+            for (size_t j = i + 1; j < k; ++j) {
+                double w;
+                uint32_t o;
+                if (s.cacheFind(src, defects[j], w, o)) {
+                    pairW[i * k + j] = pairW[j * k + i] = w;
+                    pairObs[i * k + j] = pairObs[j * k + i] = o;
+                    continue;
+                }
+                s.stamp[defects[j]] = searchId;
+                ++targets;
+                maxBnd = std::max(maxBnd, bndW[j]);
+            }
+            if (targets == 0)
+                continue;
+            const double limit = bndW[i] + maxBnd;
+            bool pruned = false;
+            s.dist[src] = 0.0;
+            s.touched.push_back(src);
+            pq.push({0.0, src});
+            while (!pq.empty()) {
+                auto [d, x] = pq.top();
+                pq.pop();
+                if (s.finalized[x])
+                    continue;
+                s.finalized[x] = 1;
+                if (d > limit) {
+                    pruned = true;
+                    break;
+                }
+                if (s.stamp[x] == searchId && x != src) {
+                    size_t j = 0;
+                    for (size_t jj = i + 1; jj < k; ++jj)
+                        if (defects[jj] == x) {
+                            j = jj;
+                            break;
+                        }
+                    pairW[i * k + j] = pairW[j * k + i] = d;
+                    pairObs[i * k + j] = pairObs[j * k + i] =
+                        s.pathObs[x];
+                    s.cacheStore(src, x, d, s.pathObs[x]);
+                    s.stamp[x] = 0;
+                    if (--targets == 0)
+                        break;
+                }
+                for (uint32_t e : graph_.incidentEdges(x)) {
+                    const DecodingEdge& edge = graph_.edges()[e];
+                    uint32_t to = edge.a == x ? edge.b : edge.a;
+                    if (to == boundary)
+                        continue;
+                    double nd = d + edge.weight;
+                    if (nd < s.dist[to]) {
+                        if (s.dist[to] == kInf)
+                            s.touched.push_back(to);
+                        s.dist[to] = nd;
+                        s.pathObs[to] = s.pathObs[x] ^ edge.observables;
+                        pq.push({nd, to});
+                    }
+                }
+            }
+            while (!pq.empty())
+                pq.pop();
+            for (uint32_t x : s.touched) {
+                s.dist[x] = kInf;
+                s.pathObs[x] = 0;
+                s.finalized[x] = 0;
+            }
+            s.touched.clear();
+            if (pruned) {
+                // Remaining targets are provably boundary-dominated.
+                for (size_t j = i + 1; j < k; ++j) {
+                    if (s.stamp[defects[j]] == searchId) {
+                        s.cacheStore(src, defects[j], kInf, 0u);
+                        s.stamp[defects[j]] = 0;
+                    }
+                }
+            } else {
+                for (size_t j = i + 1; j < k; ++j)
+                    if (s.stamp[defects[j]] == searchId)
+                        s.stamp[defects[j]] = 0;
+            }
+        }
+
+        // Exact minimum-weight matching of the defects (boundary
+        // optional), by branch-and-bound over pairings. Each defect
+        // must pay at least min(boundary, cheapest pair / 2) in any
+        // completion; the sum of those per-defect floors over the
+        // unmatched set is an admissible bound that prunes most of
+        // the pairing tree at the larger defect counts.
+        defLB.resize(k);
+        for (size_t i = 0; i < k; ++i) {
+            double floor_i = bndW[i];
+            for (size_t j = 0; j < k; ++j)
+                if (j != i)
+                    floor_i = std::min(floor_i, 0.5 * pairW[i * k + j]);
+            defLB[i] = std::isfinite(floor_i) ? floor_i : 0.0;
+        }
+        // A greedy nearest-available pairing seeds the incumbent, so
+        // the branch-and-bound starts with a near-optimal bound and
+        // spends its time proving optimality, not finding it. When the
+        // greedy weight already equals the optimum, keeping its answer
+        // is a legitimate minimum-weight (degenerate) solution.
+        double bestW = kInf;
+        uint32_t bestObs = 0;
+        uint32_t bestPairs = 0;
+        uint32_t bestBnds = 0;
+        if (k >= 5) {
+            uint32_t gUsed = 0;
+            double gW = 0.0;
+            uint32_t gObs = 0;
+            uint32_t gPairs = 0;
+            uint32_t gBnds = 0;
+            bool feasible = true;
+            for (size_t i = 0; i < k && feasible; ++i) {
+                if ((gUsed >> i) & 1u)
+                    continue;
+                double best = bndW[i];
+                int bj = -1;
+                for (size_t j = i + 1; j < k; ++j)
+                    if (!((gUsed >> j) & 1u)
+                        && pairW[i * k + j] < best) {
+                        best = pairW[i * k + j];
+                        bj = static_cast<int>(j);
+                    }
+                if (!std::isfinite(best)) {
+                    feasible = false;
+                    break;
+                }
+                gUsed |= 1u << i;
+                if (bj >= 0) {
+                    gUsed |= 1u << bj;
+                    gObs ^= pairObs[i * k + static_cast<size_t>(bj)];
+                    ++gPairs;
+                } else {
+                    gObs ^= bndObs[i];
+                    ++gBnds;
+                }
+                gW += best;
+            }
+            if (feasible) {
+                bestW = gW;
+                bestObs = gObs;
+                bestPairs = gPairs;
+                bestBnds = gBnds;
+            }
+        }
+        auto search = [&](auto&& self, uint32_t used, double w,
+                          double lbRemaining, uint32_t o,
+                          uint32_t pairs, uint32_t bnds) -> void {
+            if (w + lbRemaining >= bestW)
+                return;
+            size_t i = 0;
+            while (i < k && ((used >> i) & 1u))
+                ++i;
+            if (i == k) {
+                bestW = w;
+                bestObs = o;
+                bestPairs = pairs;
+                bestBnds = bnds;
+                return;
+            }
+            uint32_t mi = used | (1u << i);
+            if (std::isfinite(bndW[i]))
+                self(self, mi, w + bndW[i], lbRemaining - defLB[i],
+                     o ^ bndObs[i], pairs, bnds + 1);
+            for (size_t j = i + 1; j < k; ++j) {
+                if ((used >> j) & 1u)
+                    continue;
+                double wij = pairW[i * k + j];
+                if (std::isfinite(wij))
+                    self(self, mi | (1u << j), w + wij,
+                         lbRemaining - defLB[i] - defLB[j],
+                         o ^ pairObs[i * k + j], pairs + 1, bnds);
+            }
+        };
+        double lb0 = 0.0;
+        for (size_t i = 0; i < k; ++i)
+            lb0 += defLB[i];
+        search(search, 0, 0.0, lb0, 0, 0, 0);
+        if (std::isfinite(bestW)) {
+            obs ^= bestObs;
+            matchedPairs += bestPairs;
+            boundaryMatches += bestBnds;
+        }
+    };
+
+    // Fast path: a small syndrome is matched exactly as one global
+    // problem -- identical to the blossom formulation, so the result
+    // is MWPM-exact -- with no growth and no arena reset.
+    if (events.size() <= exactSyndromeThreshold_) {
+        matchDefectsExact(events);
+        if (info) {
+            info->initialClusters =
+                static_cast<uint32_t>(events.size());
+            info->matchedPairs = matchedPairs;
+            info->boundaryMatches = boundaryMatches;
+        }
+        return obs;
+    }
+
+    s.reset(n, numEdges);
     s.btouch[boundary] = 1;
     s.absorbed[boundary] = 1;
 
@@ -263,6 +640,7 @@ UnionFindDecoder::decode(const BitVec& detectorFlips,
     uint32_t rounds = 0;
     while (!s.active.empty()) {
         ++rounds;
+        const uint64_t roundId = ++s.counter;
         s.roundEdges.clear();
         uint32_t delta = UINT32_MAX;
         for (uint32_t root : s.active) {
@@ -273,8 +651,8 @@ UnionFindDecoder::decode(const BitVec& detectorFlips,
                 if (s.grown[e])
                     continue;
                 uint32_t remaining = capacity_[e] - s.support[e];
-                if (s.edgeStamp[e] != rounds) {
-                    s.edgeStamp[e] = rounds;
+                if (s.edgeStamp[e] != roundId) {
+                    s.edgeStamp[e] = roundId;
                     s.edgeMult[e] = 1;
                     s.roundEdges.push_back(e);
                     delta = std::min(delta, remaining);
@@ -309,9 +687,9 @@ UnionFindDecoder::decode(const BitVec& detectorFlips,
         s.nextActive.clear();
         for (uint32_t root : s.active) {
             uint32_t r = s.find(root);
-            if (s.stamp[r] == rounds)
+            if (s.stamp[r] == roundId)
                 continue;
-            s.stamp[r] = rounds;
+            s.stamp[r] = roundId;
             if (s.parity[r] && !s.btouch[r])
                 s.nextActive.push_back(r);
         }
@@ -340,13 +718,6 @@ UnionFindDecoder::decode(const BitVec& detectorFlips,
     }
 
     constexpr size_t kExactMatching = 6;
-    constexpr double kInf = std::numeric_limits<double>::infinity();
-    uint32_t obs = 0;
-    uint32_t matchedPairs = 0;
-    uint32_t boundaryMatches = 0;
-    using QItem = std::pair<double, uint32_t>;
-    std::priority_queue<QItem, std::vector<QItem>, std::greater<QItem>>
-        pq;
 
     // Classic union-find peeling for one large cluster: build a BFS
     // spanning tree of the cluster's grown edges, peel it leaves-first
@@ -405,175 +776,12 @@ UnionFindDecoder::decode(const BitVec& detectorFlips,
         s.bfsVerts.clear();
     };
 
-    auto pairKey = [](uint32_t u, uint32_t v) {
-        return (static_cast<uint64_t>(std::min(u, v)) << 32)
-            | std::max(u, v);
-    };
-    uint32_t searchId = rounds; // reuse s.stamp, values past growth's
-    std::vector<double> pairW;
-    std::vector<uint32_t> pairObs;
-    std::vector<double> bndW;
-    std::vector<uint32_t> bndObs;
     for (uint32_t r : s.roots) {
         const auto& defects = s.clusterDefects[r];
-        const size_t k = defects.size();
-        if (k > kExactMatching) {
+        if (defects.size() > kExactMatching)
             peelForest(r, defects);
-            s.clusterEdges[r].clear();
-            s.clusterDefects[r].clear();
-            continue;
-        }
-        pairW.assign(k * k, kInf);
-        pairObs.assign(k * k, 0);
-        bndW.resize(k);
-        bndObs.resize(k);
-        for (size_t i = 0; i < k; ++i) {
-            bndW[i] = boundaryDist_[defects[i]];
-            bndObs[i] = boundaryObs_[defects[i]];
-        }
-
-        // Defect-pair shortest paths, globally exact and memoized
-        // across shots (a global distance does not depend on the
-        // shot). Cache misses are filled by one multi-target Dijkstra
-        // per source defect, pruned at bndW[src] + max remaining bndW:
-        // a pair costing more than its two boundary chains combined
-        // can never enter a minimum matching, so recording it as
-        // unreachable is exact (and cacheable). Paths never route
-        // through the boundary node -- boundary pairing is a separate
-        // option, exactly as in the blossom formulation.
-        for (size_t i = 0; i + 1 < k; ++i) {
-            uint32_t src = defects[i];
-            ++searchId;
-            uint32_t targets = 0;
-            double maxBnd = 0.0;
-            for (size_t j = i + 1; j < k; ++j) {
-                auto it = s.pairCache.find(pairKey(src, defects[j]));
-                if (it != s.pairCache.end()) {
-                    pairW[i * k + j] = pairW[j * k + i] =
-                        it->second.first;
-                    pairObs[i * k + j] = pairObs[j * k + i] =
-                        it->second.second;
-                    continue;
-                }
-                s.stamp[defects[j]] = searchId;
-                ++targets;
-                maxBnd = std::max(maxBnd, bndW[j]);
-            }
-            if (targets == 0)
-                continue;
-            const double limit = bndW[i] + maxBnd;
-            bool pruned = false;
-            s.dist[src] = 0.0;
-            s.touched.push_back(src);
-            pq.push({0.0, src});
-            while (!pq.empty()) {
-                auto [d, x] = pq.top();
-                pq.pop();
-                if (s.finalized[x])
-                    continue;
-                s.finalized[x] = 1;
-                if (d > limit) {
-                    pruned = true;
-                    break;
-                }
-                if (s.stamp[x] == searchId && x != src) {
-                    size_t j = 0;
-                    for (size_t jj = i + 1; jj < k; ++jj)
-                        if (defects[jj] == x) {
-                            j = jj;
-                            break;
-                        }
-                    pairW[i * k + j] = pairW[j * k + i] = d;
-                    pairObs[i * k + j] = pairObs[j * k + i] =
-                        s.pathObs[x];
-                    s.pairCache.emplace(pairKey(src, x),
-                                        std::make_pair(d,
-                                                       s.pathObs[x]));
-                    s.stamp[x] = 0;
-                    if (--targets == 0)
-                        break;
-                }
-                for (uint32_t e : graph_.incidentEdges(x)) {
-                    const DecodingEdge& edge = graph_.edges()[e];
-                    uint32_t to = edge.a == x ? edge.b : edge.a;
-                    if (to == boundary)
-                        continue;
-                    double nd = d + edge.weight;
-                    if (nd < s.dist[to]) {
-                        if (s.dist[to] == kInf)
-                            s.touched.push_back(to);
-                        s.dist[to] = nd;
-                        s.pathObs[to] = s.pathObs[x] ^ edge.observables;
-                        pq.push({nd, to});
-                    }
-                }
-            }
-            while (!pq.empty())
-                pq.pop();
-            for (uint32_t x : s.touched) {
-                s.dist[x] = kInf;
-                s.pathObs[x] = 0;
-                s.finalized[x] = 0;
-            }
-            s.touched.clear();
-            if (pruned) {
-                // Remaining targets are provably boundary-dominated.
-                for (size_t j = i + 1; j < k; ++j) {
-                    if (s.stamp[defects[j]] == searchId) {
-                        s.pairCache.emplace(
-                            pairKey(src, defects[j]),
-                            std::make_pair(kInf, 0u));
-                        s.stamp[defects[j]] = 0;
-                    }
-                }
-            } else {
-                for (size_t j = i + 1; j < k; ++j)
-                    if (s.stamp[defects[j]] == searchId)
-                        s.stamp[defects[j]] = 0;
-            }
-        }
-
-        // Exact minimum-weight matching of the defects (boundary
-        // optional), by branch-and-bound over pairings.
-        double bestW = kInf;
-        uint32_t bestObs = 0;
-        uint32_t bestPairs = 0;
-        uint32_t bestBnds = 0;
-        auto search = [&](auto&& self, uint32_t used, double w,
-                          uint32_t o, uint32_t pairs,
-                          uint32_t bnds) -> void {
-            if (w >= bestW)
-                return;
-            size_t i = 0;
-            while (i < k && ((used >> i) & 1u))
-                ++i;
-            if (i == k) {
-                bestW = w;
-                bestObs = o;
-                bestPairs = pairs;
-                bestBnds = bnds;
-                return;
-            }
-            uint32_t mi = used | (1u << i);
-            if (std::isfinite(bndW[i]))
-                self(self, mi, w + bndW[i], o ^ bndObs[i], pairs,
-                     bnds + 1);
-            for (size_t j = i + 1; j < k; ++j) {
-                if ((used >> j) & 1u)
-                    continue;
-                double wij = pairW[i * k + j];
-                if (std::isfinite(wij))
-                    self(self, mi | (1u << j), w + wij,
-                         o ^ pairObs[i * k + j], pairs + 1, bnds);
-            }
-        };
-        search(search, 0, 0.0, 0, 0, 0);
-        if (std::isfinite(bestW)) {
-            obs ^= bestObs;
-            matchedPairs += bestPairs;
-            boundaryMatches += bestBnds;
-        }
-
+        else
+            matchDefectsExact(defects);
         s.clusterEdges[r].clear();
         s.clusterDefects[r].clear();
     }

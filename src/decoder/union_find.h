@@ -10,6 +10,29 @@
 
 namespace vlq {
 
+/** Tuning knobs of the union-find decoder. */
+struct UnionFindOptions
+{
+    /**
+     * Ticks assigned to the minimum-weight edge; larger values track
+     * relative edge weights more faithfully at the cost of more
+     * (cheap) growth rounds.
+     */
+    uint32_t granularity = 32;
+
+    /**
+     * Syndromes with at most this many detection events skip cluster
+     * growth entirely and get one exact minimum-weight matching of
+     * all defects over global shortest-path distances -- the same
+     * formulation as the blossom decoder, solved by branch-and-bound,
+     * so small syndromes (the bulk of every below-threshold shot) are
+     * decoded MWPM-exactly at a fraction of the growth path's cost.
+     * 0 disables the fast path (tests of the growth machinery do
+     * this); values are clamped to 16 to bound the branch-and-bound.
+     */
+    uint32_t exactSyndromeThreshold = 10;
+};
+
 /**
  * Weighted union-find decoder (Delfosse & Nickerson style).
  *
@@ -42,6 +65,12 @@ namespace vlq {
  * correction. No all-pairs tables and no global blossom search: the
  * fast backend for large-distance Monte-Carlo scans, agreeing with
  * MWPM on small syndromes up to genuine weight degeneracy.
+ *
+ * Syndromes below UnionFindOptions::exactSyndromeThreshold events
+ * short-circuit growth altogether (see the option's doc): the scratch
+ * arenas use monotonic stamps, so that fast path touches only
+ * O(events) state per shot -- the property the batched Monte-Carlo
+ * engine leans on.
  */
 class UnionFindDecoder : public Decoder
 {
@@ -55,19 +84,23 @@ class UnionFindDecoder : public Decoder
         uint32_t boundaryMatches = 0;  // defect-boundary chains
     };
 
-    /**
-     * @param granularity ticks assigned to the minimum-weight edge;
-     *        larger values track relative edge weights more faithfully
-     *        at the cost of more (cheap) growth rounds.
-     */
     explicit UnionFindDecoder(const DetectorErrorModel& dem,
-                              uint32_t granularity = 32);
+                              UnionFindOptions options = {});
 
     /** Decode over a pre-built (possibly hand-built) graph. */
     explicit UnionFindDecoder(DecodingGraph graph,
-                              uint32_t granularity = 32);
+                              UnionFindOptions options = {});
 
     uint32_t decode(const BitVec& detectorFlips) const override;
+
+    /**
+     * Batched decode: per-shot event lists are gathered with one
+     * sparse sweep over the transposed batch, and the cluster arenas
+     * and the memoized pair-distance cache stay hot across the whole
+     * batch (they are thread-local, so cross-shot reuse is free).
+     */
+    void decodeBatch(const ShotBatch& batch,
+                     std::span<uint32_t> predictions) const override;
 
     /** decode() variant that also reports diagnostics. */
     uint32_t decode(const BitVec& detectorFlips, DecodeInfo* info) const;
@@ -78,7 +111,12 @@ class UnionFindDecoder : public Decoder
     uint32_t edgeCapacity(uint32_t e) const { return capacity_[e]; }
 
   private:
+    /** The decode core, on a pre-extracted ascending event list. */
+    uint32_t decodeEvents(const std::vector<uint32_t>& events,
+                          DecodeInfo* info) const;
+
     DecodingGraph graph_;
+    uint32_t exactSyndromeThreshold_ = 0;
     std::vector<uint16_t> capacity_;
     // Global shortest path to the boundary per detector (one Dijkstra
     // at construction) -- the boundary option of the cluster matching.

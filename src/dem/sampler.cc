@@ -1,9 +1,16 @@
 #include "dem/sampler.h"
 
+#include <bit>
+#include <cmath>
+#include <map>
+
+#include "util/logging.h"
+
 namespace vlq {
 
 FaultSampler::FaultSampler(const DetectorErrorModel& dem)
-    : numDetectors_(dem.numDetectors())
+    : numDetectors_(dem.numDetectors()),
+      numObservables_(dem.numObservables())
 {
     channels_.reserve(dem.channels().size());
     for (const auto& ch : dem.channels()) {
@@ -25,6 +32,31 @@ FaultSampler::FaultSampler(const DetectorErrorModel& dem)
         fc.total = cum;
         if (fc.end > fc.begin)
             channels_.push_back(fc);
+    }
+
+    // Group channels by firing probability for the skip-sampling path.
+    // Noise models use a handful of distinct rates, so the group count
+    // is small; std::map keeps group order (and therefore the sampled
+    // stream) deterministic for a given model.
+    std::map<double, std::vector<uint32_t>> byProb;
+    for (uint32_t c = 0; c < channels_.size(); ++c)
+        if (channels_[c].total > 0.0)
+            byProb[channels_[c].total].push_back(c);
+    for (const auto& [p, chans] : byProb) {
+        ChannelGroup g;
+        g.probability = p;
+        g.alwaysFires = p >= 1.0;
+        g.invLogOneMinusP =
+            g.alwaysFires ? 0.0 : 1.0 / std::log1p(-p);
+        g.fullExitU = g.alwaysFires
+            ? 1.0
+            : 1.0 - std::pow(1.0 - p,
+                             static_cast<double>(chans.size()));
+        g.begin = static_cast<uint32_t>(groupChannels_.size());
+        groupChannels_.insert(groupChannels_.end(), chans.begin(),
+                              chans.end());
+        g.end = static_cast<uint32_t>(groupChannels_.size());
+        groups_.push_back(g);
     }
 }
 
@@ -55,6 +87,83 @@ FaultSampler::sampleInto(Rng& rng, BitVec& detectors,
                     detectors.flip(detectorIndices_[j]);
                 observables ^= o.observables;
                 break;
+            }
+        }
+    }
+}
+
+void
+FaultSampler::fireChannel(const FlatChannel& ch, double u,
+                          uint64_t laneBit, uint32_t laneWord,
+                          ShotBatch& batch) const
+{
+    // u is uniform in [0, ch.total): the outcome choice conditioned on
+    // the channel firing, matching the scalar path's distribution. The
+    // last outcome also catches u rounding up to exactly ch.total --
+    // the skip already committed this channel to firing, so falling
+    // through without applying anything would skew the distribution.
+    for (uint32_t i = ch.begin; i < ch.end; ++i) {
+        const FlatOutcome& o = outcomes_[i];
+        if (u < o.cumulative || i + 1 == ch.end) {
+            for (uint32_t j = o.begin; j < o.end; ++j)
+                batch.detectorRow(detectorIndices_[j])[laneWord] ^=
+                    laneBit;
+            uint32_t mask = o.observables;
+            while (mask) {
+                uint32_t b =
+                    static_cast<uint32_t>(std::countr_zero(mask));
+                batch.observableRow(b)[laneWord] ^= laneBit;
+                mask &= mask - 1;
+            }
+            return;
+        }
+    }
+}
+
+void
+FaultSampler::sampleBatchInto(const Rng& root, ShotBatch& batch) const
+{
+    VLQ_ASSERT(batch.numDetectors() == numDetectors_
+                   && batch.numObservables() == numObservables_,
+               "ShotBatch not reset for this sampler's model");
+    const uint32_t shots = batch.numShots();
+    for (uint32_t s = 0; s < shots; ++s) {
+        Rng rng = root.split(batch.firstTrial() + s);
+        const uint32_t laneWord = s / ShotBatch::kWordBits;
+        const uint64_t laneBit = uint64_t{1}
+            << (s % ShotBatch::kWordBits);
+        for (const ChannelGroup& g : groups_) {
+            if (g.alwaysFires) {
+                for (uint32_t i = g.begin; i < g.end; ++i) {
+                    const FlatChannel& ch =
+                        channels_[groupChannels_[i]];
+                    fireChannel(ch, rng.nextDouble() * ch.total,
+                                laneBit, laneWord, batch);
+                }
+                continue;
+            }
+            // Geometric skip within the group: draw how many channels
+            // stay silent before the next firing one. Expected draws
+            // per trial are O(groups + faults), not O(channels).
+            uint32_t i = g.begin;
+            while (i < g.end) {
+                double u = rng.nextDouble();
+                // Common case: the whole group stays silent. The exit
+                // test u >= 1-(1-p)^remaining equals "skip >= remaining"
+                // without paying the log; it is exact for the first
+                // draw (remaining == group size) and skipped after a
+                // fire, where the log path decides as before.
+                if (i == g.begin && u >= g.fullExitU)
+                    break;
+                double k = std::floor(std::log1p(-u)
+                                      * g.invLogOneMinusP);
+                if (!(k < static_cast<double>(g.end - i)))
+                    break;
+                i += static_cast<uint32_t>(k);
+                const FlatChannel& ch = channels_[groupChannels_[i]];
+                fireChannel(ch, rng.nextDouble() * ch.total, laneBit,
+                            laneWord, batch);
+                ++i;
             }
         }
     }

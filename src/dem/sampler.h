@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dem/detector_model.h"
+#include "dem/shot_batch.h"
 #include "pauli/bitvec.h"
 #include "util/rng.h"
 
@@ -20,6 +21,19 @@ namespace vlq {
  * equivalent to, and much faster than, re-simulating the circuit with
  * the Pauli-frame simulator; the equivalence is checked statistically in
  * the test suite.
+ *
+ * Two sampling paths share the channel tables:
+ *
+ * - sampleInto(): the reference path; one uniform draw per channel.
+ * - sampleBatchInto(): the Monte-Carlo hot path. Channels are grouped
+ *   by firing probability at construction, and each trial visits only
+ *   the channels that actually fire, found by geometric skip-sampling
+ *   within each group (draws scale with the *fault* count, not the
+ *   channel count -- orders of magnitude fewer below threshold).
+ *   Outcomes land in a ShotBatch's transposed bit-packed rows. Every
+ *   trial draws from its own RNG stream split from the root, so
+ *   results are a pure function of (root seed, trial index): batching
+ *   and threading cannot change what any trial samples.
  */
 class FaultSampler
 {
@@ -40,7 +54,16 @@ class FaultSampler
     void sampleInto(Rng& rng, BitVec& detectors,
                     uint32_t& observables) const;
 
+    /**
+     * Fill a whole batch: shot s of `batch` samples trial
+     * batch.firstTrial() + s from root.split(that trial). The batch
+     * must have been reset() for this model's detector/observable
+     * counts.
+     */
+    void sampleBatchInto(const Rng& root, ShotBatch& batch) const;
+
     uint32_t numDetectors() const { return numDetectors_; }
+    uint32_t numObservables() const { return numObservables_; }
 
   private:
     struct FlatOutcome
@@ -56,11 +79,27 @@ class FaultSampler
         uint32_t begin;    // range into outcomes_
         uint32_t end;
     };
+    /** Channels sharing one firing probability (skip-sampling unit). */
+    struct ChannelGroup
+    {
+        double probability;  // shared channel total, in (0, 1)
+        double invLogOneMinusP; // 1 / log1p(-probability), < 0
+        double fullExitU;    // P(some channel of the group fires)
+        uint32_t begin;      // range into groupChannels_
+        uint32_t end;
+        bool alwaysFires;    // probability >= 1: no skipping
+    };
+
+    void fireChannel(const FlatChannel& ch, double u, uint64_t laneBit,
+                     uint32_t laneWord, ShotBatch& batch) const;
 
     uint32_t numDetectors_ = 0;
+    uint32_t numObservables_ = 0;
     std::vector<FlatChannel> channels_;
     std::vector<FlatOutcome> outcomes_;
     std::vector<uint32_t> detectorIndices_;
+    std::vector<ChannelGroup> groups_;
+    std::vector<uint32_t> groupChannels_; // channel indices by group
 };
 
 } // namespace vlq

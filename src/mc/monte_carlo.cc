@@ -1,11 +1,17 @@
 #include "mc/monte_carlo.h"
 
+#include <algorithm>
 #include <atomic>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
 
 #include "decoder/decoder_factory.h"
 #include "dem/detector_model.h"
 #include "dem/sampler.h"
+#include "dem/shot_batch.h"
 #include "util/rng.h"
 #include "util/threadpool.h"
 
@@ -18,6 +24,100 @@ LogicalErrorPoint::combinedRate() const
     double px = basisX.rate();
     return 1.0 - (1.0 - pz) * (1.0 - px);
 }
+
+namespace {
+
+/**
+ * Commits batch results strictly in batch-index order, regardless of
+ * which worker finished them first. This is what makes the running
+ * failure stream, the progress callbacks, and -- crucially -- the
+ * early-stop point deterministic: the run always stops right after
+ * the targetFailures-th failing *trial*, a property of the sampled
+ * outcomes alone, never of thread scheduling or batch size.
+ */
+class BatchSequencer
+{
+  public:
+    BatchSequencer(uint64_t trials, uint32_t batchSize,
+                   const McOptions& options)
+        : trials_(trials), batchSize_(batchSize),
+          target_(options.targetFailures),
+          progress_(options.progress)
+    {
+    }
+
+    /** Workers poll this (lock-free) to stop pulling new batches. */
+    bool stopped() const
+    {
+        return stopFlag_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Hand in one finished batch: `failingTrials` are the global
+     * indices of this batch's failing trials, ascending.
+     */
+    void submit(uint64_t batchIndex,
+                std::vector<uint64_t> failingTrials)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_.emplace(batchIndex, std::move(failingTrials));
+        while (!done_) {
+            auto it = pending_.find(nextToCommit_);
+            if (it == pending_.end())
+                break;
+            std::vector<uint64_t> fails = std::move(it->second);
+            pending_.erase(it);
+            uint64_t batchEnd =
+                std::min(trials_, (nextToCommit_ + 1)
+                                      * static_cast<uint64_t>(batchSize_));
+            if (target_ > 0) {
+                for (uint64_t t : fails) {
+                    ++failures_;
+                    if (failures_ >= target_) {
+                        trialsDone_ = t + 1;
+                        done_ = true;
+                        stopFlag_.store(true,
+                                        std::memory_order_relaxed);
+                        break;
+                    }
+                }
+            } else {
+                failures_ += fails.size();
+            }
+            if (!done_)
+                trialsDone_ = batchEnd;
+            ++nextToCommit_;
+            if (progress_)
+                progress_(McProgress{trialsDone_, failures_, trials_});
+        }
+        if (done_)
+            pending_.clear();
+    }
+
+    BinomialEstimate result() const
+    {
+        BinomialEstimate est;
+        est.successes = failures_;
+        est.trials = trialsDone_;
+        return est;
+    }
+
+  private:
+    const uint64_t trials_;
+    const uint32_t batchSize_;
+    const uint64_t target_;
+    const std::function<void(const McProgress&)>& progress_;
+
+    std::mutex mutex_;
+    std::map<uint64_t, std::vector<uint64_t>> pending_;
+    uint64_t nextToCommit_ = 0;
+    uint64_t failures_ = 0;
+    uint64_t trialsDone_ = 0;
+    bool done_ = false;
+    std::atomic<bool> stopFlag_{false};
+};
+
+} // namespace
 
 BinomialEstimate
 estimateLogicalErrorBasis(EmbeddingKind embedding,
@@ -33,29 +133,52 @@ estimateLogicalErrorBasis(EmbeddingKind embedding,
     // Distinguish the two bases in the trial RNG stream.
     uint64_t baseSeed = options.seed
         ^ (config.memoryBasis == CheckBasis::X ? 0xbadc0ffee0ddf00dULL : 0);
-    Rng root(baseSeed);
+    const Rng root(baseSeed);
 
-    std::atomic<uint64_t> failures{0};
+    const uint64_t trials = options.trials;
+    if (trials == 0)
+        return BinomialEstimate{};
+    const uint32_t batchSize = std::max<uint32_t>(1, options.batchSize);
+    const uint64_t numBatches = (trials + batchSize - 1) / batchSize;
+
+    BatchSequencer sequencer(trials, batchSize, options);
+    std::atomic<uint64_t> nextBatch{0};
+
     ThreadPool pool(options.threads);
-    pool.parallelFor(options.trials,
-                     [&](uint64_t begin, uint64_t end, unsigned) {
-        BitVec detectors(dem.numDetectors());
-        uint32_t observables = 0;
-        uint64_t local = 0;
-        for (uint64_t i = begin; i < end; ++i) {
-            Rng rng = root.split(i);
-            sampler.sampleInto(rng, detectors, observables);
-            uint32_t predicted = decoder->decode(detectors);
-            if (predicted != observables)
-                ++local;
+    unsigned workers = static_cast<unsigned>(std::min<uint64_t>(
+        pool.numThreads(), numBatches));
+    // Each worker pulls batch indices from a shared counter (dynamic
+    // load balancing; under early stop, low indices -- the ones that
+    // decide the stop point -- are processed first).
+    pool.parallelFor(workers, [&](uint64_t wBegin, uint64_t wEnd,
+                                  unsigned) {
+        (void)wBegin;
+        (void)wEnd;
+        ShotBatch batch;
+        std::vector<uint32_t> predictions;
+        std::vector<uint64_t> failingTrials;
+        while (!sequencer.stopped()) {
+            uint64_t b = nextBatch.fetch_add(1,
+                                             std::memory_order_relaxed);
+            if (b >= numBatches)
+                break;
+            uint64_t begin = b * batchSize;
+            uint32_t count = static_cast<uint32_t>(
+                std::min<uint64_t>(batchSize, trials - begin));
+            batch.reset(dem.numDetectors(), dem.numObservables(), count,
+                        begin);
+            sampler.sampleBatchInto(root, batch);
+            predictions.resize(count);
+            decoder->decodeBatch(batch, std::span<uint32_t>(predictions));
+            failingTrials.clear();
+            for (uint32_t s = 0; s < count; ++s)
+                if (predictions[s] != batch.observables(s))
+                    failingTrials.push_back(begin + s);
+            sequencer.submit(b, failingTrials);
         }
-        failures.fetch_add(local, std::memory_order_relaxed);
     });
 
-    BinomialEstimate est;
-    est.successes = failures.load();
-    est.trials = options.trials;
-    return est;
+    return sequencer.result();
 }
 
 LogicalErrorPoint

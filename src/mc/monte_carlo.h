@@ -2,12 +2,21 @@
 #define VLQ_MC_MONTE_CARLO_H
 
 #include <cstdint>
+#include <functional>
 
 #include "core/generator_common.h"
 #include "decoder/decoder_factory.h"
 #include "util/stats.h"
 
 namespace vlq {
+
+/** Running state streamed to McOptions::progress. */
+struct McProgress
+{
+    uint64_t trialsDone = 0;   // trials committed so far (in order)
+    uint64_t failures = 0;     // failures among the committed trials
+    uint64_t totalTrials = 0;  // the run's trial budget
+};
 
 /** Options controlling one Monte-Carlo estimation. */
 struct McOptions
@@ -16,6 +25,32 @@ struct McOptions
     uint64_t seed = 0x5eed;
     unsigned threads = 0; // 0 = hardware concurrency
     DecoderKind decoder = DecoderKind::Mwpm;
+
+    /**
+     * Shots per work unit: each batch is sampled into a transposed
+     * ShotBatch and decoded with Decoder::decodeBatch. Batches shard
+     * across the thread pool. Size is a pure throughput knob -- every
+     * trial samples from its own RNG stream, so failure counts are
+     * bit-identical for any batchSize and thread count.
+     */
+    uint32_t batchSize = 256;
+
+    /**
+     * Early stop: when > 0, stop once this many failures are seen,
+     * counting trials strictly in trial order -- the run consumes
+     * exactly the trials up to (and including) the targetFailures-th
+     * failing trial, regardless of batch size or thread count, so
+     * early-stopped counts are as reproducible as full runs. 0 runs
+     * the full trial budget.
+     */
+    uint64_t targetFailures = 0;
+
+    /**
+     * Optional streaming callback, invoked after each batch commits
+     * (in trial order, under the engine's lock -- keep it cheap).
+     * Lets million-trial scans report running failure counts.
+     */
+    std::function<void(const McProgress&)> progress;
 };
 
 /**
@@ -39,11 +74,13 @@ struct LogicalErrorPoint
 
 /**
  * Run the full pipeline for one configuration: generate the memory
- * circuit for both bases, build detector error models, decode sampled
- * shots, and count logical failures.
+ * circuit for both bases, build detector error models, sample and
+ * decode whole batches of shots, and count logical failures.
  *
  * Trials are reproducible: trial i uses an RNG derived from
- * (seed, basis, i) regardless of thread count.
+ * (seed, basis, i) regardless of thread count or batch size, and
+ * early-stopped runs cut at a trial index that depends only on the
+ * sampled outcomes.
  */
 LogicalErrorPoint estimateLogicalError(EmbeddingKind embedding,
                                        const GeneratorConfig& config,
@@ -51,7 +88,8 @@ LogicalErrorPoint estimateLogicalError(EmbeddingKind embedding,
 
 /**
  * Single-basis variant (used by tests and fine-grained sweeps).
- * @return failures out of options.trials.
+ * @return failures out of the consumed trials (== options.trials
+ *         unless targetFailures stopped the run early).
  */
 BinomialEstimate estimateLogicalErrorBasis(EmbeddingKind embedding,
                                            const GeneratorConfig& config,

@@ -25,6 +25,8 @@ scanThreshold(const EvaluationSetup& setup, const ThresholdScanConfig& config)
                 p, config.hardware, config.scaleCoherence);
             LogicalErrorPoint point =
                 estimateLogicalError(setup.embedding, gc, config.mc);
+            if (config.pointProgress)
+                config.pointProgress(point);
             curve.physicalPs.push_back(p);
             curve.points.push_back(point);
         }

@@ -39,7 +39,17 @@ struct ThresholdScanConfig
     bool scaleCoherence = false;
     PagingGapModel gapModel = PagingGapModel::BlockOnce;
     HardwareParams hardware;
+
+    /**
+     * Monte-Carlo engine options shared by every (d, p) point. The
+     * batching/early-stop/progress knobs (McOptions::batchSize,
+     * targetFailures, progress) apply per point; progress streams the
+     * running failure count of the point being sampled.
+     */
     McOptions mc;
+
+    /** Optional: called as each (distance, p) point finishes. */
+    std::function<void(const LogicalErrorPoint&)> pointProgress;
 };
 
 /** Run the scan (the engine behind the Fig. 11 benchmark). */

@@ -66,6 +66,17 @@ class BitVec
     /** Raw word access for tests and fast paths. */
     const std::vector<uint64_t>& words() const { return words_; }
 
+    /**
+     * Mutable raw word access for word-parallel fast paths (the batched
+     * sampler writes transposed shot words directly). Callers must not
+     * set bits past size(); maskTail() is not re-applied.
+     */
+    uint64_t* wordData() { return words_.data(); }
+    const uint64_t* wordData() const { return words_.data(); }
+
+    /** Number of backing 64-bit words. */
+    size_t numWords() const { return words_.size(); }
+
   private:
     size_t bits_ = 0;
     std::vector<uint64_t> words_;

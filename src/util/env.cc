@@ -18,6 +18,13 @@ envInt(const char* name, int64_t fallback)
     return parsed;
 }
 
+uint64_t
+envU64(const char* name, uint64_t fallback)
+{
+    int64_t v = envInt(name, static_cast<int64_t>(fallback));
+    return v < 0 ? fallback : static_cast<uint64_t>(v);
+}
+
 double
 envDouble(const char* name, double fallback)
 {

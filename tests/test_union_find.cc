@@ -180,6 +180,15 @@ TEST(DecodingGraphTest, DemBuildMatchesMatchingGraph)
 // Union-find on hand-built graphs: growth, merging, peeling
 // ---------------------------------------------------------------------------
 
+/** Options forcing the growth+peel machinery (no exact fast path). */
+UnionFindOptions
+growthOnly()
+{
+    UnionFindOptions opt;
+    opt.exactSyndromeThreshold = 0;
+    return opt;
+}
+
 /**
  * Chain: B -(p=.03,obs 1)- 0 -(p=.01)- 1 -(p=.02,obs 2)- 2 -(p=.03)- B
  * Weights: 3.48 / 4.60 / 3.89 / 3.48.
@@ -198,7 +207,7 @@ chainGraph()
 
 TEST(UnionFindTest, EmptySyndromeNoCorrection)
 {
-    UnionFindDecoder uf(chainGraph());
+    UnionFindDecoder uf(chainGraph(), growthOnly());
     UnionFindDecoder::DecodeInfo info;
     EXPECT_EQ(uf.decode(BitVec(3), &info), 0u);
     EXPECT_EQ(info.growthRounds, 0u);
@@ -208,14 +217,14 @@ TEST(UnionFindTest, EmptySyndromeNoCorrection)
 
 TEST(UnionFindTest, SingleDefectMatchesToNearestBoundary)
 {
-    UnionFindDecoder uf(chainGraph());
+    UnionFindDecoder uf(chainGraph(), growthOnly());
     EXPECT_EQ(uf.decode(syndromeOf({0}, 3)), 1u);
     EXPECT_EQ(uf.decode(syndromeOf({2}, 3)), 0u);
 }
 
 TEST(UnionFindTest, AdjacentDefectsMergeThroughDirectEdge)
 {
-    UnionFindDecoder uf(chainGraph());
+    UnionFindDecoder uf(chainGraph(), growthOnly());
     UnionFindDecoder::DecodeInfo info;
     // 0-1 direct (4.60, grown from both ends) beats 0's boundary
     // (3.48, grown from one end only).
@@ -228,7 +237,7 @@ TEST(UnionFindTest, AdjacentDefectsMergeThroughDirectEdge)
 
 TEST(UnionFindTest, FarDefectsFreezeAtTheirBoundaries)
 {
-    UnionFindDecoder uf(chainGraph());
+    UnionFindDecoder uf(chainGraph(), growthOnly());
     UnionFindDecoder::DecodeInfo info;
     // Boundary pairing (3.48 + 3.48) beats the middle path (8.49):
     // both clusters freeze on boundary contact and peel separately.
@@ -239,7 +248,7 @@ TEST(UnionFindTest, FarDefectsFreezeAtTheirBoundaries)
 
 TEST(UnionFindTest, MiddleDefectTakesCheaperBoundaryPath)
 {
-    UnionFindDecoder uf(chainGraph());
+    UnionFindDecoder uf(chainGraph(), growthOnly());
     // From 1: right path 3.89+3.48=7.37 beats left 4.60+3.48=8.07.
     EXPECT_EQ(uf.decode(syndromeOf({1}, 3)), 2u);
 }
@@ -263,7 +272,7 @@ treeGraph()
 
 TEST(UnionFindTest, ClustersGrowThroughPristineVertices)
 {
-    UnionFindDecoder uf(treeGraph());
+    UnionFindDecoder uf(treeGraph(), growthOnly());
     UnionFindDecoder::DecodeInfo info;
     // Defects at 0 and 2 meet around vertex 1.
     EXPECT_EQ(uf.decode(syndromeOf({0, 2}, 4), &info), 1u);
@@ -274,14 +283,14 @@ TEST(UnionFindTest, ClustersGrowThroughPristineVertices)
 
 TEST(UnionFindTest, PeelingWalksWholeBoundaryPath)
 {
-    UnionFindDecoder uf(treeGraph());
+    UnionFindDecoder uf(treeGraph(), growthOnly());
     // Lone defect at 0: only escape is 0-1-3-B, XOR 1^8^4 = 13.
     EXPECT_EQ(uf.decode(syndromeOf({0}, 4)), 13u);
 }
 
 TEST(UnionFindTest, EvenClusterOfFourResolvesInternally)
 {
-    UnionFindDecoder uf(treeGraph());
+    UnionFindDecoder uf(treeGraph(), growthOnly());
     // All four defects: peeling pairs 0-1 and 2..3 along tree edges;
     // total correction is XOR of all tree edges used with odd defect
     // counts below them: 0-1 (obs 1), 1-2 (obs 0), 1-3 (obs 8)...
@@ -292,13 +301,34 @@ TEST(UnionFindTest, EvenClusterOfFourResolvesInternally)
 
 TEST(UnionFindTest, WeightQuantizationTracksRatios)
 {
-    UnionFindDecoder uf(chainGraph(), 32);
+    UnionFindDecoder uf(chainGraph(), UnionFindOptions{});
     const auto& edges = uf.graph().edges();
     double minW = uf.graph().minWeight();
     for (uint32_t e = 0; e < edges.size(); ++e) {
         double exact = edges[e].weight / minW * 32.0;
         EXPECT_NEAR(uf.edgeCapacity(e), exact, 0.51) << "edge " << e;
     }
+}
+
+TEST(UnionFindTest, ExactSyndromeFastPathMatchesGrowthPath)
+{
+    // The default decoder short-circuits small syndromes into one
+    // exact global matching; it must reproduce (or improve to an
+    // equal-weight solution of) every hand-built growth-path answer.
+    UnionFindDecoder grown(chainGraph(), growthOnly());
+    UnionFindDecoder fast(chainGraph());
+    for (const std::vector<uint32_t>& defects :
+         std::vector<std::vector<uint32_t>>{
+             {0}, {1}, {2}, {0, 1}, {1, 2}, {0, 2}, {0, 1, 2}}) {
+        BitVec det = syndromeOf(defects, 3);
+        EXPECT_EQ(fast.decode(det), grown.decode(det))
+            << "defect set size " << defects.size();
+    }
+
+    UnionFindDecoder grownTree(treeGraph(), growthOnly());
+    UnionFindDecoder fastTree(treeGraph());
+    EXPECT_EQ(fastTree.decode(syndromeOf({0}, 4)), 13u);
+    EXPECT_EQ(fastTree.decode(syndromeOf({0, 1, 2, 3}, 4)), 9u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Tolerance differ for benchmark CSV output.
+
+Compares a candidate CSV (fresh bench run) against a checked-in
+reference (bench/reference/*.csv). Rows are keyed by every column
+except the last; the last column is the numeric value under test.
+A row passes when
+
+    |candidate - reference| <= abs_tol + rel_tol * max(|ref|, |cand|)
+
+Rows present only in the candidate are ignored (benches also emit
+machine-dependent records -- timings, speedups -- that references
+deliberately omit); rows present only in the reference fail, so a
+bench cannot silently stop reporting a tracked quantity.
+
+Exit status: 0 when every reference row matches, 1 otherwise.
+
+Usage:
+    check_bench.py reference.csv candidate.csv \
+        [--abs-tol A] [--rel-tol R] [--ignore REGEX]
+"""
+
+import argparse
+import csv
+import re
+import sys
+
+
+def load_rows(path):
+    """Read a CSV as {key tuple: [values]} plus its header."""
+    rows = {}
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None:
+            sys.exit(f"{path}: empty file")
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(header):
+                sys.exit(f"{path}:{lineno}: expected {len(header)} "
+                         f"columns, got {len(row)}")
+            key = tuple(row[:-1])
+            try:
+                value = float(row[-1])
+            except ValueError:
+                sys.exit(f"{path}:{lineno}: non-numeric value "
+                         f"'{row[-1]}'")
+            rows.setdefault(key, []).append(value)
+    return header, rows
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff bench CSV output against a reference "
+                    "within tolerances.")
+    ap.add_argument("reference")
+    ap.add_argument("candidate")
+    ap.add_argument("--abs-tol", type=float, default=0.005,
+                    help="absolute tolerance (default 0.005)")
+    ap.add_argument("--rel-tol", type=float, default=0.25,
+                    help="relative tolerance (default 0.25)")
+    ap.add_argument("--ignore", default=None, metavar="REGEX",
+                    help="skip reference rows whose joined key "
+                         "matches this regex")
+    args = ap.parse_args()
+
+    ref_header, ref = load_rows(args.reference)
+    cand_header, cand = load_rows(args.candidate)
+    if ref_header != cand_header:
+        print(f"FAIL: header mismatch\n  reference: {ref_header}\n"
+              f"  candidate: {cand_header}")
+        return 1
+
+    ignore = re.compile(args.ignore) if args.ignore else None
+    failures = 0
+    checked = 0
+    for key, ref_values in sorted(ref.items()):
+        label = ",".join(key)
+        if ignore and ignore.search(label):
+            continue
+        cand_values = cand.get(key)
+        if cand_values is None:
+            print(f"FAIL: [{label}] missing from candidate")
+            failures += 1
+            continue
+        if len(cand_values) != len(ref_values):
+            print(f"FAIL: [{label}] row count {len(cand_values)} != "
+                  f"reference {len(ref_values)}")
+            failures += 1
+            continue
+        for r, c in zip(ref_values, cand_values):
+            checked += 1
+            tol = args.abs_tol + args.rel_tol * max(abs(r), abs(c))
+            if abs(c - r) > tol:
+                print(f"FAIL: [{label}] candidate {c:g} vs "
+                      f"reference {r:g} (|diff| {abs(c - r):g} > "
+                      f"tol {tol:g})")
+                failures += 1
+
+    if failures:
+        print(f"{failures} mismatch(es) across {checked} compared "
+              f"value(s)")
+        return 1
+    print(f"OK: {checked} value(s) within tolerance "
+          f"(abs {args.abs_tol:g}, rel {args.rel_tol:g})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
