@@ -317,15 +317,8 @@ int
 main(int argc, char** argv)
 {
     std::string csvPath;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--csv" && i + 1 < argc) {
-            csvPath = argv[++i];
-        } else {
-            std::cerr << "usage: " << argv[0] << " [--csv <path>]\n";
-            return 1;
-        }
-    }
+    if (!parseCsvFlag(argc, argv, csvPath))
+        return 1;
     CsvWriter csv({"record", "setup", "d", "p", "decoder", "value"});
     CsvWriter* csvp = csvPath.empty() ? nullptr : &csv;
 

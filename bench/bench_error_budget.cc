@@ -57,8 +57,8 @@ main()
     TablePrinter s({"Setup", "idle cavity (BlockOnce)",
                     "idle cavity (PerRound)"});
     for (const EvaluationSetup& setup : paperSetups()) {
-        if (setup.embedding == EmbeddingKind::Baseline2D)
-            continue;
+        if (!setup.virtualized())
+            continue; // no cavities, no paging gap to account
         GeneratorConfig cfg;
         cfg.distance = d;
         cfg.cavityDepth = 10;

@@ -42,15 +42,8 @@ int
 main(int argc, char** argv)
 {
     std::string csvPath;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--csv" && i + 1 < argc) {
-            csvPath = argv[++i];
-        } else {
-            std::cerr << "usage: " << argv[0] << " [--csv <path>]\n";
-            return 1;
-        }
-    }
+    if (!parseCsvFlag(argc, argv, csvPath))
+        return 1;
 
     const bool full = envInt("VLQ_FULL", 0) != 0;
     ThresholdScanConfig cfg;

@@ -10,8 +10,14 @@
  * Environment knobs: VLQ_TRIALS (default 300), VLQ_FULL=1 (distances
  * {3,5,7,9,11} + more sweep points), VLQ_SEED, VLQ_CSV=<dir> (dump
  * each panel as CSV for plotting).
+ * Flags:
+ *   --csv <path>  emit every panel as one machine-readable CSV
+ *                 (record,panel,distance,x,value rows; the CI
+ *                 bench-regression job diffs the rate records against
+ *                 bench/reference/fig12_sensitivity.csv)
  */
 #include <iostream>
+#include <string>
 
 #include "mc/sensitivity.h"
 #include "util/csv.h"
@@ -21,14 +27,18 @@
 using namespace vlq;
 
 int
-main()
+main(int argc, char** argv)
 {
+    std::string csvPath;
+    if (!parseCsvFlag(argc, argv, csvPath))
+        return 1;
+
     const bool full = envInt("VLQ_FULL", 0) != 0;
     std::vector<int> distances =
         full ? std::vector<int>{3, 5, 7, 9, 11} : std::vector<int>{3, 5};
     McOptions mc;
-    mc.trials = static_cast<uint64_t>(envInt("VLQ_TRIALS", 300));
-    mc.seed = static_cast<uint64_t>(envInt("VLQ_SEED", 0x5eed));
+    mc.trials = envU64("VLQ_TRIALS", 300);
+    mc.seed = envU64("VLQ_SEED", 0x5eed);
     const int points = full ? 7 : 4;
     std::string csvDir = envString("VLQ_CSV", "");
 
@@ -43,6 +53,8 @@ main()
               << mc.trials << ") ===\n"
               << "Each panel varies one error source; the others stay"
                  " at the Table-I operating point.\n";
+
+    CsvWriter combined({"record", "panel", "distance", "x", "value"});
 
     int panelIdx = 0;
     for (const SensitivitySpec& spec : figure12Panels(points)) {
@@ -63,6 +75,12 @@ main()
                 double rate = result.points[i][j].combinedRate();
                 row.push_back(TablePrinter::sci(rate, 2));
                 nums.push_back(rate);
+                if (!csvPath.empty())
+                    combined.addRow(
+                        {"rate", spec.name,
+                         std::to_string(distances[j]),
+                         TablePrinter::sci(spec.values[i], 2),
+                         std::to_string(rate)});
             }
             t.addRow(row);
             csv.addNumericRow(nums);
@@ -75,6 +93,10 @@ main()
                 std::cerr << "failed to write " << path << "\n";
         }
         ++panelIdx;
+    }
+    if (!csvPath.empty() && !combined.writeFile(csvPath)) {
+        std::cerr << "failed to write " << csvPath << "\n";
+        return 1;
     }
 
     std::cout << "\nPaper's qualitative findings to compare: gate error"

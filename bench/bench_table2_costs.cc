@@ -2,19 +2,37 @@
  * @file
  * Reproduces paper Table II: transmon, depth-10 cavity, and total qubit
  * costs of each T-state generation protocol at d = 5, plus the
- * embedding cost model across distances (the 10x / 2x savings claims).
+ * embedding cost model across distances (the 10x / 2x savings claims)
+ * and the rectangular compact-rect patch costs.
+ *
+ * Flags:
+ *   --csv <path>  emit all cost records as machine-readable CSV
+ *                 (record,row,column,value; the CI bench-regression
+ *                 job diffs them against
+ *                 bench/reference/table2_costs.csv). The model is
+ *                 deterministic, so the diff tolerance is effectively
+ *                 exact.
  */
 #include <iostream>
+#include <string>
 
 #include "arch/device.h"
+#include "core/generator_registry.h"
 #include "msd/protocols.h"
+#include "util/csv.h"
+#include "util/env.h"
 #include "util/table.h"
 
 using namespace vlq;
 
 int
-main()
+main(int argc, char** argv)
 {
+    std::string csvPath;
+    if (!parseCsvFlag(argc, argv, csvPath))
+        return 1;
+    CsvWriter csv({"record", "row", "column", "value"});
+
     std::cout << "=== Table II: qubit costs of T-state protocols"
                  " (d = 5, depth-10 cavities) ===\n\n";
 
@@ -24,6 +42,12 @@ main()
         t.addRow({p.name, std::to_string(p.transmonsAtD5),
                   p.cavitiesAtD5 ? std::to_string(p.cavitiesAtD5) : "-",
                   std::to_string(p.totalQubitsAtD5()), paper});
+        csv.addRow({"protocol", p.name, "transmons",
+                    std::to_string(p.transmonsAtD5)});
+        csv.addRow({"protocol", p.name, "cavities",
+                    std::to_string(p.cavitiesAtD5)});
+        csv.addRow({"protocol", p.name, "total",
+                    std::to_string(p.totalQubitsAtD5())});
     };
     row(fastLatticeProtocol(), "1499 / - / 1499");
     row(smallLatticeProtocol(), "549 / - / 549");
@@ -47,8 +71,37 @@ main()
                   std::to_string(comp.transmons),
                   std::to_string(comp.cavities),
                   TablePrinter::num(savings, 1) + "x"});
+        std::string dLabel = "d=" + std::to_string(d);
+        csv.addRow({"patch", dLabel, "baseline",
+                    std::to_string(base.transmons)});
+        csv.addRow({"patch", dLabel, "natural",
+                    std::to_string(nat.transmons)});
+        csv.addRow({"patch", dLabel, "compact",
+                    std::to_string(comp.transmons)});
+        csv.addRow({"patch", dLabel, "cavities",
+                    std::to_string(comp.cavities)});
     }
     e.print(std::cout);
+
+    std::cout << "\n=== Rectangular compact-rect patches (3 x d;"
+                 " biased-noise shape) ===\n\n";
+    TablePrinter r({"patch", "transmons", "cavities",
+                    "vs square compact"});
+    for (int d : {3, 5, 7, 9, 11}) {
+        PatchCost sq = patchCost(EmbeddingKind::Compact, d);
+        PatchCost rect = patchCost(EmbeddingKind::CompactRect, 3, d);
+        double ratio =
+            static_cast<double>(sq.transmons) / rect.transmons;
+        r.addRow({"3x" + std::to_string(d),
+                  std::to_string(rect.transmons),
+                  std::to_string(rect.cavities),
+                  TablePrinter::num(ratio, 2) + "x fewer transmons"});
+        csv.addRow({"rect", "3x" + std::to_string(d), "transmons",
+                    std::to_string(rect.transmons)});
+        csv.addRow({"rect", "3x" + std::to_string(d), "cavities",
+                    std::to_string(rect.cavities)});
+    }
+    r.print(std::cout);
 
     std::cout << "\nSmallest Compact instance (d=3): "
               << patchCost(EmbeddingKind::Compact, 3).transmons
@@ -56,5 +109,10 @@ main()
               << patchCost(EmbeddingKind::Compact, 3).cavities
               << " cavities for k logical qubits"
               << "  [paper: 11 transmons, 9 cavities]\n";
+
+    if (!csvPath.empty() && !csv.writeFile(csvPath)) {
+        std::cerr << "failed to write " << csvPath << "\n";
+        return 1;
+    }
     return 0;
 }

@@ -3,31 +3,69 @@
  * Layout viewer: the textual counterpart of the paper's Figs. 2 and 7.
  * Shows the rotated surface code, the Compact merge (Z checks into
  * their NE data transmon, X checks into their SW), the extraction
- * orders, and the solved Fig. 10 compact schedule for a chosen
- * distance.
+ * orders, and the solved Fig. 10 compact schedule for a chosen patch.
  *
- * Usage: layout_viewer [distance]
+ * Usage: layout_viewer [distance]       (square patch)
+ *        layout_viewer [dx] [dz]        (rectangular dx x dz patch)
+ *
+ * Arguments are validated: non-numeric, even, or < 3 input prints the
+ * usage instead of silently rendering a wrong layout.
  */
-#include <cstdlib>
 #include <iostream>
 
 #include "core/embedding.h"
 #include "surface/render.h"
+#include "util/env.h"
 
 using namespace vlq;
+
+namespace {
+
+int
+usage(const char* argv0, const std::string& problem)
+{
+    std::cerr << "error: " << problem << "\n"
+              << "usage: " << argv0 << " [distance]    (square patch)\n"
+              << "       " << argv0 << " [dx] [dz]     (rectangular)\n"
+              << "  each dimension must be an odd integer >= 3\n";
+    return 1;
+}
+
+/** Parse one patch dimension or return -1 (after printing usage). */
+int
+parseDimension(const char* argv0, const char* text, const char* label)
+{
+    auto parsed = parseInt64(text);
+    if (!parsed || *parsed < 3 || *parsed % 2 == 0 || *parsed > 99) {
+        usage(argv0, std::string(label) + " must be an odd integer in "
+              "3..99, got '" + text + "'");
+        return -1;
+    }
+    return static_cast<int>(*parsed);
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
 {
-    int d = argc > 1 ? std::atoi(argv[1]) : 5;
-    if (d < 3 || d % 2 == 0) {
-        std::cerr << "distance must be odd and >= 3\n";
-        return 1;
+    int dx = 5;
+    int dz = 5;
+    if (argc > 1) {
+        dx = parseDimension(argv[0], argv[1], "distance");
+        if (dx < 0)
+            return 1;
+        dz = dx;
     }
-    SurfaceLayout layout(d);
+    if (argc > 2) {
+        dz = parseDimension(argv[0], argv[2], "dz");
+        if (dz < 0)
+            return 1;
+    }
+    SurfaceLayout layout(dx, dz);
 
-    std::cout << "Rotated surface code, d = " << d << " (o = data, Z/X ="
-                 " checks; paper Fig. 2):\n\n"
+    std::cout << "Rotated surface code, " << dx << " x " << dz
+              << " patch (o = data, Z/X = checks; paper Fig. 2):\n\n"
               << LayoutRenderer::render(layout);
 
     std::cout << "\nCompact embedding (z/x = ancilla merged into that"

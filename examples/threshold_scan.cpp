@@ -11,15 +11,21 @@
  *   environment variable sets the default when the argument is absent.
  *   target: stop each point early after this many failures (0 = run
  *   every trial). VLQ_BATCH sets the Monte-Carlo batch size.
+ *   VLQ_EMBEDDING overrides the setup's embedding with any registered
+ *   generator backend (baseline, natural, compact, compact-rect), so
+ *   new backends can be scanned without a new setup index.
+ *
+ * All numeric arguments are validated: non-numeric or out-of-range
+ * input prints this usage instead of silently running a wrong setup.
  *
  * Points stream as they finish, with running failure counts for the
  * point being sampled -- the batched engine commits batches in trial
  * order, so the stream (and the final counts) are reproducible for
  * any thread count or batch size.
  */
-#include <cstdlib>
 #include <iostream>
 
+#include "core/generator_registry.h"
 #include "decoder/decoder_factory.h"
 #include "mc/threshold.h"
 #include "util/env.h"
@@ -27,18 +33,50 @@
 
 using namespace vlq;
 
+namespace {
+
+int
+usage(const char* argv0, const std::string& problem)
+{
+    std::cerr << "error: " << problem << "\n"
+              << "usage: " << argv0
+              << " [setup 0..4] [trials >= 1] [decoder] [target >= 0]\n"
+              << "  decoders: " << decoderKindList() << "\n"
+              << "  VLQ_EMBEDDING overrides the embedding ("
+              << embeddingKindList() << ")\n";
+    return 1;
+}
+
+} // namespace
+
 int
 main(int argc, char** argv)
 {
-    int setupIdx = argc > 1 ? std::atoi(argv[1]) : 4;
-    uint64_t trials = argc > 2
-        ? static_cast<uint64_t>(std::atoll(argv[2])) : 1500;
     auto setups = paperSetups();
-    if (setupIdx < 0 || setupIdx >= static_cast<int>(setups.size())) {
-        std::cerr << "setup must be 0..4\n";
-        return 1;
+
+    int setupIdx = 4;
+    if (argc > 1) {
+        auto parsed = parseInt64(argv[1]);
+        if (!parsed || *parsed < 0
+            || *parsed >= static_cast<int64_t>(setups.size())) {
+            return usage(argv[0], "setup must be an integer in 0.."
+                         + std::to_string(setups.size() - 1) + ", got '"
+                         + argv[1] + "'");
+        }
+        setupIdx = static_cast<int>(*parsed);
     }
     EvaluationSetup setup = setups[static_cast<size_t>(setupIdx)];
+    setup.embedding = embeddingKindFromEnv(setup.embedding);
+
+    uint64_t trials = 1500;
+    if (argc > 2) {
+        auto parsed = parseInt64(argv[2]);
+        if (!parsed || *parsed < 1) {
+            return usage(argv[0], "trials must be a positive integer, "
+                         "got '" + std::string(argv[2]) + "'");
+        }
+        trials = static_cast<uint64_t>(*parsed);
+    }
 
     ThresholdScanConfig cfg;
     cfg.distances = {3, 5, 7};
@@ -50,16 +88,18 @@ main(int argc, char** argv)
     if (argc > 3) {
         auto kind = parseDecoderKind(argv[3]);
         if (!kind) {
-            std::cerr << "unknown decoder '" << argv[3]
-                      << "' (try: mwpm, greedy, union-find)\n";
-            return 1;
+            return usage(argv[0], "unknown decoder '"
+                         + std::string(argv[3]) + "'");
         }
         cfg.mc.decoder = *kind;
     }
     if (argc > 4) {
-        long long target = std::atoll(argv[4]);
-        cfg.mc.targetFailures =
-            target > 0 ? static_cast<uint64_t>(target) : 0;
+        auto parsed = parseInt64(argv[4]);
+        if (!parsed || *parsed < 0) {
+            return usage(argv[0], "target must be a non-negative "
+                         "integer, got '" + std::string(argv[4]) + "'");
+        }
+        cfg.mc.targetFailures = static_cast<uint64_t>(*parsed);
     }
 
     // Stream running counts: overwrite one status line per basis run,

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/generator_registry.h"
 #include "util/logging.h"
 
 namespace vlq {
@@ -9,12 +10,7 @@ namespace vlq {
 const char*
 embeddingName(EmbeddingKind kind)
 {
-    switch (kind) {
-      case EmbeddingKind::Baseline2D: return "Baseline2D";
-      case EmbeddingKind::Natural: return "Natural";
-      case EmbeddingKind::Compact: return "Compact";
-    }
-    VLQ_PANIC("invalid EmbeddingKind");
+    return generatorBackend(kind).display;
 }
 
 const char*
@@ -27,50 +23,42 @@ scheduleName(ExtractionSchedule schedule)
     VLQ_PANIC("invalid ExtractionSchedule");
 }
 
-PatchCost
-patchCost(EmbeddingKind kind, int distance)
+// patchCost() is defined in core/generator_registry.cc: each registered
+// embedding backend prices its own patches, so cost stays in lock-step
+// with the generators without a switch to extend here.
+
+int
+DeviceConfig::effectiveDx() const
 {
-    VLQ_ASSERT(distance >= 3 && distance % 2 == 1, "bad distance");
-    int d = distance;
-    PatchCost cost;
-    switch (kind) {
-      case EmbeddingKind::Baseline2D:
-        // d^2 data + (d^2 - 1) ancilla transmons, no memory.
-        cost.transmons = 2 * d * d - 1;
-        cost.cavities = 0;
-        break;
-      case EmbeddingKind::Natural:
-        // Same transmon count; every data transmon gains a cavity.
-        cost.transmons = 2 * d * d - 1;
-        cost.cavities = d * d;
-        break;
-      case EmbeddingKind::Compact:
-        // Every ancilla merges into a neighboring data transmon except
-        // the d-1 boundary ancillas whose merge target falls outside
-        // the patch (paper Fig. 7; d=3 -> 11 transmons, 9 cavities).
-        cost.transmons = d * d + (d - 1);
-        cost.cavities = d * d;
-        break;
-    }
-    return cost;
+    return generatorBackend(embedding)
+        .shape(distance, patchDx, patchDz).first;
+}
+
+int
+DeviceConfig::effectiveDz() const
+{
+    return generatorBackend(embedding)
+        .shape(distance, patchDx, patchDz).second;
 }
 
 int
 DeviceConfig::totalTransmons() const
 {
-    return numStacks() * patchCost(embedding, distance).transmons;
+    return numStacks()
+        * patchCost(embedding, effectiveDx(), effectiveDz()).transmons;
 }
 
 int
 DeviceConfig::totalCavities() const
 {
-    return numStacks() * patchCost(embedding, distance).cavities;
+    return numStacks()
+        * patchCost(embedding, effectiveDx(), effectiveDz()).cavities;
 }
 
 int
 DeviceConfig::logicalCapacity(bool reserveFreeMode) const
 {
-    if (embedding == EmbeddingKind::Baseline2D)
+    if (patchCost(embedding, effectiveDx(), effectiveDz()).cavities == 0)
         return numStacks();
     int perStack = cavityDepth - (reserveFreeMode ? 1 : 0);
     return numStacks() * perStack;
@@ -80,8 +68,11 @@ std::string
 DeviceConfig::str() const
 {
     std::ostringstream ss;
-    ss << embeddingName(embedding) << " d=" << distance << " grid="
-       << gridWidth << "x" << gridHeight << " k=" << cavityDepth;
+    ss << embeddingName(embedding) << " d=" << distance;
+    if (effectiveDx() != distance || effectiveDz() != distance)
+        ss << " patch=" << effectiveDx() << "x" << effectiveDz();
+    ss << " grid=" << gridWidth << "x" << gridHeight << " k="
+       << cavityDepth;
     return ss.str();
 }
 

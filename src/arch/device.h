@@ -6,7 +6,11 @@
 
 namespace vlq {
 
-/** Which surface-code embedding a device implements. */
+/**
+ * Which surface-code embedding a device implements. Each kind is backed
+ * by an entry in the generator registry (core/generator_registry.h);
+ * adding a kind means adding a registration, not chasing switches.
+ */
 enum class EmbeddingKind : uint8_t {
     /** Conventional 2D transmon grid, no memory (paper's baseline). */
     Baseline2D,
@@ -15,6 +19,9 @@ enum class EmbeddingKind : uint8_t {
     /** Compact embedding: merged data/ancilla transmons, all with
      *  cavities. */
     Compact,
+    /** Compact on a rectangular dx x dz patch: spends hardware on the
+     *  logical basis that needs it, for biased-noise devices. */
+    CompactRect,
 };
 
 /** How syndrome extraction visits a stack of virtualized patches. */
@@ -26,7 +33,11 @@ enum class ExtractionSchedule : uint8_t {
     Interleaved,
 };
 
-/** Human-readable names for reports. */
+/**
+ * Human-readable names for reports. embeddingName resolves to the
+ * generator registry's display name, so backends added via
+ * registerGenerator() are covered without a switch to extend.
+ */
 const char* embeddingName(EmbeddingKind kind);
 const char* scheduleName(ExtractionSchedule schedule);
 
@@ -47,8 +58,16 @@ struct PatchCost
     }
 };
 
-/** Cost of one distance-d patch under the given embedding. */
+/** Cost of one square distance-d patch under the given embedding. */
 PatchCost patchCost(EmbeddingKind kind, int distance);
+
+/**
+ * Cost of a rectangular dx x dz patch (dx data columns = memory-X
+ * distance, dz data rows = memory-Z distance; both odd, >= 3).
+ * Resolved through the generator registry, so registered backends
+ * price their own hardware.
+ */
+PatchCost patchCost(EmbeddingKind kind, int dx, int dz);
 
 /**
  * A 2.5D device: a gridWidth x gridHeight array of patch-sized stacks,
@@ -62,6 +81,23 @@ struct DeviceConfig
     int gridWidth = 1;
     int gridHeight = 1;
     int cavityDepth = 10;
+
+    /**
+     * Rectangular-patch overrides: when > 0 they replace `distance`
+     * along their axis (patchDx columns, patchDz rows). 0 defers to
+     * the embedding backend's shape policy -- the square paper patch
+     * for the three paper embeddings, the narrow 3 x d biased-noise
+     * patch for compact-rect -- so device costing always prices the
+     * patch the generator actually builds.
+     */
+    int patchDx = 0;
+    int patchDz = 0;
+
+    /** Effective patch width (data columns / memory-X distance). */
+    int effectiveDx() const;
+
+    /** Effective patch height (data rows / memory-Z distance). */
+    int effectiveDz() const;
 
     /** Number of stacks (patch positions). */
     int numStacks() const { return gridWidth * gridHeight; }

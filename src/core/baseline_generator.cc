@@ -11,7 +11,8 @@ namespace vlq {
 GeneratedCircuit
 generateBaselineMemory(const GeneratorConfig& config)
 {
-    SurfaceLayout layout(config.distance);
+    requireValidConfig(config);
+    SurfaceLayout layout(config.effectiveDx(), config.effectiveDz());
     const int rounds = config.effectiveRounds();
 
     const uint32_t nData = static_cast<uint32_t>(layout.numData());

@@ -3,25 +3,24 @@
 #include <set>
 
 #include "core/embedding.h"
-#include "core/generator_common.h"
+#include "core/generator_registry.h"
 #include "util/logging.h"
 
 namespace vlq {
 
 namespace {
 
-/** Cache solved schedules per distance (the search is not free). */
+/** Cache solved schedules per patch shape (the search is not free). */
 const CompactSchedule&
 scheduleFor(const SurfaceLayout& layout)
 {
     static std::mutex mutex;
-    static std::map<int, CompactSchedule> cache;
+    static std::map<std::pair<int, int>, CompactSchedule> cache;
     std::lock_guard<std::mutex> lock(mutex);
-    auto it = cache.find(layout.distance());
-    if (it == cache.end()) {
-        it = cache.emplace(layout.distance(),
-                           CompactSchedule::solve(layout)).first;
-    }
+    std::pair<int, int> key{layout.width(), layout.height()};
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, CompactSchedule::solve(layout)).first;
     return it->second;
 }
 
@@ -226,10 +225,10 @@ class CompactEngine
 };
 
 GeneratedCircuit
-emitCompact(const GeneratorConfig& config, double gapBeforeBlockNs,
-            double gapPerRoundNs)
+emitCompact(const GeneratorConfig& config, int dx, int dz,
+            double gapBeforeBlockNs, double gapPerRoundNs)
 {
-    SurfaceLayout layout(config.distance);
+    SurfaceLayout layout(dx, dz);
     CompactMerge merge = CompactMerge::build(layout);
     const CompactSchedule& sched = scheduleFor(layout);
     const int rounds = config.effectiveRounds();
@@ -291,13 +290,15 @@ emitCompact(const GeneratorConfig& config, double gapBeforeBlockNs,
     return out;
 }
 
-} // namespace
-
+/**
+ * Gap-calibrated emission shared by the square and rectangular Compact
+ * backends: a dry run measures the active service durations, then the
+ * paging gap dictated by the gap model is charged on the real run.
+ */
 GeneratedCircuit
-generateCompactMemory(const GeneratorConfig& config)
+generateCompactOnPatch(const GeneratorConfig& config, int dx, int dz)
 {
-    VLQ_ASSERT(config.cavityDepth >= 1, "cavity depth must be >= 1");
-    GeneratedCircuit dry = emitCompact(config, 0.0, 0.0);
+    GeneratedCircuit dry = emitCompact(config, dx, dz, 0.0, 0.0);
     double blockDur = dry.activeDurationNs;
     double roundDur = blockDur / config.effectiveRounds();
     double waiters = config.cavityDepth - 1;
@@ -313,7 +314,38 @@ generateCompactMemory(const GeneratorConfig& config)
     }
     if (gapBlock <= 0.0 && gapRound <= 0.0)
         return dry;
-    return emitCompact(config, gapBlock, gapRound);
+    return emitCompact(config, dx, dz, gapBlock, gapRound);
+}
+
+} // namespace
+
+GeneratedCircuit
+generateCompactMemory(const GeneratorConfig& config)
+{
+    requireValidConfig(config);
+    return generateCompactOnPatch(config, config.effectiveDx(),
+                                  config.effectiveDz());
+}
+
+std::pair<int, int>
+compactRectPatchShape(int distance, int distanceX, int distanceZ)
+{
+    // Biased-noise default: when the config does not ask for a
+    // specific rectangle, keep the full memory-Z distance but shrink
+    // the patch to the minimum memory-X protection -- the shape that
+    // pays off when one Pauli dominates the physical noise.
+    if (distanceX == 0 && distanceZ == 0)
+        return {3, distance};
+    return squarePatchShape(distance, distanceX, distanceZ);
+}
+
+GeneratedCircuit
+generateCompactRectMemory(const GeneratorConfig& config)
+{
+    requireValidConfig(config);
+    auto [dx, dz] = compactRectPatchShape(
+        config.distance, config.distanceX, config.distanceZ);
+    return generateCompactOnPatch(config, dx, dz);
 }
 
 } // namespace vlq

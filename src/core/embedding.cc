@@ -32,7 +32,12 @@ CompactMerge::build(const SurfaceLayout& layout)
             merge.unmergedIndex[c] = merge.numUnmerged++;
         }
     }
-    VLQ_ASSERT(merge.numUnmerged == layout.distance() - 1,
+    // Unmerged checks are the right-boundary Z halves and bottom-
+    // boundary X halves whose merge corner falls outside the patch:
+    // (dz-1)/2 of the former and (dx-1)/2 of the latter, which reduces
+    // to the paper's d-1 on square patches.
+    VLQ_ASSERT(merge.numUnmerged ==
+                   (layout.width() - 1) / 2 + (layout.height() - 1) / 2,
                "unexpected unmerged-check count");
     return merge;
 }

@@ -14,7 +14,8 @@ namespace vlq {
  * with its upper-right (NE) data transmon and every X ancilla with its
  * lower-left (SW) data transmon; the opposite pairings keep 4-way grid
  * connectivity. Boundary checks whose merge corner falls outside the
- * patch keep a dedicated transmon (there are d-1 of them).
+ * patch keep a dedicated transmon: (dx-1)/2 + (dz-1)/2 of them on a
+ * dx x dz patch, i.e. d-1 on the paper's square patches.
  */
 struct CompactMerge
 {
@@ -24,7 +25,7 @@ struct CompactMerge
     /** Per plaquette: dense index among unmerged checks, or -1. */
     std::vector<int32_t> unmergedIndex;
 
-    /** Number of unmerged (dedicated-transmon) checks; equals d-1. */
+    /** Number of unmerged (dedicated-transmon) checks. */
     int numUnmerged = 0;
 
     /** Per data index: plaquette merged onto this transmon, or -1. */

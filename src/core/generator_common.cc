@@ -1,8 +1,66 @@
 #include "core/generator_common.h"
 
+#include <sstream>
+
 #include "util/logging.h"
 
 namespace vlq {
+
+namespace {
+
+/** Describe one patch-dimension problem, or return "" when fine. */
+std::string
+checkOddDistance(const char* label, int value, bool allowZero)
+{
+    if (allowZero && value == 0)
+        return "";
+    std::ostringstream ss;
+    if (value < 3) {
+        ss << label << " must be >= 3 (got " << value << ")";
+        return ss.str();
+    }
+    if (value % 2 == 0) {
+        ss << label << " must be odd (got " << value << ")";
+        return ss.str();
+    }
+    return "";
+}
+
+} // namespace
+
+std::string
+GeneratorConfig::validate() const
+{
+    std::string err = checkOddDistance("distance", distance, false);
+    if (err.empty())
+        err = checkOddDistance("distanceX", distanceX, true);
+    if (err.empty())
+        err = checkOddDistance("distanceZ", distanceZ, true);
+    if (!err.empty())
+        return err;
+    if (rounds < 0) {
+        std::ostringstream ss;
+        ss << "rounds must be >= 0 (got " << rounds << "; 0 means "
+           << "`distance` rounds)";
+        return ss.str();
+    }
+    if (cavityDepth < 1) {
+        std::ostringstream ss;
+        ss << "cavityDepth must be >= 1 (got " << cavityDepth << ")";
+        return ss.str();
+    }
+    return "";
+}
+
+void
+requireValidConfig(const GeneratorConfig& config)
+{
+    std::string err = config.validate();
+    if (!err.empty()) {
+        std::string msg = "invalid GeneratorConfig: " + err;
+        VLQ_FATAL(msg.c_str());
+    }
+}
 
 NoisyBuilder::NoisyBuilder(uint32_t numWires, std::vector<WireKind> kinds,
                            const NoiseModel& noise)
@@ -216,20 +274,6 @@ emitStandardRound(NoisyBuilder& builder, const SurfaceLayout& layout,
         book.recordRound(builder.circuit(), c, m, round);
     }
     builder.momentEnd();
-}
-
-GeneratedCircuit
-generateMemoryCircuit(EmbeddingKind embedding, const GeneratorConfig& config)
-{
-    switch (embedding) {
-      case EmbeddingKind::Baseline2D:
-        return generateBaselineMemory(config);
-      case EmbeddingKind::Natural:
-        return generateNaturalMemory(config);
-      case EmbeddingKind::Compact:
-        return generateCompactMemory(config);
-    }
-    VLQ_PANIC("invalid embedding");
 }
 
 } // namespace vlq

@@ -2,6 +2,7 @@
 #define VLQ_CORE_GENERATOR_COMMON_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "arch/device.h"
@@ -36,6 +37,16 @@ struct GeneratorConfig
     /** Code distance (odd, >= 3). */
     int distance = 3;
 
+    /**
+     * Rectangular-patch overrides: when > 0, distanceX sets the data
+     * columns (the memory-X distance) and distanceZ the data rows (the
+     * memory-Z distance), replacing `distance` along that axis. 0
+     * keeps the square paper patch. Both must be odd and >= 3 when
+     * set.
+     */
+    int distanceX = 0;
+    int distanceZ = 0;
+
     /** Rounds of syndrome extraction; 0 means `distance`. */
     int rounds = 0;
 
@@ -59,7 +70,31 @@ struct GeneratorConfig
     NoiseModel noise;
 
     int effectiveRounds() const { return rounds > 0 ? rounds : distance; }
+
+    /** Effective patch width (data columns / memory-X distance). */
+    int effectiveDx() const { return distanceX > 0 ? distanceX : distance; }
+
+    /** Effective patch height (data rows / memory-Z distance). */
+    int effectiveDz() const { return distanceZ > 0 ? distanceZ : distance; }
+
+    /**
+     * Check the configuration for user errors the layout and schedule
+     * code would otherwise hit deep inside an assert (or, worse, not
+     * at all): even or too-small distances, negative rounds, cavity
+     * depth below 1.
+     *
+     * @return an empty string when valid, else a human-readable
+     *         description of the first problem found.
+     */
+    std::string validate() const;
 };
+
+/**
+ * validate() or die: every generator backend calls this on entry, so a
+ * bad CLI/env value fails fast with a clear message instead of
+ * producing a silent garbage run.
+ */
+void requireValidConfig(const GeneratorConfig& config);
 
 /**
  * Probability-mass budget of a generated circuit's noise, split by
@@ -217,7 +252,12 @@ void emitStandardRound(NoisyBuilder& builder, const SurfaceLayout& layout,
                        const StandardRoundWires& wires, DetectorBook& book,
                        int round);
 
-/** Dispatch: generate the memory circuit for any evaluation setup. */
+/**
+ * Dispatch: generate the memory circuit for any evaluation setup.
+ * Resolved through the generator registry
+ * (core/generator_registry.h), so registered backends -- including
+ * out-of-tree ones -- are selectable without a switch.
+ */
 GeneratedCircuit generateMemoryCircuit(EmbeddingKind embedding,
                                        const GeneratorConfig& config);
 
@@ -229,6 +269,16 @@ GeneratedCircuit generateNaturalMemory(const GeneratorConfig& config);
 
 /** Compact embedding (AAO or Interleaved per config.schedule). */
 GeneratedCircuit generateCompactMemory(const GeneratorConfig& config);
+
+/**
+ * Rectangular Compact variant for biased-noise devices: the Compact
+ * merge and schedule on a dx x dz patch. Honors
+ * GeneratorConfig::distanceX/distanceZ; when neither is set it
+ * defaults to a narrow patch (dx = 3 columns, dz = `distance` rows),
+ * i.e. minimum memory-X protection and full memory-Z protection --
+ * the right shape when one Pauli dominates the physical noise.
+ */
+GeneratedCircuit generateCompactRectMemory(const GeneratorConfig& config);
 
 } // namespace vlq
 

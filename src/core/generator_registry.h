@@ -1,0 +1,133 @@
+#ifndef VLQ_CORE_GENERATOR_REGISTRY_H
+#define VLQ_CORE_GENERATOR_REGISTRY_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "arch/device.h"
+#include "core/generator_common.h"
+
+namespace vlq {
+
+/** Factory signature every registered embedding backend provides. */
+using GeneratorFn = GeneratedCircuit (*)(const GeneratorConfig& config);
+
+/** Per-patch hardware cost of a dx x dz patch under a backend. */
+using PatchCostFn = PatchCost (*)(int dx, int dz);
+
+/**
+ * Resolve requested patch dimensions (distance plus the optional
+ * distanceX/distanceZ overrides, 0 = unset) to the {dx, dz} the
+ * backend actually builds. This is the single source of truth for
+ * backend shape policy: the generator, patchCost-based device
+ * accounting, and reports all resolve through it, so a backend with a
+ * non-square default (compact-rect) cannot have its circuits and its
+ * hardware costs quietly describe different patches.
+ */
+using PatchShapeFn = std::pair<int, int> (*)(int distance, int distanceX,
+                                             int distanceZ);
+
+/**
+ * One embedding backend of the circuit-generator registry: how to name
+ * it, how to generate a memory circuit under it, and what its patches
+ * cost. The Monte-Carlo driver, the benches, and the examples all go
+ * through this table (via makeGenerator / generateMemoryCircuit /
+ * patchCost), so a new hardware layout -- another cavity depth
+ * trade-off, a biased-noise patch shape, a non-square grid -- is one
+ * registration, with no scheduler or call-site churn.
+ */
+struct GeneratorBackend
+{
+    EmbeddingKind kind;
+
+    /** Canonical lowercase name ("compact-rect"). */
+    const char* name;
+
+    /** Space-separated alternative spellings ("compactrect rect"). */
+    const char* aliases;
+
+    /** Display name used in reports and figure CSVs ("Compact"). */
+    const char* display;
+
+    /**
+     * True when the backend pages patches through cavities, i.e. the
+     * cavityDepth / ExtractionSchedule knobs are meaningful. False for
+     * the memoryless 2D baseline.
+     */
+    bool virtualized;
+
+    /** Generate the memory-experiment circuit. */
+    GeneratorFn generate;
+
+    /** Price a dx x dz patch. */
+    PatchCostFn cost;
+
+    /** Resolve requested dimensions to the patch actually built. */
+    PatchShapeFn shape;
+};
+
+/**
+ * The default shape policy: explicit overrides win, unset axes fall
+ * back to the square `distance` patch. Reusable by registrations.
+ */
+std::pair<int, int> squarePatchShape(int distance, int distanceX,
+                                     int distanceZ);
+
+/**
+ * The generator registry: the paper's three embeddings, the
+ * rectangular Compact variant, plus anything added via
+ * registerGenerator().
+ */
+const std::vector<GeneratorBackend>& generatorRegistry();
+
+/**
+ * Register (or, for an existing kind, replace) a backend. Not
+ * thread-safe; call during startup before generating circuits.
+ */
+void registerGenerator(const GeneratorBackend& registration);
+
+/** Look up a registered backend; panics when `kind` is unregistered. */
+const GeneratorBackend& generatorBackend(EmbeddingKind kind);
+
+/**
+ * The compact-rect shape policy: explicit overrides win; with neither
+ * set, narrow to 3 columns x `distance` rows (minimum memory-X
+ * protection, full memory-Z protection -- the biased-noise default).
+ */
+std::pair<int, int> compactRectPatchShape(int distance, int distanceX,
+                                          int distanceZ);
+
+/** The registered generator function for `kind` (never null). */
+GeneratorFn makeGenerator(EmbeddingKind kind);
+
+/**
+ * Look up by case-insensitive name or alias.
+ * @return nullptr when the name matches no registered backend.
+ */
+GeneratorFn makeGenerator(std::string_view name);
+
+/** Canonical registry name of a kind ("baseline", "compact-rect"). */
+const char* embeddingKindName(EmbeddingKind kind);
+
+/** Parse a name or alias back to a kind. */
+std::optional<EmbeddingKind> parseEmbeddingKind(std::string_view name);
+
+/** Comma-separated canonical names, for usage/error messages. */
+std::string embeddingKindList();
+
+/**
+ * Read the embedding selection from the environment (variable
+ * VLQ_EMBEDDING unless overridden). Returns `fallback` when the
+ * variable is unset; a set-but-unknown value (e.g. a typo'd
+ * VLQ_EMBEDDING=compct) is a hard error that lists the valid keys --
+ * silently falling back would turn a typo into a garbage run.
+ */
+EmbeddingKind embeddingKindFromEnv(EmbeddingKind fallback,
+                                   const char* variable = "VLQ_EMBEDDING");
+
+} // namespace vlq
+
+#endif // VLQ_CORE_GENERATOR_REGISTRY_H

@@ -22,7 +22,7 @@ GeneratedCircuit
 emitNatural(const GeneratorConfig& config, double gapBeforeBlockNs,
             double gapPerRoundNs)
 {
-    SurfaceLayout layout(config.distance);
+    SurfaceLayout layout(config.effectiveDx(), config.effectiveDz());
     const int rounds = config.effectiveRounds();
     const HardwareParams& hw = config.noise.hw;
 
@@ -108,7 +108,7 @@ emitNatural(const GeneratorConfig& config, double gapBeforeBlockNs,
 GeneratedCircuit
 generateNaturalMemory(const GeneratorConfig& config)
 {
-    VLQ_ASSERT(config.cavityDepth >= 1, "cavity depth must be >= 1");
+    requireValidConfig(config);
 
     // Dry run (no gaps) to measure the active service durations.
     GeneratedCircuit dry = emitNatural(config, 0.0, 0.0);

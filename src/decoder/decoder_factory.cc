@@ -6,6 +6,7 @@
 #include "decoder/mwpm_decoder.h"
 #include "decoder/union_find.h"
 #include "util/env.h"
+#include "util/logging.h"
 
 namespace vlq {
 
@@ -39,23 +40,6 @@ mutableRegistry()
          makeUnionFind},
     };
     return registry;
-}
-
-/** True when `word` appears in the space-separated list `list`. */
-bool
-listContains(const char* list, const std::string& word)
-{
-    std::string_view rest(list);
-    while (!rest.empty()) {
-        size_t sep = rest.find(' ');
-        std::string_view token = rest.substr(0, sep);
-        if (token == word)
-            return true;
-        if (sep == std::string_view::npos)
-            break;
-        rest.remove_prefix(sep + 1);
-    }
-    return false;
 }
 
 } // namespace
@@ -115,10 +99,22 @@ parseDecoderKind(std::string_view name)
         return std::nullopt;
     for (const DecoderRegistration& entry : decoderRegistry()) {
         if (lowered == entry.name
-            || listContains(entry.aliases, lowered))
+            || nameListContains(entry.aliases, lowered))
             return entry.kind;
     }
     return std::nullopt;
+}
+
+std::string
+decoderKindList()
+{
+    std::string out;
+    for (const DecoderRegistration& entry : decoderRegistry()) {
+        if (!out.empty())
+            out += ", ";
+        out += entry.name;
+    }
+    return out;
 }
 
 DecoderKind
@@ -130,11 +126,10 @@ decoderKindFromEnv(DecoderKind fallback, const char* variable)
     std::optional<DecoderKind> kind = parseDecoderKind(value);
     if (!kind) {
         std::fprintf(stderr,
-                     "warning: %s=%s is not a registered decoder; "
-                     "using %s\n",
+                     "%s=%s is not a registered decoder (valid: %s)\n",
                      variable, value.c_str(),
-                     decoderKindName(fallback));
-        return fallback;
+                     decoderKindList().c_str());
+        VLQ_FATAL("unknown decoder backend in environment");
     }
     return *kind;
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -60,10 +61,15 @@ const char* decoderKindName(DecoderKind kind);
 /** Parse a name or alias back to a kind. */
 std::optional<DecoderKind> parseDecoderKind(std::string_view name);
 
+/** Comma-separated canonical names, for usage/error messages. */
+std::string decoderKindList();
+
 /**
  * Read the decoder selection from the environment (variable
- * VLQ_DECODER unless overridden); returns `fallback` when the variable
- * is unset and warns on stderr when it is set but unparsable.
+ * VLQ_DECODER unless overridden). Returns `fallback` when the
+ * variable is unset; a set-but-unknown value (e.g. a typo'd
+ * VLQ_DECODER=mwmp) is a hard error that lists the valid keys --
+ * silently falling back would turn a typo into a garbage run.
  */
 DecoderKind decoderKindFromEnv(DecoderKind fallback,
                                const char* variable = "VLQ_DECODER");

@@ -1,16 +1,25 @@
 #include "mc/memory_experiment.h"
 
+#include "core/generator_registry.h"
+
 namespace vlq {
 
 std::string
 EvaluationSetup::name() const
 {
-    if (embedding == EmbeddingKind::Baseline2D)
-        return "Baseline";
-    std::string n = embeddingName(embedding);
+    const GeneratorBackend& backend = generatorBackend(embedding);
+    std::string n = backend.display;
+    if (!backend.virtualized)
+        return n; // the memoryless baseline has no schedule axis
     n += ", ";
     n += scheduleName(schedule);
     return n;
+}
+
+bool
+EvaluationSetup::virtualized() const
+{
+    return generatorBackend(embedding).virtualized;
 }
 
 std::vector<EvaluationSetup>

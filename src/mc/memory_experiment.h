@@ -19,6 +19,10 @@ struct EvaluationSetup
     ExtractionSchedule schedule = ExtractionSchedule::AllAtOnce;
 
     std::string name() const;
+
+    /** Whether the embedding pages patches through cavities (registry
+     *  property; false only for the memoryless 2D baseline). */
+    bool virtualized() const;
 };
 
 /** The five setups, in the paper's Fig. 11 order. */

@@ -5,15 +5,21 @@
 namespace vlq {
 
 SurfaceLayout::SurfaceLayout(int distance)
-    : d_(distance)
+    : SurfaceLayout(distance, distance)
 {
-    VLQ_ASSERT(distance >= 3 && distance % 2 == 1,
-               "distance must be odd and >= 3");
+}
 
-    const int span = 2 * d_;
+SurfaceLayout::SurfaceLayout(int dx, int dz)
+    : dx_(dx), dz_(dz)
+{
+    VLQ_ASSERT(dx >= 3 && dx % 2 == 1 && dz >= 3 && dz % 2 == 1,
+               "patch dimensions must be odd and >= 3");
+
+    const int spanX = 2 * dx_;
+    const int spanY = 2 * dz_;
     auto dataAt = [&](int x, int y) -> int32_t {
         // Data sit at odd coordinates (2i+1, 2j+1).
-        if (x < 1 || x > span - 1 || y < 1 || y > span - 1)
+        if (x < 1 || x > spanX - 1 || y < 1 || y > spanY - 1)
             return -1;
         if (x % 2 == 0 || y % 2 == 0)
             return -1;
@@ -22,13 +28,13 @@ SurfaceLayout::SurfaceLayout(int distance)
         return static_cast<int32_t>(dataIndex(ix, iy));
     };
 
-    for (int cy = 0; cy <= span; cy += 2) {
-        for (int cx = 0; cx <= span; cx += 2) {
+    for (int cy = 0; cy <= spanY; cy += 2) {
+        for (int cx = 0; cx <= spanX; cx += 2) {
             // Checkerboard type: X when (cx+cy)/2 is even.
             CheckBasis basis = (((cx + cy) / 2) % 2 == 0) ? CheckBasis::X
                                                           : CheckBasis::Z;
-            bool topBottom = (cy == 0 || cy == span);
-            bool leftRight = (cx == 0 || cx == span);
+            bool topBottom = (cy == 0 || cy == spanY);
+            bool leftRight = (cx == 0 || cx == spanX);
             if (topBottom && leftRight)
                 continue; // corners host nothing
             // X half-checks only on top/bottom, Z only on left/right.
@@ -83,9 +89,9 @@ SurfaceLayout::checksOf(CheckBasis basis) const
 uint32_t
 SurfaceLayout::dataIndex(int ix, int iy) const
 {
-    VLQ_ASSERT(ix >= 0 && ix < d_ && iy >= 0 && iy < d_,
+    VLQ_ASSERT(ix >= 0 && ix < dx_ && iy >= 0 && iy < dz_,
                "data cell out of range");
-    return static_cast<uint32_t>(iy * d_ + ix);
+    return static_cast<uint32_t>(iy * dx_ + ix);
 }
 
 std::pair<int, int>
@@ -93,7 +99,7 @@ SurfaceLayout::dataCell(uint32_t index) const
 {
     VLQ_ASSERT(index < static_cast<uint32_t>(numData()),
                "data index out of range");
-    return {static_cast<int>(index) % d_, static_cast<int>(index) / d_};
+    return {static_cast<int>(index) % dx_, static_cast<int>(index) / dx_};
 }
 
 std::pair<int, int>
@@ -120,7 +126,7 @@ std::vector<uint32_t>
 SurfaceLayout::logicalZSupport() const
 {
     std::vector<uint32_t> support;
-    for (int ix = 0; ix < d_; ++ix)
+    for (int ix = 0; ix < dx_; ++ix)
         support.push_back(dataIndex(ix, 0));
     return support;
 }
@@ -129,7 +135,7 @@ std::vector<uint32_t>
 SurfaceLayout::logicalXSupport() const
 {
     std::vector<uint32_t> support;
-    for (int iy = 0; iy < d_; ++iy)
+    for (int iy = 0; iy < dz_; ++iy)
         support.push_back(dataIndex(0, iy));
     return support;
 }

@@ -37,11 +37,20 @@ struct Plaquette
 };
 
 /**
- * Rotated surface code of odd distance d on a (2d+1) x (2d+1) coordinate
- * grid: d^2 data qubits at odd coordinates, d^2 - 1 checks centered at
- * even coordinates. X half-checks live on the top/bottom boundaries and
- * Z half-checks on the left/right boundaries, so the logical Z operator
- * is a horizontal row of Z's and the logical X a vertical column of X's.
+ * Rotated surface code on a rectangular patch of dx x dz data qubits
+ * (dx odd columns, dz odd rows) over a (2dx+1) x (2dz+1) coordinate
+ * grid: dx*dz data qubits at odd coordinates, dx*dz - 1 checks centered
+ * at even coordinates. X half-checks live on the top/bottom boundaries
+ * and Z half-checks on the left/right boundaries, so the logical Z
+ * operator is a horizontal row of Z's (weight dx) and the logical X a
+ * vertical column of X's (weight dz).
+ *
+ * Distances: a memory-X experiment fails on a logical Z error, so its
+ * code distance is dx; a memory-Z experiment fails on a logical X
+ * error, so its distance is dz. The square dx == dz == d patch is the
+ * paper's surface code; rectangular patches trade protection of one
+ * basis for hardware (useful under biased noise, where the dominant
+ * Pauli deserves the larger distance).
  *
  * The extraction CNOT order is the standard two-pattern schedule
  * (Z checks: NW, SW, NE, SE; X checks: NW, NE, SW, SE) which keeps
@@ -51,19 +60,30 @@ struct Plaquette
 class SurfaceLayout
 {
   public:
-    /** Build the layout for an odd code distance d >= 3. */
+    /** Build the square layout for an odd code distance d >= 3. */
     explicit SurfaceLayout(int distance);
 
-    int distance() const { return d_; }
-    int numData() const { return d_ * d_; }
-    int numChecks() const { return d_ * d_ - 1; }
+    /** Build a rectangular dx x dz patch (both odd, >= 3). */
+    SurfaceLayout(int dx, int dz);
+
+    /** Code distance: the smaller of the two logical weights. */
+    int distance() const { return dx_ < dz_ ? dx_ : dz_; }
+
+    /** Data columns == weight of logical Z == memory-X distance. */
+    int width() const { return dx_; }
+
+    /** Data rows == weight of logical X == memory-Z distance. */
+    int height() const { return dz_; }
+
+    int numData() const { return dx_ * dz_; }
+    int numChecks() const { return dx_ * dz_ - 1; }
 
     const std::vector<Plaquette>& plaquettes() const { return plaquettes_; }
 
     /** Checks of one basis, as indices into plaquettes(). */
     const std::vector<uint32_t>& checksOf(CheckBasis basis) const;
 
-    /** Data index for grid cell (ix, iy), both in [0, d). */
+    /** Data index for grid cell (ix, iy), ix in [0, dx), iy in [0, dz). */
     uint32_t dataIndex(int ix, int iy) const;
 
     /** Grid cell of a data index. */
@@ -85,17 +105,18 @@ class SurfaceLayout
     /** Data indices of the logical X operator (column ix = 0). */
     std::vector<uint32_t> logicalXSupport() const;
 
-    /** Logical Z as a Pauli string over the d^2 data qubits. */
+    /** Logical Z as a Pauli string over the dx*dz data qubits. */
     PauliString logicalZ() const;
 
-    /** Logical X as a Pauli string over the d^2 data qubits. */
+    /** Logical X as a Pauli string over the dx*dz data qubits. */
     PauliString logicalX() const;
 
     /** Stabilizer generator of plaquette i over the data qubits. */
     PauliString stabilizer(uint32_t plaquette) const;
 
   private:
-    int d_;
+    int dx_;
+    int dz_;
     std::vector<Plaquette> plaquettes_;
     std::vector<uint32_t> zChecks_;
     std::vector<uint32_t> xChecks_;

@@ -6,14 +6,13 @@ namespace vlq {
 
 namespace {
 
-/** Character canvas over the (2d+1)^2 coordinate grid. */
+/** Character canvas over the (2dx+1) x (2dz+1) coordinate grid. */
 class Canvas
 {
   public:
-    explicit Canvas(int span)
-        : span_(span),
-          rows_(static_cast<size_t>(span + 1),
-                std::string(static_cast<size_t>(span + 1), ' '))
+    Canvas(int spanX, int spanY)
+        : rows_(static_cast<size_t>(spanY + 1),
+                std::string(static_cast<size_t>(spanX + 1), ' '))
     {
     }
 
@@ -35,7 +34,6 @@ class Canvas
     }
 
   private:
-    int span_;
     std::vector<std::string> rows_;
 };
 
@@ -44,8 +42,7 @@ class Canvas
 std::string
 LayoutRenderer::render(const SurfaceLayout& layout)
 {
-    const int span = 2 * layout.distance();
-    Canvas canvas(span);
+    Canvas canvas(2 * layout.width(), 2 * layout.height());
     for (uint32_t q = 0; q < static_cast<uint32_t>(layout.numData());
          ++q) {
         auto [x, y] = layout.dataPos(q);
@@ -59,8 +56,7 @@ LayoutRenderer::render(const SurfaceLayout& layout)
 std::string
 LayoutRenderer::renderCompact(const SurfaceLayout& layout)
 {
-    const int span = 2 * layout.distance();
-    Canvas canvas(span);
+    Canvas canvas(2 * layout.width(), 2 * layout.height());
     for (uint32_t q = 0; q < static_cast<uint32_t>(layout.numData());
          ++q) {
         auto [x, y] = layout.dataPos(q);
@@ -83,8 +79,7 @@ LayoutRenderer::renderCompact(const SurfaceLayout& layout)
 std::string
 LayoutRenderer::renderOrder(const SurfaceLayout& layout, CheckBasis basis)
 {
-    const int span = 2 * layout.distance();
-    Canvas canvas(span);
+    Canvas canvas(2 * layout.width(), 2 * layout.height());
     for (const auto& p : layout.plaquettes()) {
         if (p.basis != basis)
             continue;

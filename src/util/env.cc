@@ -1,6 +1,8 @@
 #include "util/env.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace vlq {
@@ -61,6 +63,51 @@ asciiLower(std::string_view s)
         c = static_cast<char>(
             std::tolower(static_cast<unsigned char>(c)));
     return out;
+}
+
+bool
+nameListContains(std::string_view list, std::string_view word)
+{
+    while (!list.empty()) {
+        size_t sep = list.find(' ');
+        if (list.substr(0, sep) == word)
+            return true;
+        if (sep == std::string_view::npos)
+            break;
+        list.remove_prefix(sep + 1);
+    }
+    return false;
+}
+
+bool
+parseCsvFlag(int argc, char** argv, std::string& csvPath)
+{
+    csvPath.clear();
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg(argv[i]);
+        if (arg == "--csv" && i + 1 < argc) {
+            csvPath = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--csv <path>]\n", argv[0]);
+            return false;
+        }
+    }
+    return true;
+}
+
+std::optional<int64_t>
+parseInt64(std::string_view text)
+{
+    if (text.empty())
+        return std::nullopt;
+    // NUL-terminate for strtoll; CLI arguments are short.
+    std::string buf(text);
+    errno = 0;
+    char* end = nullptr;
+    long long parsed = std::strtoll(buf.c_str(), &end, 10);
+    if (end == buf.c_str() || *end != '\0' || errno == ERANGE)
+        return std::nullopt;
+    return static_cast<int64_t>(parsed);
 }
 
 } // namespace vlq

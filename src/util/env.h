@@ -2,6 +2,7 @@
 #define VLQ_UTIL_ENV_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -30,6 +31,29 @@ std::string envLower(const char* name, const std::string& fallback);
 
 /** ASCII-lowercase a string (shared by the choice-knob parsers). */
 std::string asciiLower(std::string_view s);
+
+/**
+ * True when `word` appears in the space-separated `list` (shared by
+ * the registry alias matchers).
+ */
+bool nameListContains(std::string_view list, std::string_view word);
+
+/**
+ * Strict integer parse for CLI arguments: the whole string must be a
+ * base-10 integer (optional sign, no trailing junk) that fits int64.
+ * @return std::nullopt on empty/malformed/out-of-range input, so
+ *         callers can print a usage message instead of silently
+ *         running with atoi's 0.
+ */
+std::optional<int64_t> parseInt64(std::string_view text);
+
+/**
+ * Parse the benches' shared flag set: [--csv <path>]. On success
+ * returns true with csvPath filled (empty when the flag is absent);
+ * on any other argument prints a usage message to stderr and returns
+ * false.
+ */
+bool parseCsvFlag(int argc, char** argv, std::string& csvPath);
 
 } // namespace vlq
 

@@ -99,6 +99,63 @@ TEST(PatchCostTest, TransmonSavingsFactor)
     EXPECT_GT(d11, natural / compact); // converges upward to 2
 }
 
+TEST(PatchCostTest, RectangularPatches)
+{
+    // A dx x dz Compact patch keeps one cavity per data qubit and
+    // dedicates (dx-1)/2 + (dz-1)/2 boundary ancilla transmons.
+    PatchCost rect = patchCost(EmbeddingKind::CompactRect, 3, 7);
+    EXPECT_EQ(rect.transmons, 21 + 1 + 3);
+    EXPECT_EQ(rect.cavities, 21);
+    // Square rectangles price exactly like the square backends.
+    for (int d : {3, 5, 7}) {
+        PatchCost sq = patchCost(EmbeddingKind::Compact, d);
+        PatchCost viaRect = patchCost(EmbeddingKind::CompactRect, d, d);
+        EXPECT_EQ(sq.transmons, viaRect.transmons);
+        EXPECT_EQ(sq.cavities, viaRect.cavities);
+        PatchCost base2 = patchCost(EmbeddingKind::Baseline2D, d, d);
+        EXPECT_EQ(base2.transmons,
+                  patchCost(EmbeddingKind::Baseline2D, d).transmons);
+    }
+    // The narrow biased-noise patch is far cheaper than the square.
+    EXPECT_LT(patchCost(EmbeddingKind::CompactRect, 3, 7).transmons,
+              patchCost(EmbeddingKind::Compact, 7).transmons);
+}
+
+TEST(DeviceConfigTest, RectangularPatchOverrides)
+{
+    DeviceConfig cfg;
+    cfg.embedding = EmbeddingKind::CompactRect;
+    cfg.distance = 7;
+    cfg.patchDx = 3;
+    cfg.cavityDepth = 10;
+    EXPECT_EQ(cfg.effectiveDx(), 3);
+    EXPECT_EQ(cfg.effectiveDz(), 7);
+    EXPECT_EQ(cfg.totalTransmons(), 21 + 1 + 3);
+    EXPECT_EQ(cfg.totalCavities(), 21);
+    EXPECT_NE(cfg.str().find("patch=3x7"), std::string::npos);
+}
+
+TEST(DeviceConfigTest, ShapePolicyMatchesTheBackend)
+{
+    // With no overrides, device costing follows each backend's shape
+    // policy, so the priced patch is the patch the generator builds:
+    // compact-rect defaults to the narrow 3 x d rectangle, the paper
+    // embeddings to the square.
+    DeviceConfig rect;
+    rect.embedding = EmbeddingKind::CompactRect;
+    rect.distance = 7;
+    EXPECT_EQ(rect.effectiveDx(), 3);
+    EXPECT_EQ(rect.effectiveDz(), 7);
+    EXPECT_EQ(rect.totalTransmons(), 21 + 1 + 3);
+
+    DeviceConfig square;
+    square.embedding = EmbeddingKind::Compact;
+    square.distance = 7;
+    EXPECT_EQ(square.effectiveDx(), 7);
+    EXPECT_EQ(square.effectiveDz(), 7);
+    EXPECT_EQ(square.totalTransmons(), 49 + 6);
+}
+
 TEST(DeviceConfigTest, Totals)
 {
     DeviceConfig cfg;

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
 
 #include "core/embedding.h"
+#include "core/generator_registry.h"
 #include "surface/layout.h"
 
 namespace vlq {
@@ -173,6 +175,99 @@ TEST(CompactScheduleTest, DefaultOrdersContainEachCornerOnce)
     std::set<int> sz(sched.orderZ.begin(), sched.orderZ.end());
     EXPECT_EQ(sx.size(), 4u);
     EXPECT_EQ(sz.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Rectangular dx x dz patches
+// ---------------------------------------------------------------------------
+
+class RectMergeTest
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(RectMergeTest, UnmergedCountMatchesBoundaryFormula)
+{
+    auto [dx, dz] = GetParam();
+    SurfaceLayout layout(dx, dz);
+    CompactMerge merge = CompactMerge::build(layout);
+    EXPECT_EQ(merge.numUnmerged, (dx - 1) / 2 + (dz - 1) / 2);
+}
+
+TEST_P(RectMergeTest, MergeTargetsStayUniqueOnRectangles)
+{
+    auto [dx, dz] = GetParam();
+    SurfaceLayout layout(dx, dz);
+    CompactMerge merge = CompactMerge::build(layout);
+    std::set<int32_t> targets;
+    int merged = 0;
+    for (uint32_t c = 0; c < layout.plaquettes().size(); ++c) {
+        int32_t m = merge.mergedData[c];
+        if (m < 0) {
+            EXPECT_GE(merge.unmergedIndex[c], 0);
+            continue;
+        }
+        ++merged;
+        EXPECT_TRUE(targets.insert(m).second) << "data transmon reused";
+        const Plaquette& p = layout.plaquettes()[c];
+        int corner = (p.basis == CheckBasis::Z) ? NE : SW;
+        EXPECT_EQ(p.corner[static_cast<size_t>(corner)], m);
+    }
+    EXPECT_EQ(merged + merge.numUnmerged, layout.numChecks());
+}
+
+TEST_P(RectMergeTest, TransmonCountMatchesRectPatchCost)
+{
+    auto [dx, dz] = GetParam();
+    SurfaceLayout layout(dx, dz);
+    CompactMerge merge = CompactMerge::build(layout);
+    PatchCost cost = patchCost(EmbeddingKind::CompactRect, dx, dz);
+    EXPECT_EQ(layout.numData() + merge.numUnmerged, cost.transmons);
+    EXPECT_EQ(layout.numData(), cost.cavities);
+}
+
+TEST_P(RectMergeTest, SolverFindsValidRectSchedule)
+{
+    auto [dx, dz] = GetParam();
+    SurfaceLayout layout(dx, dz);
+    CompactSchedule sched = CompactSchedule::solve(layout);
+    CompactMerge merge = CompactMerge::build(layout);
+    EXPECT_TRUE(sched.conflictFree(layout, merge));
+    EXPECT_TRUE(sched.measuresStabilizers(layout));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RectMergeTest,
+    ::testing::Values(std::pair<int, int>{3, 5},
+                      std::pair<int, int>{5, 3},
+                      std::pair<int, int>{3, 7},
+                      std::pair<int, int>{5, 9}));
+
+TEST(RectLayoutTest, LogicalWeightsFollowPatchShape)
+{
+    SurfaceLayout layout(3, 7);
+    EXPECT_EQ(layout.width(), 3);
+    EXPECT_EQ(layout.height(), 7);
+    EXPECT_EQ(layout.distance(), 3);
+    EXPECT_EQ(layout.numData(), 21);
+    EXPECT_EQ(layout.numChecks(), 20);
+    // Logical Z runs along a row (weight dx), logical X down a column
+    // (weight dz).
+    EXPECT_EQ(layout.logicalZSupport().size(), 3u);
+    EXPECT_EQ(layout.logicalXSupport().size(), 7u);
+}
+
+TEST(RectLayoutTest, SquareConstructorMatchesRectangular)
+{
+    SurfaceLayout sq(5);
+    SurfaceLayout rect(5, 5);
+    ASSERT_EQ(sq.plaquettes().size(), rect.plaquettes().size());
+    for (size_t i = 0; i < sq.plaquettes().size(); ++i) {
+        EXPECT_EQ(sq.plaquettes()[i].basis, rect.plaquettes()[i].basis);
+        EXPECT_EQ(sq.plaquettes()[i].cx, rect.plaquettes()[i].cx);
+        EXPECT_EQ(sq.plaquettes()[i].cy, rect.plaquettes()[i].cy);
+        EXPECT_EQ(sq.plaquettes()[i].data, rect.plaquettes()[i].data);
+    }
 }
 
 TEST(CompactScheduleTest, BrokenScheduleDetected)

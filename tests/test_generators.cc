@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "core/generator_common.h"
+#include "core/generator_registry.h"
 #include "sim/frame.h"
 #include "sim/tableau.h"
 #include "util/rng.h"
@@ -259,6 +262,216 @@ TEST(Generators, CompactLazyLoadsBeatStoreBackPolicy)
     GeneratedCircuit comp = generateCompactMemory(cfg);
     int perDataPerRound = comp.loadStoreCount / (5 * 25);
     EXPECT_LE(perDataPerRound, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Generator registry
+// ---------------------------------------------------------------------------
+
+TEST(GeneratorRegistry, RoundTripsNameKindAndFactory)
+{
+    ASSERT_GE(generatorRegistry().size(), 4u);
+    for (const GeneratorBackend& entry : generatorRegistry()) {
+        EXPECT_EQ(parseEmbeddingKind(entry.name), entry.kind)
+            << entry.name;
+        EXPECT_STREQ(embeddingKindName(entry.kind), entry.name);
+        EXPECT_EQ(makeGenerator(entry.kind), entry.generate)
+            << entry.name;
+        EXPECT_EQ(makeGenerator(entry.name), entry.generate)
+            << entry.name;
+        EXPECT_EQ(generatorBackend(entry.kind).cost, entry.cost);
+        ASSERT_NE(entry.shape, nullptr) << entry.name;
+    }
+}
+
+TEST(GeneratorRegistry, ShapeHooksResolvePatchDimensions)
+{
+    auto square = generatorBackend(EmbeddingKind::Compact).shape;
+    EXPECT_EQ(square(7, 0, 0), (std::pair<int, int>{7, 7}));
+    EXPECT_EQ(square(7, 3, 0), (std::pair<int, int>{3, 7}));
+    auto rect = generatorBackend(EmbeddingKind::CompactRect).shape;
+    EXPECT_EQ(rect(7, 0, 0), (std::pair<int, int>{3, 7}));
+    EXPECT_EQ(rect(7, 5, 0), (std::pair<int, int>{5, 7}));
+    EXPECT_EQ(rect(7, 5, 9), (std::pair<int, int>{5, 9}));
+}
+
+TEST(GeneratorRegistry, ParsesAliasesCaseInsensitively)
+{
+    EXPECT_EQ(parseEmbeddingKind("Baseline"), EmbeddingKind::Baseline2D);
+    EXPECT_EQ(parseEmbeddingKind("baseline2d"), EmbeddingKind::Baseline2D);
+    EXPECT_EQ(parseEmbeddingKind("2d"), EmbeddingKind::Baseline2D);
+    EXPECT_EQ(parseEmbeddingKind("NATURAL"), EmbeddingKind::Natural);
+    EXPECT_EQ(parseEmbeddingKind("compact"), EmbeddingKind::Compact);
+    EXPECT_EQ(parseEmbeddingKind("Compact-Rect"),
+              EmbeddingKind::CompactRect);
+    EXPECT_EQ(parseEmbeddingKind("rect"), EmbeddingKind::CompactRect);
+    EXPECT_FALSE(parseEmbeddingKind("compct").has_value());
+    EXPECT_FALSE(parseEmbeddingKind("").has_value());
+    EXPECT_EQ(makeGenerator("compct"), nullptr);
+}
+
+TEST(GeneratorRegistry, EveryBackendGeneratesAViableCircuit)
+{
+    for (const GeneratorBackend& entry : generatorRegistry()) {
+        GeneratorConfig cfg = noisyConfig(
+            3, CheckBasis::Z, ExtractionSchedule::AllAtOnce, 2e-3);
+        GeneratedCircuit gen = entry.generate(cfg);
+        EXPECT_GT(gen.circuit.numMeasurements(), 0u) << entry.name;
+        EXPECT_EQ(gen.circuit.observables().size(), 1u) << entry.name;
+        EXPECT_GT(gen.circuit.detectors().size(), 0u) << entry.name;
+    }
+}
+
+TEST(GeneratorRegistry, DispatchMatchesDirectCalls)
+{
+    GeneratorConfig cfg = noisyConfig(
+        3, CheckBasis::Z, ExtractionSchedule::Interleaved, 2e-3);
+    GeneratedCircuit viaRegistry =
+        generateMemoryCircuit(EmbeddingKind::Compact, cfg);
+    GeneratedCircuit direct = generateCompactMemory(cfg);
+    EXPECT_EQ(viaRegistry.circuit.numMeasurements(),
+              direct.circuit.numMeasurements());
+    EXPECT_EQ(viaRegistry.loadStoreCount, direct.loadStoreCount);
+    EXPECT_DOUBLE_EQ(viaRegistry.totalDurationNs,
+                     direct.totalDurationNs);
+}
+
+TEST(GeneratorRegistry, EnvKnobSelectsBackendOrDiesOnTypos)
+{
+    ::setenv("VLQ_EMBEDDING_TESTVAR", "Compact-Rect", 1);
+    EXPECT_EQ(embeddingKindFromEnv(EmbeddingKind::Baseline2D,
+                                   "VLQ_EMBEDDING_TESTVAR"),
+              EmbeddingKind::CompactRect);
+    ::unsetenv("VLQ_EMBEDDING_TESTVAR");
+    EXPECT_EQ(embeddingKindFromEnv(EmbeddingKind::Natural,
+                                   "VLQ_EMBEDDING_TESTVAR"),
+              EmbeddingKind::Natural);
+    // A typo'd value must be a hard error listing the valid keys,
+    // never a silent fallback to some default backend.
+    ::setenv("VLQ_EMBEDDING_TESTVAR", "compct", 1);
+    EXPECT_EXIT(embeddingKindFromEnv(EmbeddingKind::Compact,
+                                     "VLQ_EMBEDDING_TESTVAR"),
+                ::testing::ExitedWithCode(1),
+                "not a registered embedding backend \\(valid: "
+                "baseline, natural, compact, compact-rect\\)");
+    ::unsetenv("VLQ_EMBEDDING_TESTVAR");
+}
+
+// ---------------------------------------------------------------------------
+// Config validation
+// ---------------------------------------------------------------------------
+
+TEST(GeneratorValidation, AcceptsTheDefaultAndRectConfigs)
+{
+    GeneratorConfig cfg;
+    EXPECT_EQ(cfg.validate(), "");
+    cfg.distanceX = 3;
+    cfg.distanceZ = 7;
+    EXPECT_EQ(cfg.validate(), "");
+    EXPECT_EQ(cfg.effectiveDx(), 3);
+    EXPECT_EQ(cfg.effectiveDz(), 7);
+}
+
+TEST(GeneratorValidation, RejectsBadDistancesRoundsAndCavityDepth)
+{
+    GeneratorConfig cfg;
+    cfg.distance = 4;
+    EXPECT_NE(cfg.validate().find("odd"), std::string::npos);
+    cfg.distance = 1;
+    EXPECT_NE(cfg.validate().find(">= 3"), std::string::npos);
+    cfg.distance = -3;
+    EXPECT_NE(cfg.validate().find(">= 3"), std::string::npos);
+
+    cfg = GeneratorConfig{};
+    cfg.distanceX = 4;
+    EXPECT_NE(cfg.validate().find("distanceX"), std::string::npos);
+    cfg.distanceX = 0;
+    cfg.distanceZ = 2;
+    EXPECT_NE(cfg.validate().find("distanceZ"), std::string::npos);
+
+    cfg = GeneratorConfig{};
+    cfg.rounds = -1;
+    EXPECT_NE(cfg.validate().find("rounds"), std::string::npos);
+
+    cfg = GeneratorConfig{};
+    cfg.cavityDepth = 0;
+    EXPECT_NE(cfg.validate().find("cavityDepth"), std::string::npos);
+}
+
+TEST(GeneratorValidation, EveryBackendDiesFastOnInvalidConfig)
+{
+    for (const GeneratorBackend& entry : generatorRegistry()) {
+        GeneratorConfig cfg = noiselessConfig(3, CheckBasis::Z);
+        cfg.distance = 4;
+        EXPECT_EXIT(entry.generate(cfg), ::testing::ExitedWithCode(1),
+                    "invalid GeneratorConfig.*odd")
+            << entry.name;
+    }
+    GeneratorConfig cfg = noiselessConfig(3, CheckBasis::Z);
+    cfg.cavityDepth = 0;
+    EXPECT_EXIT(generateCompactMemory(cfg),
+                ::testing::ExitedWithCode(1), "cavityDepth");
+}
+
+// ---------------------------------------------------------------------------
+// Rectangular patches through the generators
+// ---------------------------------------------------------------------------
+
+class RectGeneratorQuiescence
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(RectGeneratorQuiescence, NoiselessRectDetectorsAreQuiet)
+{
+    auto [kindInt, dxInt, basisInt] = GetParam();
+    // Shapes: (3,5) and (5,3) exercise both aspect orientations.
+    GeneratorConfig cfg = noiselessConfig(
+        3, static_cast<CheckBasis>(basisInt),
+        ExtractionSchedule::Interleaved);
+    cfg.distanceX = dxInt;
+    cfg.distanceZ = dxInt == 3 ? 5 : 3;
+    const GeneratorBackend& backend =
+        generatorBackend(static_cast<EmbeddingKind>(kindInt));
+    GeneratedCircuit gen = backend.generate(cfg);
+    expectNoiselessDetectorsQuiet(gen.circuit, 11);
+    expectNoiselessDetectorsQuiet(gen.circuit, 22);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, RectGeneratorQuiescence,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3), // embedding
+                       ::testing::Values(3, 5),       // dx (dz = other)
+                       ::testing::Values(0, 1)));     // basis
+
+TEST(RectGenerators, CompactRectDefaultsToNarrowPatch)
+{
+    // Without explicit distanceX/distanceZ the biased-noise backend
+    // keeps dz = distance rows but narrows to dx = 3 columns.
+    GeneratorConfig cfg = noiselessConfig(5, CheckBasis::Z);
+    GeneratedCircuit gen = generateCompactRectMemory(cfg);
+    // 5 rounds x (3*5 - 1) checks + 15 final data readouts.
+    EXPECT_EQ(gen.circuit.numMeasurements(), 5u * 14u + 15u);
+
+    // Explicit square dimensions override the narrow default.
+    cfg.distanceX = 5;
+    cfg.distanceZ = 5;
+    GeneratedCircuit sq = generateCompactRectMemory(cfg);
+    EXPECT_EQ(sq.circuit.numMeasurements(), 5u * 24u + 25u);
+}
+
+TEST(RectGenerators, RectangularFrameSampleIsQuiet)
+{
+    GeneratorConfig cfg = noiselessConfig(3, CheckBasis::Z);
+    cfg.distanceX = 3;
+    cfg.distanceZ = 7;
+    GeneratedCircuit gen = generateCompactRectMemory(cfg);
+    FrameSimulator sim(gen.circuit);
+    Rng rng(7);
+    BitVec flips = sim.sampleMeasurementFlips(rng);
+    BitVec det = FrameSimulator::detectorFlips(gen.circuit, flips);
+    EXPECT_TRUE(det.none());
+    EXPECT_EQ(FrameSimulator::observableFlips(gen.circuit, flips), 0u);
 }
 
 TEST(Generators, SampledNoiselessRunIsQuiet)

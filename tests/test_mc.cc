@@ -94,6 +94,51 @@ TEST(MonteCarlo, CombinedRateFormula)
     EXPECT_NEAR(pt.combinedRate(), 1.0 - 0.9 * 0.8, 1e-12);
 }
 
+TEST(MonteCarlo, RectangularCompactSmoke)
+{
+    // d=3 rectangular Monte-Carlo end to end through the registry
+    // backend: a 3 x 5 compact-rect patch at a moderate rate must run
+    // all trials and land at a sane logical error rate.
+    GeneratorConfig cfg = mcConfig(3, 5e-3);
+    cfg.distanceX = 3;
+    cfg.distanceZ = 5;
+    cfg.cavityDepth = 4;
+    McOptions opt;
+    opt.trials = 300;
+    LogicalErrorPoint pt =
+        estimateLogicalError(EmbeddingKind::CompactRect, cfg, opt);
+    EXPECT_EQ(pt.basisZ.trials, 300u);
+    EXPECT_EQ(pt.basisX.trials, 300u);
+    EXPECT_LT(pt.combinedRate(), 0.5);
+
+    // And with zero noise the rectangle is exactly quiet.
+    GeneratorConfig quiet = mcConfig(3, 0.0);
+    quiet.noise.idleScale = 0.0;
+    quiet.distanceX = 3;
+    quiet.distanceZ = 5;
+    McOptions few;
+    few.trials = 50;
+    LogicalErrorPoint zero =
+        estimateLogicalError(EmbeddingKind::CompactRect, quiet, few);
+    EXPECT_EQ(zero.combinedRate(), 0.0);
+}
+
+TEST(MonteCarlo, RectangularProtectsTheTallBasis)
+{
+    // On a 3 x 7 patch the memory-Z experiment (distance 7 = rows)
+    // must fail far less often than memory-X (distance 3 = columns).
+    GeneratorConfig cfg = mcConfig(3, 8e-3);
+    cfg.distanceX = 3;
+    cfg.distanceZ = 7;
+    cfg.cavityDepth = 4;
+    McOptions opt;
+    opt.trials = 1200;
+    LogicalErrorPoint pt =
+        estimateLogicalError(EmbeddingKind::CompactRect, cfg, opt);
+    EXPECT_LT(pt.basisZ.rate(), pt.basisX.rate());
+    EXPECT_GT(pt.basisX.successes, 0u);
+}
+
 TEST(Setups, PaperListAndNames)
 {
     auto setups = paperSetups();

@@ -508,10 +508,14 @@ TEST(DecoderFactoryTest, EnvKnobSelectsBackend)
     EXPECT_EQ(decoderKindFromEnv(DecoderKind::Mwpm,
                                  "VLQ_DECODER_TESTVAR"),
               DecoderKind::Greedy);
+    // A typo'd value must be a hard error listing the valid keys,
+    // never a silent fallback to some default backend.
     ::setenv("VLQ_DECODER_TESTVAR", "nonsense", 1);
-    EXPECT_EQ(decoderKindFromEnv(DecoderKind::UnionFind,
-                                 "VLQ_DECODER_TESTVAR"),
-              DecoderKind::UnionFind);
+    EXPECT_EXIT(decoderKindFromEnv(DecoderKind::UnionFind,
+                                   "VLQ_DECODER_TESTVAR"),
+                ::testing::ExitedWithCode(1),
+                "not a registered decoder \\(valid: mwpm, greedy, "
+                "union-find\\)");
     ::unsetenv("VLQ_DECODER_TESTVAR");
     EXPECT_EQ(decoderKindFromEnv(DecoderKind::Greedy,
                                  "VLQ_DECODER_TESTVAR"),

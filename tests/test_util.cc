@@ -234,6 +234,26 @@ TEST(Env, ParsesValues)
     unsetenv("VLQ_TEST_SET");
 }
 
+TEST(Env, ParseInt64RejectsJunk)
+{
+    EXPECT_EQ(parseInt64("42"), 42);
+    EXPECT_EQ(parseInt64("-7"), -7);
+    EXPECT_EQ(parseInt64("+3"), 3);
+    EXPECT_FALSE(parseInt64("").has_value());
+    EXPECT_FALSE(parseInt64("abc").has_value());
+    EXPECT_FALSE(parseInt64("12abc").has_value());
+    EXPECT_FALSE(parseInt64("1.5").has_value());
+    EXPECT_FALSE(parseInt64("99999999999999999999").has_value());
+}
+
+TEST(Env, NameListContains)
+{
+    EXPECT_TRUE(nameListContains("uf unionfind", "uf"));
+    EXPECT_TRUE(nameListContains("uf unionfind", "unionfind"));
+    EXPECT_FALSE(nameListContains("uf unionfind", "union"));
+    EXPECT_FALSE(nameListContains("", "uf"));
+}
+
 TEST(ThreadPool, CoversRangeOnce)
 {
     ThreadPool pool(4);
