@@ -53,8 +53,10 @@ sweepTable(EmbeddingKind embedding, const std::vector<int>& ks,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    if (!requireNoArgs(argc, argv))
+        return 1;
     const bool full = envInt("VLQ_FULL", 0) != 0;
     McOptions mc;
     mc.trials = envU64("VLQ_TRIALS", 300);

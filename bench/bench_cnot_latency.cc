@@ -8,13 +8,16 @@
 #include <iostream>
 
 #include "core/logical_machine.h"
+#include "util/env.h"
 #include "util/table.h"
 
 using namespace vlq;
 
 int
-main()
+main(int argc, char** argv)
 {
+    if (!requireNoArgs(argc, argv))
+        return 1;
     std::cout << "=== Logical CNOT latency (timesteps of d EC cycles"
                  " each) ===\n\n";
 

@@ -16,8 +16,10 @@
 using namespace vlq;
 
 int
-main()
+main(int argc, char** argv)
 {
+    if (!requireNoArgs(argc, argv))
+        return 1;
     int d = static_cast<int>(envInt("VLQ_DISTANCE", 5));
     double p = envDouble("VLQ_P", 2e-3);
 

@@ -21,11 +21,23 @@
  *   VLQ_BATCH   shots per Monte-Carlo batch        [default 256]
  *   VLQ_TARGET_FAILURES  early-stop each point after this many
  *                        failures (0 = run every trial)
+ *   VLQ_CHECKPOINT       checkpoint/resume state-file base path (the
+ *                        --checkpoint flag overrides); one file per
+ *                        setup is written as <base>.setup<i>, and a
+ *                        preempted run resumed with the same knobs
+ *                        reproduces the uninterrupted counts
+ *                        bit-identically
+ *   VLQ_CHECKPOINT_EVERY committed trials between checkpoint saves
+ *                        within a point [default 65536]
  * Flags:
  *   --csv <path>  emit all curves as machine-readable CSV
  *                 (record,setup,distance,p,value rows; the CI
  *                 bench-regression job diffs the rate records against
  *                 bench/reference/fig11_thresholds.csv)
+ *   --checkpoint <base>  see VLQ_CHECKPOINT
+ *
+ * Unknown arguments are rejected with a usage message -- a typo'd
+ * flag must fail fast, not silently run the full bench with defaults.
  */
 #include <iostream>
 #include <string>
@@ -42,7 +54,10 @@ int
 main(int argc, char** argv)
 {
     std::string csvPath;
-    if (!parseCsvFlag(argc, argv, csvPath))
+    std::string checkpointBase = envString("VLQ_CHECKPOINT", "");
+    if (!parseFlagArgs(argc, argv,
+                       {{"--csv", &csvPath},
+                        {"--checkpoint", &checkpointBase}}))
         return 1;
 
     const bool full = envInt("VLQ_FULL", 0) != 0;
@@ -61,6 +76,7 @@ main(int argc, char** argv)
     cfg.mc.batchSize =
         static_cast<uint32_t>(envU64("VLQ_BATCH", 256));
     cfg.mc.targetFailures = envU64("VLQ_TARGET_FAILURES", 0);
+    cfg.mc.checkpointEveryTrials = envU64("VLQ_CHECKPOINT_EVERY", 0);
 
     std::cout << "=== Figure 11: error thresholds (trials/point = "
               << cfg.mc.trials << ", coherence "
@@ -79,6 +95,11 @@ main(int argc, char** argv)
     int setupIdx = 0;
     for (const EvaluationSetup& setup : paperSetups()) {
         std::cout << "\n--- " << setup.name() << " ---\n";
+        // One state file per setup: the scan fingerprint includes the
+        // setup identity, so setups cannot share a file.
+        if (!checkpointBase.empty())
+            cfg.mc.checkpointPath = checkpointBase + ".setup"
+                + std::to_string(setupIdx);
         ThresholdResult result = scanThreshold(setup, cfg);
 
         std::vector<std::string> headers{"p"};

@@ -9,12 +9,19 @@
  *
  * Environment knobs: VLQ_TRIALS (default 300), VLQ_FULL=1 (distances
  * {3,5,7,9,11} + more sweep points), VLQ_SEED, VLQ_CSV=<dir> (dump
- * each panel as CSV for plotting).
+ * each panel as CSV for plotting), VLQ_CHECKPOINT=<base> (checkpoint/
+ * resume: one state file per panel as <base>.panel<i>; a preempted run
+ * resumed with the same knobs reproduces the uninterrupted counts
+ * bit-identically), VLQ_CHECKPOINT_EVERY (committed trials between
+ * saves, default 65536).
  * Flags:
  *   --csv <path>  emit every panel as one machine-readable CSV
  *                 (record,panel,distance,x,value rows; the CI
  *                 bench-regression job diffs the rate records against
  *                 bench/reference/fig12_sensitivity.csv)
+ *   --checkpoint <base>  see VLQ_CHECKPOINT
+ *
+ * Unknown arguments are rejected with a usage message.
  */
 #include <iostream>
 #include <string>
@@ -30,7 +37,10 @@ int
 main(int argc, char** argv)
 {
     std::string csvPath;
-    if (!parseCsvFlag(argc, argv, csvPath))
+    std::string checkpointBase = envString("VLQ_CHECKPOINT", "");
+    if (!parseFlagArgs(argc, argv,
+                       {{"--csv", &csvPath},
+                        {"--checkpoint", &checkpointBase}}))
         return 1;
 
     const bool full = envInt("VLQ_FULL", 0) != 0;
@@ -39,6 +49,7 @@ main(int argc, char** argv)
     McOptions mc;
     mc.trials = envU64("VLQ_TRIALS", 300);
     mc.seed = envU64("VLQ_SEED", 0x5eed);
+    mc.checkpointEveryTrials = envU64("VLQ_CHECKPOINT_EVERY", 0);
     const int points = full ? 7 : 4;
     std::string csvDir = envString("VLQ_CSV", "");
 
@@ -58,6 +69,11 @@ main(int argc, char** argv)
 
     int panelIdx = 0;
     for (const SensitivitySpec& spec : figure12Panels(points)) {
+        // One state file per panel (the panel identity is part of the
+        // checkpoint fingerprint, so panels cannot share a file).
+        if (!checkpointBase.empty())
+            mc.checkpointPath = checkpointBase + ".panel"
+                + std::to_string(panelIdx);
         SensitivityResult result = runSensitivity(
             EmbeddingKind::Compact, base, spec, distances, mc);
 

@@ -5,17 +5,33 @@
  * timestep, for Fast lattice, Small lattice, and the VQubits protocol.
  * Also re-derives the VQubits step count by scheduling the 15-to-1
  * program (16 inits, 35 CNOTs, 15 measurements) on the logical machine.
+ *
+ * Flags:
+ *   --csv <path>  emit the figure as machine-readable CSV
+ *                 (record,name,value rows; the cost model is
+ *                 deterministic, so the CI bench-regression job diffs
+ *                 them exactly against
+ *                 bench/reference/fig13_distillation.csv)
+ *
+ * Unknown arguments are rejected with a usage message.
  */
 #include <iostream>
+#include <string>
 
 #include "msd/factory.h"
+#include "util/csv.h"
+#include "util/env.h"
 #include "util/table.h"
 
 using namespace vlq;
 
 int
-main()
+main(int argc, char** argv)
 {
+    std::string csvPath;
+    if (!parseCsvFlag(argc, argv, csvPath))
+        return 1;
+
     std::cout << "=== Figure 13a: T-state production rate with 100"
                  " patches ===\n\n";
     const double patches = 100.0;
@@ -66,6 +82,29 @@ main()
     s.addRow({"max EC staleness (steps)",
               std::to_string(sched.maxStaleness), "-"});
     s.print(std::cout);
+
+    if (!csvPath.empty()) {
+        CsvWriter csv({"record", "name", "value"});
+        for (const auto& row : rows) {
+            csv.addRow({"rate", row.name, std::to_string(row.rate)});
+            csv.addRow({"patches", row.name,
+                        std::to_string(row.patchesForUnitRate)});
+        }
+        csv.addRow({"speedup", "vs_small", std::to_string(vsSmall)});
+        csv.addRow({"speedup", "vs_fast", std::to_string(vsFast)});
+        csv.addRow({"schedule", "timesteps",
+                    std::to_string(sched.timesteps)});
+        csv.addRow({"schedule", "transversal_cnots",
+                    std::to_string(sched.transversalCnots)});
+        csv.addRow({"schedule", "peak_qubits",
+                    std::to_string(sched.peakQubits)});
+        csv.addRow({"schedule", "max_staleness",
+                    std::to_string(sched.maxStaleness)});
+        if (!csv.writeFile(csvPath)) {
+            std::cerr << "failed to write " << csvPath << "\n";
+            return 1;
+        }
+    }
     std::cout << "\nNote: our list scheduler packs every logical op into"
                  " one timestep, giving the 66-step lower bound; the\n"
                  "paper's 110 includes conservative per-op overheads."

@@ -7,13 +7,16 @@
 
 #include "noise/hardware_params.h"
 #include "noise/noise_model.h"
+#include "util/env.h"
 #include "util/table.h"
 
 using namespace vlq;
 
 int
-main()
+main(int argc, char** argv)
 {
+    if (!requireNoArgs(argc, argv))
+        return 1;
     std::cout << "=== Table I: hardware model parameters ===\n\n";
 
     HardwareParams base = HardwareParams::baselineTransmons();

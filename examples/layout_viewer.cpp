@@ -8,8 +8,9 @@
  * Usage: layout_viewer [distance]       (square patch)
  *        layout_viewer [dx] [dz]        (rectangular dx x dz patch)
  *
- * Arguments are validated: non-numeric, even, or < 3 input prints the
- * usage instead of silently rendering a wrong layout.
+ * Arguments are validated: non-numeric, even, or < 3 input -- and any
+ * extra argument -- prints the usage instead of silently rendering a
+ * wrong layout.
  */
 #include <iostream>
 
@@ -51,6 +52,10 @@ main(int argc, char** argv)
 {
     int dx = 5;
     int dz = 5;
+    if (argc > 3) {
+        return usage(argv[0], "unexpected extra argument '"
+                     + std::string(argv[3]) + "'");
+    }
     if (argc > 1) {
         dx = parseDimension(argv[0], argv[1], "distance");
         if (dx < 0)

@@ -8,13 +8,16 @@
 #include <iostream>
 
 #include "msd/factory.h"
+#include "util/env.h"
 #include "util/table.h"
 
 using namespace vlq;
 
 int
-main()
+main(int argc, char** argv)
 {
+    if (!requireNoArgs(argc, argv))
+        return 1;
     DeviceConfig device;
     device.embedding = EmbeddingKind::Compact;
     device.distance = 5;

@@ -13,12 +13,15 @@
 
 #include "arch/device.h"
 #include "mc/monte_carlo.h"
+#include "util/env.h"
 
 using namespace vlq;
 
 int
-main()
+main(int argc, char** argv)
 {
+    if (!requireNoArgs(argc, argv))
+        return 1;
     // 1. Describe the hardware (Table I) and the operating point.
     HardwareParams hw = HardwareParams::transmonsWithMemory();
     double physicalErrorRate = 2e-3;

@@ -5,6 +5,7 @@
  * the paper's Fig. 11.
  *
  * Usage: threshold_scan [setup 0..4] [trials] [decoder] [target]
+ *                       [--checkpoint <path>]
  *   0 Baseline, 1 Natural-AAO, 2 Natural-Interleaved,
  *   3 Compact-AAO, 4 Compact-Interleaved
  *   decoder: mwpm (default), union-find/uf, greedy; the VLQ_DECODER
@@ -15,8 +16,24 @@
  *   generator backend (baseline, natural, compact, compact-rect), so
  *   new backends can be scanned without a new setup index.
  *
- * All numeric arguments are validated: non-numeric or out-of-range
- * input prints this usage instead of silently running a wrong setup.
+ * VLQ_SEED sets the RNG seed (default 0x5eed): split-seed cluster
+ * shards run the same scan under different seeds and their checkpoint
+ * files merge with tools/merge_checkpoints.py.
+ *
+ * Checkpoint/resume: --checkpoint (or VLQ_CHECKPOINT) names a state
+ * file; the scan periodically persists the committed trial frontier of
+ * every (d, p, basis) point (every VLQ_CHECKPOINT_EVERY committed
+ * trials, default 65536) and, when restarted after a kill, skips
+ * finished points and resumes the interrupted one from its first
+ * uncommitted trial. The resumed scan's failure counts are
+ * bit-identical to an uninterrupted run's -- including under early
+ * stop -- because every trial samples its own RNG stream and batches
+ * commit in trial order. A checkpoint recorded under different scan
+ * knobs is rejected (config fingerprint mismatch).
+ *
+ * All arguments are validated: non-numeric or out-of-range input --
+ * and any unknown or extra argument -- prints this usage instead of
+ * silently running a wrong scan.
  *
  * Points stream as they finish, with running failure counts for the
  * point being sampled -- the batched engine commits batches in trial
@@ -24,6 +41,7 @@
  * any thread count or batch size.
  */
 #include <iostream>
+#include <vector>
 
 #include "core/generator_registry.h"
 #include "decoder/decoder_factory.h"
@@ -40,7 +58,8 @@ usage(const char* argv0, const std::string& problem)
 {
     std::cerr << "error: " << problem << "\n"
               << "usage: " << argv0
-              << " [setup 0..4] [trials >= 1] [decoder] [target >= 0]\n"
+              << " [setup 0..4] [trials >= 1] [decoder] [target >= 0]"
+                 " [--checkpoint <path>]\n"
               << "  decoders: " << decoderKindList() << "\n"
               << "  VLQ_EMBEDDING overrides the embedding ("
               << embeddingKindList() << ")\n";
@@ -54,14 +73,36 @@ main(int argc, char** argv)
 {
     auto setups = paperSetups();
 
+    // Split argv into the positional arguments and the flag set; any
+    // unknown flag or surplus positional is an error, never silently
+    // ignored.
+    std::string checkpointPath = envString("VLQ_CHECKPOINT", "");
+    std::vector<const char*> positional;
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg(argv[i]);
+        if (arg == "--checkpoint") {
+            if (i + 1 >= argc)
+                return usage(argv[0], "--checkpoint needs a value");
+            checkpointPath = argv[++i];
+        } else if (arg.size() >= 2 && arg.substr(0, 2) == "--") {
+            return usage(argv[0], "unknown flag '" + std::string(arg)
+                         + "'");
+        } else if (positional.size() >= 4) {
+            return usage(argv[0], "unexpected extra argument '"
+                         + std::string(arg) + "'");
+        } else {
+            positional.push_back(argv[i]);
+        }
+    }
+
     int setupIdx = 4;
-    if (argc > 1) {
-        auto parsed = parseInt64(argv[1]);
+    if (positional.size() > 0) {
+        auto parsed = parseInt64(positional[0]);
         if (!parsed || *parsed < 0
             || *parsed >= static_cast<int64_t>(setups.size())) {
             return usage(argv[0], "setup must be an integer in 0.."
                          + std::to_string(setups.size() - 1) + ", got '"
-                         + argv[1] + "'");
+                         + positional[0] + "'");
         }
         setupIdx = static_cast<int>(*parsed);
     }
@@ -69,11 +110,11 @@ main(int argc, char** argv)
     setup.embedding = embeddingKindFromEnv(setup.embedding);
 
     uint64_t trials = 1500;
-    if (argc > 2) {
-        auto parsed = parseInt64(argv[2]);
+    if (positional.size() > 1) {
+        auto parsed = parseInt64(positional[1]);
         if (!parsed || *parsed < 1) {
             return usage(argv[0], "trials must be a positive integer, "
-                         "got '" + std::string(argv[2]) + "'");
+                         "got '" + std::string(positional[1]) + "'");
         }
         trials = static_cast<uint64_t>(*parsed);
     }
@@ -82,22 +123,26 @@ main(int argc, char** argv)
     cfg.distances = {3, 5, 7};
     cfg.physicalPs = logspace(3e-3, 2e-2, 6);
     cfg.mc.trials = trials;
+    cfg.mc.seed = envU64("VLQ_SEED", cfg.mc.seed);
     cfg.mc.decoder = decoderKindFromEnv(DecoderKind::Mwpm);
     cfg.mc.batchSize = static_cast<uint32_t>(envU64("VLQ_BATCH", 256));
     cfg.mc.targetFailures = envU64("VLQ_TARGET_FAILURES", 0);
-    if (argc > 3) {
-        auto kind = parseDecoderKind(argv[3]);
+    cfg.mc.checkpointPath = checkpointPath;
+    cfg.mc.checkpointEveryTrials = envU64("VLQ_CHECKPOINT_EVERY", 0);
+    if (positional.size() > 2) {
+        auto kind = parseDecoderKind(positional[2]);
         if (!kind) {
             return usage(argv[0], "unknown decoder '"
-                         + std::string(argv[3]) + "'");
+                         + std::string(positional[2]) + "'");
         }
         cfg.mc.decoder = *kind;
     }
-    if (argc > 4) {
-        auto parsed = parseInt64(argv[4]);
+    if (positional.size() > 3) {
+        auto parsed = parseInt64(positional[3]);
         if (!parsed || *parsed < 0) {
             return usage(argv[0], "target must be a non-negative "
-                         "integer, got '" + std::string(argv[4]) + "'");
+                         "integer, got '" + std::string(positional[3])
+                         + "'");
         }
         cfg.mc.targetFailures = static_cast<uint64_t>(*parsed);
     }
@@ -127,6 +172,8 @@ main(int argc, char** argv)
     if (cfg.mc.targetFailures > 0)
         std::cout << ", early-stop at " << cfg.mc.targetFailures
                   << " failures";
+    if (!cfg.mc.checkpointPath.empty())
+        std::cout << ", checkpointing to " << cfg.mc.checkpointPath;
     std::cout << ")...\n\n";
     ThresholdResult result = scanThreshold(setup, cfg);
 

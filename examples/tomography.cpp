@@ -11,14 +11,17 @@
 
 #include "circuit/circuit.h"
 #include "sim/tableau.h"
+#include "util/env.h"
 #include "sim/tomography.h"
 #include "surface/layout.h"
 
 using namespace vlq;
 
 int
-main()
+main(int argc, char** argv)
 {
+    if (!requireNoArgs(argc, argv))
+        return 1;
     std::cout << "=== Physical building block: mode-transmon-mode CNOT"
                  " ===\n";
     // Wires: 0 = control mode, 1 = target mode, 2 = shared transmon.

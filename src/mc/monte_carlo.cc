@@ -12,6 +12,8 @@
 #include "dem/detector_model.h"
 #include "dem/sampler.h"
 #include "dem/shot_batch.h"
+#include "mc/checkpoint.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/threadpool.h"
 
@@ -34,15 +36,24 @@ namespace {
  * early-stop point deterministic: the run always stops right after
  * the targetFailures-th failing *trial*, a property of the sampled
  * outcomes alone, never of thread scheduling or batch size.
+ *
+ * A run resumed from a checkpoint starts with the checkpoint's
+ * committed frontier (resumeTrials/resumeFailures): batch 0 then
+ * covers trials [resumeTrials, resumeTrials + batchSize), and all
+ * counts stay global to the full budget, so the committed stream is
+ * the exact suffix of the uninterrupted run's stream.
  */
 class BatchSequencer
 {
   public:
     BatchSequencer(uint64_t trials, uint32_t batchSize,
-                   const McOptions& options)
+                   const McOptions& options, uint64_t resumeTrials,
+                   uint64_t resumeFailures,
+                   std::function<void(uint64_t, uint64_t)> commitHook)
         : trials_(trials), batchSize_(batchSize),
-          target_(options.targetFailures),
-          progress_(options.progress)
+          resumeTrials_(resumeTrials), target_(options.targetFailures),
+          progress_(options.progress), commitHook_(std::move(commitHook)),
+          failures_(resumeFailures), trialsDone_(resumeTrials)
     {
     }
 
@@ -68,8 +79,10 @@ class BatchSequencer
             std::vector<uint64_t> fails = std::move(it->second);
             pending_.erase(it);
             uint64_t batchEnd =
-                std::min(trials_, (nextToCommit_ + 1)
-                                      * static_cast<uint64_t>(batchSize_));
+                std::min(trials_, resumeTrials_
+                                      + (nextToCommit_ + 1)
+                                            * static_cast<uint64_t>(
+                                                batchSize_));
             if (target_ > 0) {
                 for (uint64_t t : fails) {
                     ++failures_;
@@ -89,6 +102,8 @@ class BatchSequencer
             ++nextToCommit_;
             if (progress_)
                 progress_(McProgress{trialsDone_, failures_, trials_});
+            if (commitHook_ && !done_)
+                commitHook_(trialsDone_, failures_);
         }
         if (done_)
             pending_.clear();
@@ -105,8 +120,10 @@ class BatchSequencer
   private:
     const uint64_t trials_;
     const uint32_t batchSize_;
+    const uint64_t resumeTrials_;
     const uint64_t target_;
     const std::function<void(const McProgress&)>& progress_;
+    const std::function<void(uint64_t, uint64_t)> commitHook_;
 
     std::mutex mutex_;
     std::map<uint64_t, std::vector<uint64_t>> pending_;
@@ -124,6 +141,48 @@ estimateLogicalErrorBasis(EmbeddingKind embedding,
                           const GeneratorConfig& config,
                           const McOptions& options)
 {
+    const uint64_t trials = options.trials;
+    if (trials == 0)
+        return BinomialEstimate{};
+
+    // Checkpoint/resume: bind the state file (validating its config
+    // fingerprint), and look up this point's committed frontier. Done
+    // points return their stored counts without even generating the
+    // circuit, so a resumed grid scan skips completed points entirely.
+    McCheckpoint checkpoint;
+    uint64_t pointKey = 0;
+    uint64_t resumeTrials = 0;
+    uint64_t resumeFailures = 0;
+    if (!options.checkpointPath.empty()) {
+        pointKey = checkpointPointKey(embedding, config);
+        std::string err = checkpoint.open(
+            options.checkpointPath,
+            options.checkpointFingerprint.empty()
+                ? mcRunFingerprintSummary(options)
+                : options.checkpointFingerprint);
+        if (!err.empty())
+            VLQ_FATAL(err.c_str());
+        if (const CheckpointEntry* entry = checkpoint.find(pointKey)) {
+            BinomialEstimate est;
+            est.successes = entry->failures;
+            est.trials = entry->trialsDone;
+            if (entry->done)
+                return est;
+            resumeTrials = entry->trialsDone;
+            resumeFailures = entry->failures;
+            if (resumeTrials >= trials) {
+                // The frontier already covers the budget (killed
+                // between the last commit and the done flag).
+                checkpoint.update(pointKey, {resumeTrials, resumeFailures,
+                                             true});
+                std::string saveErr = checkpoint.save();
+                if (!saveErr.empty())
+                    VLQ_FATAL(saveErr.c_str());
+                return est;
+            }
+        }
+    }
+
     GeneratedCircuit gen = generateMemoryCircuit(embedding, config);
     DetectorErrorModel dem = DetectorErrorModel::build(gen.circuit);
     FaultSampler sampler(dem);
@@ -135,13 +194,32 @@ estimateLogicalErrorBasis(EmbeddingKind embedding,
         ^ (config.memoryBasis == CheckBasis::X ? 0xbadc0ffee0ddf00dULL : 0);
     const Rng root(baseSeed);
 
-    const uint64_t trials = options.trials;
-    if (trials == 0)
-        return BinomialEstimate{};
     const uint32_t batchSize = std::max<uint32_t>(1, options.batchSize);
-    const uint64_t numBatches = (trials + batchSize - 1) / batchSize;
+    const uint64_t numBatches =
+        (trials - resumeTrials + batchSize - 1) / batchSize;
 
-    BatchSequencer sequencer(trials, batchSize, options);
+    // Periodic frontier persistence, throttled to checkpointEveryTrials
+    // committed trials; runs in commit order under the sequencer lock.
+    std::function<void(uint64_t, uint64_t)> commitHook;
+    if (checkpoint.enabled()) {
+        const uint64_t every = options.checkpointEveryTrials > 0
+            ? options.checkpointEveryTrials : uint64_t{65536};
+        commitHook = [&checkpoint, pointKey, every,
+                      lastSaved = resumeTrials](uint64_t trialsDone,
+                                                uint64_t failures)
+            mutable {
+            if (trialsDone - lastSaved < every)
+                return;
+            checkpoint.update(pointKey, {trialsDone, failures, false});
+            std::string err = checkpoint.save();
+            if (!err.empty())
+                VLQ_FATAL(err.c_str());
+            lastSaved = trialsDone;
+        };
+    }
+
+    BatchSequencer sequencer(trials, batchSize, options, resumeTrials,
+                             resumeFailures, std::move(commitHook));
     std::atomic<uint64_t> nextBatch{0};
 
     ThreadPool pool(options.threads);
@@ -162,7 +240,7 @@ estimateLogicalErrorBasis(EmbeddingKind embedding,
                                              std::memory_order_relaxed);
             if (b >= numBatches)
                 break;
-            uint64_t begin = b * batchSize;
+            uint64_t begin = resumeTrials + b * batchSize;
             uint32_t count = static_cast<uint32_t>(
                 std::min<uint64_t>(batchSize, trials - begin));
             batch.reset(dem.numDetectors(), dem.numObservables(), count,
@@ -178,7 +256,16 @@ estimateLogicalErrorBasis(EmbeddingKind embedding,
         }
     });
 
-    return sequencer.result();
+    BinomialEstimate est = sequencer.result();
+    if (checkpoint.enabled()) {
+        // The point is finished (budget exhausted or early stop fired):
+        // persist the final frontier with the done flag.
+        checkpoint.update(pointKey, {est.trials, est.successes, true});
+        std::string err = checkpoint.save();
+        if (!err.empty())
+            VLQ_FATAL(err.c_str());
+    }
+    return est;
 }
 
 LogicalErrorPoint

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "core/generator_common.h"
 #include "decoder/decoder_factory.h"
@@ -10,7 +11,13 @@
 
 namespace vlq {
 
-/** Running state streamed to McOptions::progress. */
+/**
+ * Running state streamed to McOptions::progress. All counts are
+ * *global* to the point's full trial budget: a run resumed from a
+ * checkpoint reports the globally committed trial count and the
+ * full-run budget (never per-session counts), so the progress stream
+ * is monotone across a kill/resume boundary.
+ */
 struct McProgress
 {
     uint64_t trialsDone = 0;   // trials committed so far (in order)
@@ -51,6 +58,33 @@ struct McOptions
      * Lets million-trial scans report running failure counts.
      */
     std::function<void(const McProgress&)> progress;
+
+    /**
+     * Checkpoint/resume (see mc/checkpoint.h). When non-empty, the
+     * driver persists the committed trial frontier of every point to
+     * this file (atomically, via write-to-temp + rename) and, on
+     * startup, validates the file's config fingerprint and resumes
+     * each point from its first uncommitted trial -- bit-identical to
+     * an uninterrupted run, including under targetFailures. Points
+     * recorded as done are skipped without regenerating circuits.
+     * A fingerprint mismatch or corrupt file is a hard error.
+     */
+    std::string checkpointPath;
+
+    /**
+     * Committed trials between periodic checkpoint saves within a
+     * point (0 = the 65536 default). The final frontier of a point is
+     * always saved when it finishes, regardless of this knob.
+     */
+    uint64_t checkpointEveryTrials = 0;
+
+    /**
+     * Canonical fingerprint summary guarding the checkpoint file.
+     * Grid scanners (scanThreshold, runSensitivity) fill this with
+     * their grid identity; when left empty the engine derives it from
+     * its own knobs (mcRunFingerprintSummary in mc/checkpoint.h).
+     */
+    std::string checkpointFingerprint;
 };
 
 /**

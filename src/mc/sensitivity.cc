@@ -1,8 +1,43 @@
 #include "mc/sensitivity.h"
 
+#include <sstream>
+
+#include "core/generator_registry.h"
+#include "mc/checkpoint.h"
 #include "util/stats.h"
 
 namespace vlq {
+
+namespace {
+
+/**
+ * Canonical checkpoint fingerprint of one sensitivity panel: engine
+ * knobs, panel identity, sweep values, distances, and the operating
+ * point (folded in via the base config's point key). Panels get
+ * distinct fingerprints, so split-panel cluster shards cannot be
+ * mixed into the wrong state file.
+ */
+std::string
+sensitivityFingerprint(EmbeddingKind embedding,
+                       const GeneratorConfig& baseConfig,
+                       const SensitivitySpec& spec,
+                       const std::vector<int>& distances,
+                       const McOptions& options)
+{
+    std::ostringstream os;
+    os << "scan=sensitivity " << mcRunFingerprintSummary(options)
+       << " embedding=" << embeddingKindName(embedding)
+       << " panel=" << fnv1a64(spec.name) << " values=";
+    for (size_t i = 0; i < spec.values.size(); ++i)
+        os << (i ? "," : "") << canonicalDouble(spec.values[i]);
+    os << " distances=";
+    for (size_t i = 0; i < distances.size(); ++i)
+        os << (i ? "," : "") << distances[i];
+    os << " base=" << hex16(checkpointPointKey(embedding, baseConfig));
+    return os.str();
+}
+
+} // namespace
 
 SensitivityResult
 runSensitivity(EmbeddingKind embedding, const GeneratorConfig& baseConfig,
@@ -12,13 +47,22 @@ runSensitivity(EmbeddingKind embedding, const GeneratorConfig& baseConfig,
     SensitivityResult result;
     result.spec = spec;
     result.distances = distances;
+
+    // Grid-level checkpointing (see scanThreshold): one fingerprinted
+    // state file per panel; finished (value, distance) points are
+    // skipped on resume.
+    McOptions mc = options;
+    if (!mc.checkpointPath.empty() && mc.checkpointFingerprint.empty())
+        mc.checkpointFingerprint = sensitivityFingerprint(
+            embedding, baseConfig, spec, distances, options);
+
     for (double x : spec.values) {
         std::vector<LogicalErrorPoint> row;
         for (int d : distances) {
             GeneratorConfig cfg = baseConfig;
             cfg.distance = d;
             spec.apply(cfg, x);
-            row.push_back(estimateLogicalError(embedding, cfg, options));
+            row.push_back(estimateLogicalError(embedding, cfg, mc));
         }
         result.points.push_back(std::move(row));
     }

@@ -1,16 +1,72 @@
 #include "mc/threshold.h"
 
 #include <cmath>
+#include <sstream>
 
+#include "core/generator_registry.h"
+#include "mc/checkpoint.h"
 #include "util/stats.h"
 
 namespace vlq {
+
+namespace {
+
+/**
+ * Canonical checkpoint fingerprint of a threshold scan: the engine
+ * knobs plus the setup identity and the (distances, ps) grid, with the
+ * hardware/coherence context folded in via a representative point key.
+ * Resuming a scan whose grid or setup changed is a hard error rather
+ * than a silent mix of incompatible counts.
+ */
+std::string
+thresholdScanFingerprint(const EvaluationSetup& setup,
+                         const ThresholdScanConfig& config)
+{
+    std::ostringstream os;
+    os << "scan=threshold " << mcRunFingerprintSummary(config.mc)
+       << " embedding=" << embeddingKindName(setup.embedding)
+       << " schedule="
+       << (setup.schedule == ExtractionSchedule::Interleaved
+               ? "interleaved" : "aao")
+       << " k=" << config.cavityDepth
+       << " scaleCoherence=" << (config.scaleCoherence ? 1 : 0)
+       << " gap="
+       << (config.gapModel == PagingGapModel::PerRound ? "per-round"
+                                                       : "block-once")
+       << " distances=";
+    for (size_t i = 0; i < config.distances.size(); ++i)
+        os << (i ? "," : "") << config.distances[i];
+    os << " ps=";
+    for (size_t i = 0; i < config.physicalPs.size(); ++i)
+        os << (i ? "," : "") << canonicalDouble(config.physicalPs[i]);
+    if (!config.distances.empty() && !config.physicalPs.empty()) {
+        GeneratorConfig gc;
+        gc.distance = config.distances.front();
+        gc.cavityDepth = config.cavityDepth;
+        gc.schedule = setup.schedule;
+        gc.gapModel = config.gapModel;
+        gc.noise = NoiseModel::atPhysicalRate(config.physicalPs.front(),
+                                              config.hardware,
+                                              config.scaleCoherence);
+        os << " base=" << hex16(checkpointPointKey(setup.embedding, gc));
+    }
+    return os.str();
+}
+
+} // namespace
 
 ThresholdResult
 scanThreshold(const EvaluationSetup& setup, const ThresholdScanConfig& config)
 {
     ThresholdResult result;
     result.setup = setup;
+
+    // Grid-level checkpointing: stamp the scan's fingerprint so every
+    // point shares one validated state file and a resumed scan skips
+    // its completed points entirely.
+    McOptions mc = config.mc;
+    if (!mc.checkpointPath.empty() && mc.checkpointFingerprint.empty())
+        mc.checkpointFingerprint = thresholdScanFingerprint(setup, config);
 
     for (int d : config.distances) {
         ThresholdCurve curve;
@@ -24,7 +80,7 @@ scanThreshold(const EvaluationSetup& setup, const ThresholdScanConfig& config)
             gc.noise = NoiseModel::atPhysicalRate(
                 p, config.hardware, config.scaleCoherence);
             LogicalErrorPoint point =
-                estimateLogicalError(setup.embedding, gc, config.mc);
+                estimateLogicalError(setup.embedding, gc, mc);
             if (config.pointProgress)
                 config.pointProgress(point);
             curve.physicalPs.push_back(p);

@@ -2,10 +2,24 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
 namespace vlq {
+
+namespace {
+
+/** Warn once per read about a set-but-unusable value. */
+void
+warnMalformed(const char* name, const char* value, const char* why)
+{
+    std::fprintf(stderr,
+                 "warn: ignoring %s='%s' (%s); using the default\n",
+                 name, value, why);
+}
+
+} // namespace
 
 int64_t
 envInt(const char* name, int64_t fallback)
@@ -13,18 +27,30 @@ envInt(const char* name, int64_t fallback)
     const char* v = std::getenv(name);
     if (!v || !*v)
         return fallback;
-    char* end = nullptr;
-    long long parsed = std::strtoll(v, &end, 10);
-    if (end == v || *end != '\0')
+    std::optional<int64_t> parsed = parseInt64(v);
+    if (!parsed) {
+        warnMalformed(name, v, "not a base-10 int64");
         return fallback;
-    return parsed;
+    }
+    return *parsed;
 }
 
 uint64_t
 envU64(const char* name, uint64_t fallback)
 {
-    int64_t v = envInt(name, static_cast<int64_t>(fallback));
-    return v < 0 ? fallback : static_cast<uint64_t>(v);
+    const char* v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    std::optional<int64_t> parsed = parseInt64(v);
+    if (!parsed) {
+        warnMalformed(name, v, "not a base-10 int64");
+        return fallback;
+    }
+    if (*parsed < 0) {
+        warnMalformed(name, v, "negative count");
+        return fallback;
+    }
+    return static_cast<uint64_t>(*parsed);
 }
 
 double
@@ -33,10 +59,23 @@ envDouble(const char* name, double fallback)
     const char* v = std::getenv(name);
     if (!v || !*v)
         return fallback;
+    if (std::isspace(static_cast<unsigned char>(*v))) {
+        warnMalformed(name, v, "leading whitespace");
+        return fallback;
+    }
+    errno = 0;
     char* end = nullptr;
     double parsed = std::strtod(v, &end);
-    if (end == v || *end != '\0')
+    if (end == v || *end != '\0') {
+        warnMalformed(name, v, "not a number");
         return fallback;
+    }
+    if (errno == ERANGE || !std::isfinite(parsed)) {
+        // Covers both overflow spellings: "1e999" (ERANGE) and a
+        // literal "inf"/"nan" (parsed but useless as a rate/knob).
+        warnMalformed(name, v, "not a finite value");
+        return fallback;
+    }
     return parsed;
 }
 
@@ -79,26 +118,72 @@ nameListContains(std::string_view list, std::string_view word)
     return false;
 }
 
+namespace {
+
+void
+printFlagUsage(const char* argv0, std::initializer_list<FlagSpec> flags)
+{
+    std::fprintf(stderr, "usage: %s", argv0);
+    for (const FlagSpec& spec : flags)
+        std::fprintf(stderr, " [%.*s <value>]",
+                     static_cast<int>(spec.flag.size()), spec.flag.data());
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+bool
+parseFlagArgs(int argc, char** argv, std::initializer_list<FlagSpec> flags)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg(argv[i]);
+        const FlagSpec* match = nullptr;
+        for (const FlagSpec& spec : flags)
+            if (arg == spec.flag)
+                match = &spec;
+        if (!match) {
+            std::fprintf(stderr, "error: unknown argument '%s'\n",
+                         argv[i]);
+            printFlagUsage(argv[0], flags);
+            return false;
+        }
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "error: %s needs a value\n", argv[i]);
+            printFlagUsage(argv[0], flags);
+            return false;
+        }
+        *match->value = argv[++i];
+    }
+    return true;
+}
+
 bool
 parseCsvFlag(int argc, char** argv, std::string& csvPath)
 {
     csvPath.clear();
-    for (int i = 1; i < argc; ++i) {
-        std::string_view arg(argv[i]);
-        if (arg == "--csv" && i + 1 < argc) {
-            csvPath = argv[++i];
-        } else {
-            std::fprintf(stderr, "usage: %s [--csv <path>]\n", argv[0]);
-            return false;
-        }
-    }
-    return true;
+    return parseFlagArgs(argc, argv, {{"--csv", &csvPath}});
+}
+
+bool
+requireNoArgs(int argc, char** argv)
+{
+    if (argc <= 1)
+        return true;
+    std::fprintf(stderr,
+                 "error: unknown argument '%s'\nusage: %s  (takes no "
+                 "arguments)\n",
+                 argv[1], argv[0]);
+    return false;
 }
 
 std::optional<int64_t>
 parseInt64(std::string_view text)
 {
     if (text.empty())
+        return std::nullopt;
+    // strtoll skips leading whitespace; a strict CLI/env parse must
+    // not, so " 42" and whitespace-only values are rejected here.
+    if (std::isspace(static_cast<unsigned char>(text.front())))
         return std::nullopt;
     // NUL-terminate for strtoll; CLI arguments are short.
     std::string buf(text);

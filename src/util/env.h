@@ -2,6 +2,7 @@
 #define VLQ_UTIL_ENV_H
 
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -11,7 +12,12 @@ namespace vlq {
 /**
  * Environment-variable helpers used by benchmarks to scale Monte-Carlo
  * effort without recompiling (e.g. VLQ_TRIALS, VLQ_FULL, VLQ_SEED).
- * Each returns the fallback when the variable is unset or malformed.
+ * Each returns the fallback when the variable is unset or malformed,
+ * and prints a warning for malformed *set* values -- a typo'd
+ * VLQ_TRIALS=1e9 must not silently become the default. Parsing is
+ * strict: leading whitespace, trailing garbage, and values that
+ * overflow the target type all count as malformed (no strtoll-style
+ * truncation to LLONG_MAX/HUGE_VAL).
  */
 int64_t envInt(const char* name, int64_t fallback);
 double envDouble(const char* name, double fallback);
@@ -40,12 +46,32 @@ bool nameListContains(std::string_view list, std::string_view word);
 
 /**
  * Strict integer parse for CLI arguments: the whole string must be a
- * base-10 integer (optional sign, no trailing junk) that fits int64.
+ * base-10 integer (optional sign, no leading whitespace, no trailing
+ * junk) that fits int64 -- out-of-range values are rejected, never
+ * truncated.
  * @return std::nullopt on empty/malformed/out-of-range input, so
  *         callers can print a usage message instead of silently
  *         running with atoi's 0.
  */
 std::optional<int64_t> parseInt64(std::string_view text);
+
+/** One "--flag <value>" option of a CLI flag set. */
+struct FlagSpec
+{
+    std::string_view flag; // e.g. "--csv"
+    std::string* value;    // receives the flag's argument
+};
+
+/**
+ * Parse CLI arguments consisting solely of "--flag <value>" pairs
+ * drawn from `flags`. Unknown arguments (including typos like --cvs),
+ * stray positionals, and a flag missing its value all print a usage
+ * message listing the accepted flags to stderr and return false --
+ * never silently ignore an argument: on a multi-minute bench a typo'd
+ * flag must fail fast instead of running with defaults.
+ */
+bool parseFlagArgs(int argc, char** argv,
+                   std::initializer_list<FlagSpec> flags);
 
 /**
  * Parse the benches' shared flag set: [--csv <path>]. On success
@@ -54,6 +80,13 @@ std::optional<int64_t> parseInt64(std::string_view text);
  * false.
  */
 bool parseCsvFlag(int argc, char** argv, std::string& csvPath);
+
+/**
+ * For executables that take no arguments: reject any argv with a
+ * usage message on stderr (returns false) so extra/typo'd arguments
+ * fail fast instead of being silently ignored.
+ */
+bool requireNoArgs(int argc, char** argv);
 
 } // namespace vlq
 

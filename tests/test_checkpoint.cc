@@ -1,0 +1,544 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mc/checkpoint.h"
+#include "mc/monte_carlo.h"
+#include "mc/sensitivity.h"
+#include "mc/threshold.h"
+
+namespace vlq {
+namespace {
+
+std::string
+tmpPath(const std::string& name)
+{
+    return testing::TempDir() + "vlq_ckpt_" + name;
+}
+
+void
+removeFile(const std::string& path)
+{
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+}
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void
+writeFile(const std::string& path, const std::string& content)
+{
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+}
+
+GeneratorConfig
+ckptConfig(int d, double p)
+{
+    GeneratorConfig cfg;
+    cfg.distance = d;
+    cfg.cavityDepth = 10;
+    cfg.noise = NoiseModel::atPhysicalRate(
+        p, HardwareParams::transmonsWithMemory());
+    return cfg;
+}
+
+TEST(Checkpoint, RoundTrip)
+{
+    std::string path = tmpPath("roundtrip.ckpt");
+    removeFile(path);
+
+    McCheckpoint a;
+    ASSERT_EQ(a.open(path, "seed=1 trials=100"), "");
+    EXPECT_TRUE(a.enabled());
+    EXPECT_EQ(a.numPoints(), 0u);
+    a.update(0x1111, CheckpointEntry{64, 3, false});
+    a.update(0x2222, CheckpointEntry{100, 7, true});
+    ASSERT_EQ(a.save(), "");
+
+    // Header is self-describing.
+    std::string text = readFile(path);
+    EXPECT_EQ(text.rfind("vlq-mc-checkpoint 1\n", 0), 0u);
+    EXPECT_NE(text.find("config seed=1 trials=100"), std::string::npos);
+    EXPECT_NE(text.find("end 2"), std::string::npos);
+
+    McCheckpoint b;
+    ASSERT_EQ(b.open(path, "seed=1 trials=100"), "");
+    ASSERT_EQ(b.numPoints(), 2u);
+    const CheckpointEntry* e1 = b.find(0x1111);
+    const CheckpointEntry* e2 = b.find(0x2222);
+    ASSERT_NE(e1, nullptr);
+    ASSERT_NE(e2, nullptr);
+    EXPECT_EQ(e1->trialsDone, 64u);
+    EXPECT_EQ(e1->failures, 3u);
+    EXPECT_FALSE(e1->done);
+    EXPECT_EQ(e2->trialsDone, 100u);
+    EXPECT_EQ(e2->failures, 7u);
+    EXPECT_TRUE(e2->done);
+    EXPECT_EQ(b.find(0x3333), nullptr);
+    removeFile(path);
+}
+
+TEST(Checkpoint, SavedFilesAreByteDeterministic)
+{
+    std::string pa = tmpPath("det_a.ckpt");
+    std::string pb = tmpPath("det_b.ckpt");
+    removeFile(pa);
+    removeFile(pb);
+    // Same entries inserted in different orders serialize identically
+    // (points are sorted by key), which is what lets the CI smoke step
+    // compare a clean and a kill/resume run with cmp.
+    McCheckpoint a;
+    ASSERT_EQ(a.open(pa, "seed=9"), "");
+    a.update(2, CheckpointEntry{10, 1, true});
+    a.update(1, CheckpointEntry{20, 2, true});
+    ASSERT_EQ(a.save(), "");
+    McCheckpoint b;
+    ASSERT_EQ(b.open(pb, "seed=9"), "");
+    b.update(1, CheckpointEntry{20, 2, true});
+    b.update(2, CheckpointEntry{10, 1, true});
+    ASSERT_EQ(b.save(), "");
+    EXPECT_EQ(readFile(pa), readFile(pb));
+    removeFile(pa);
+    removeFile(pb);
+}
+
+TEST(Checkpoint, RejectsCorrupt)
+{
+    std::string path = tmpPath("corrupt.ckpt");
+    writeFile(path, "total garbage\nnot a checkpoint\n");
+    McCheckpoint c;
+    std::string err = c.open(path, "seed=1");
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("not a vlq-mc-checkpoint"), std::string::npos);
+    EXPECT_FALSE(c.enabled());
+
+    writeFile(path, "vlq-mc-checkpoint 1\nfingerprint zzzz\nconfig x\n"
+                    "end 0\n");
+    EXPECT_NE(c.open(path, "x"), "");
+
+    // Malformed point line ("\npoint": the magic line itself contains
+    // the substring "point").
+    McCheckpoint good;
+    removeFile(path);
+    ASSERT_EQ(good.open(path, "seed=1"), "");
+    good.update(7, CheckpointEntry{10, 2, false});
+    ASSERT_EQ(good.save(), "");
+    std::string text = readFile(path);
+    std::string header = text.substr(0, text.find("\npoint") + 1);
+    writeFile(path, header +
+                    "point xyz trials=banana failures=2 done=0\nend 1\n");
+    EXPECT_NE(c.open(path, "seed=1"), "");
+
+    // failures > trials is rejected as corrupt.
+    writeFile(path, header +
+                    "point 0000000000000007 trials=1 failures=2 done=0\n"
+                    "end 1\n");
+    std::string countErr = c.open(path, "seed=1");
+    EXPECT_NE(countErr.find("failures > trials"), std::string::npos);
+    removeFile(path);
+}
+
+TEST(Checkpoint, RejectsTruncated)
+{
+    std::string path = tmpPath("truncated.ckpt");
+    removeFile(path);
+    McCheckpoint a;
+    ASSERT_EQ(a.open(path, "seed=1"), "");
+    a.update(1, CheckpointEntry{10, 1, false});
+    a.update(2, CheckpointEntry{20, 2, false});
+    ASSERT_EQ(a.save(), "");
+
+    // Drop the trailing end marker: a partially-flushed file.
+    std::string text = readFile(path);
+    writeFile(path, text.substr(0, text.find("end")));
+    McCheckpoint b;
+    std::string err = b.open(path, "seed=1");
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("truncated"), std::string::npos);
+
+    // Drop a point line but keep the end marker: count mismatch.
+    std::string cut = text;
+    size_t p2 = cut.rfind("point");
+    cut.erase(p2, cut.find('\n', p2) - p2 + 1);
+    writeFile(path, cut);
+    err = b.open(path, "seed=1");
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("count mismatch"), std::string::npos);
+    removeFile(path);
+}
+
+TEST(Checkpoint, RejectsVersionMismatch)
+{
+    std::string path = tmpPath("version.ckpt");
+    writeFile(path,
+              "vlq-mc-checkpoint 99\nfingerprint 0000000000000000\n"
+              "config x\nend 0\n");
+    McCheckpoint c;
+    std::string err = c.open(path, "x");
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("version"), std::string::npos);
+    removeFile(path);
+}
+
+TEST(Checkpoint, RejectsFingerprintMismatch)
+{
+    std::string path = tmpPath("fingerprint.ckpt");
+    removeFile(path);
+    McCheckpoint a;
+    ASSERT_EQ(a.open(path, "seed=1 trials=100 decoder=mwpm"), "");
+    ASSERT_EQ(a.save(), "");
+
+    McCheckpoint b;
+    std::string err = b.open(path, "seed=2 trials=100 decoder=mwpm");
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("fingerprint mismatch"), std::string::npos);
+    // The error shows both configs so the operator can see what moved.
+    EXPECT_NE(err.find("seed=1"), std::string::npos);
+    EXPECT_NE(err.find("seed=2"), std::string::npos);
+    removeFile(path);
+}
+
+TEST(Checkpoint, IgnoresLeftoverTempFile)
+{
+    std::string path = tmpPath("leftover.ckpt");
+    removeFile(path);
+
+    // Crash before the first rename: only a temp file exists. The tmp
+    // was never committed, so the run starts fresh.
+    writeFile(path + ".tmp", "half-written garb");
+    McCheckpoint a;
+    ASSERT_EQ(a.open(path, "seed=1"), "");
+    EXPECT_EQ(a.numPoints(), 0u);
+    a.update(1, CheckpointEntry{5, 0, false});
+    ASSERT_EQ(a.save(), "");
+
+    // Crash mid-save after a good commit: stale tmp next to a valid
+    // main file. The main file is the consistent state.
+    writeFile(path + ".tmp", "half-written garb");
+    McCheckpoint b;
+    ASSERT_EQ(b.open(path, "seed=1"), "");
+    ASSERT_EQ(b.numPoints(), 1u);
+    EXPECT_EQ(b.find(1)->trialsDone, 5u);
+    removeFile(path);
+}
+
+TEST(Checkpoint, PointKeySeparatesConfigs)
+{
+    GeneratorConfig base = ckptConfig(3, 5e-3);
+    uint64_t key = checkpointPointKey(EmbeddingKind::Compact, base);
+    EXPECT_EQ(checkpointPointKey(EmbeddingKind::Compact, base), key);
+
+    GeneratorConfig other = base;
+    other.memoryBasis = CheckBasis::X;
+    EXPECT_NE(checkpointPointKey(EmbeddingKind::Compact, other), key);
+    other = base;
+    other.distance = 5;
+    EXPECT_NE(checkpointPointKey(EmbeddingKind::Compact, other), key);
+    other = base;
+    other.noise.p2 *= 1.0000001;
+    EXPECT_NE(checkpointPointKey(EmbeddingKind::Compact, other), key);
+    EXPECT_NE(checkpointPointKey(EmbeddingKind::Natural, base), key);
+}
+
+/** Progress snapshots of an uninterrupted run = every possible kill
+ *  frontier (batches commit in trial order, so a kill leaves exactly
+ *  one of these committed states on disk). */
+std::vector<McProgress>
+collectSnapshots(EmbeddingKind embedding, const GeneratorConfig& config,
+                 McOptions options, BinomialEstimate& reference)
+{
+    std::vector<McProgress> snapshots;
+    options.progress = [&](const McProgress& p) {
+        snapshots.push_back(p);
+    };
+    reference = estimateLogicalErrorBasis(embedding, config, options);
+    return snapshots;
+}
+
+void
+expectResumeBitIdentity(const McOptions& baseOptions, uint64_t target)
+{
+    GeneratorConfig cfg = ckptConfig(3, 9e-3);
+    McOptions options = baseOptions;
+    options.targetFailures = target;
+
+    BinomialEstimate reference;
+    std::vector<McProgress> snapshots = collectSnapshots(
+        EmbeddingKind::Baseline2D, cfg, options, reference);
+    ASSERT_GT(snapshots.size(), 2u);
+    EXPECT_GT(reference.successes, 0u);
+
+    uint64_t pointKey =
+        checkpointPointKey(EmbeddingKind::Baseline2D, cfg);
+    std::string fingerprint = mcRunFingerprintSummary(options);
+    // Tests run as parallel ctest processes: keep scratch paths unique.
+    std::string path =
+        tmpPath("resume_" + std::to_string(target) + ".ckpt");
+
+    // Kill after every batch: for each committed frontier, materialize
+    // the checkpoint a kill at that moment leaves behind, resume from
+    // it, and demand counts bit-identical to the uninterrupted run.
+    for (const McProgress& snap : snapshots) {
+        if (snap.trialsDone >= reference.trials)
+            continue; // the final commit: nothing left to resume
+        removeFile(path);
+        McCheckpoint state;
+        ASSERT_EQ(state.open(path, fingerprint), "");
+        state.update(pointKey,
+                     CheckpointEntry{snap.trialsDone, snap.failures,
+                                     false});
+        ASSERT_EQ(state.save(), "");
+
+        McOptions resumed = options;
+        resumed.checkpointPath = path;
+        BinomialEstimate est = estimateLogicalErrorBasis(
+            EmbeddingKind::Baseline2D, cfg, resumed);
+        EXPECT_EQ(est.successes, reference.successes)
+            << "kill at trial " << snap.trialsDone;
+        EXPECT_EQ(est.trials, reference.trials)
+            << "kill at trial " << snap.trialsDone;
+
+        // The file now records the finished point.
+        McCheckpoint after;
+        ASSERT_EQ(after.open(path, fingerprint), "");
+        const CheckpointEntry* entry = after.find(pointKey);
+        ASSERT_NE(entry, nullptr);
+        EXPECT_TRUE(entry->done);
+        EXPECT_EQ(entry->trialsDone, reference.trials);
+        EXPECT_EQ(entry->failures, reference.successes);
+    }
+    removeFile(path);
+}
+
+TEST(CheckpointResume, BitIdenticalFullBudget)
+{
+    McOptions options;
+    options.trials = 600;
+    options.seed = 1234;
+    options.batchSize = 64;
+    expectResumeBitIdentity(options, 0);
+}
+
+TEST(CheckpointResume, BitIdenticalUnderEarlyStop)
+{
+    McOptions options;
+    options.trials = 4000;
+    options.seed = 4321;
+    // Small batches so the early stop lands several committed batches
+    // in: every one of those frontiers is a tested kill point.
+    options.batchSize = 8;
+    expectResumeBitIdentity(options, 12);
+}
+
+TEST(CheckpointResume, ResumeWithDifferentBatchSizeStillBitIdentical)
+{
+    // batchSize only controls commit granularity, so a checkpoint cut
+    // at any frontier resumes bit-identically even when the resumed
+    // process uses a different batch size -- but the fingerprint pins
+    // batchSize (it changes the kill frontiers), so exercise the
+    // engine path via an explicit shared fingerprint.
+    GeneratorConfig cfg = ckptConfig(3, 9e-3);
+    McOptions options;
+    options.trials = 500;
+    options.seed = 99;
+    options.batchSize = 64;
+
+    BinomialEstimate reference;
+    std::vector<McProgress> snapshots = collectSnapshots(
+        EmbeddingKind::Baseline2D, cfg, options, reference);
+    ASSERT_GT(snapshots.size(), 1u);
+    const McProgress& snap = snapshots[snapshots.size() / 2];
+    ASSERT_LT(snap.trialsDone, reference.trials);
+
+    std::string path = tmpPath("rebatch.ckpt");
+    removeFile(path);
+    McCheckpoint state;
+    ASSERT_EQ(state.open(path, "shared-fingerprint"), "");
+    state.update(checkpointPointKey(EmbeddingKind::Baseline2D, cfg),
+                 CheckpointEntry{snap.trialsDone, snap.failures, false});
+    ASSERT_EQ(state.save(), "");
+
+    McOptions resumed = options;
+    resumed.batchSize = 17;
+    resumed.checkpointPath = path;
+    resumed.checkpointFingerprint = "shared-fingerprint";
+    BinomialEstimate est = estimateLogicalErrorBasis(
+        EmbeddingKind::Baseline2D, cfg, resumed);
+    EXPECT_EQ(est.successes, reference.successes);
+    EXPECT_EQ(est.trials, reference.trials);
+    removeFile(path);
+}
+
+TEST(CheckpointResume, DonePointSkipsSampling)
+{
+    GeneratorConfig cfg = ckptConfig(3, 5e-3);
+    McOptions options;
+    options.trials = 1000000; // would take minutes if actually sampled
+    options.seed = 7;
+
+    std::string path = tmpPath("done.ckpt");
+    removeFile(path);
+    McCheckpoint state;
+    ASSERT_EQ(state.open(path, mcRunFingerprintSummary(options)), "");
+    // Fabricated counts a real run could never produce under this
+    // budget: getting them back proves no sampling happened.
+    state.update(checkpointPointKey(EmbeddingKind::Baseline2D, cfg),
+                 CheckpointEntry{123, 45, true});
+    ASSERT_EQ(state.save(), "");
+
+    options.checkpointPath = path;
+    BinomialEstimate est = estimateLogicalErrorBasis(
+        EmbeddingKind::Baseline2D, cfg, options);
+    EXPECT_EQ(est.trials, 123u);
+    EXPECT_EQ(est.successes, 45u);
+    removeFile(path);
+}
+
+TEST(CheckpointResume, ProgressIsGlobalAndMonotoneAcrossResume)
+{
+    GeneratorConfig cfg = ckptConfig(3, 9e-3);
+    McOptions options;
+    options.trials = 400;
+    options.seed = 11;
+    options.batchSize = 32;
+
+    BinomialEstimate reference;
+    std::vector<McProgress> snapshots = collectSnapshots(
+        EmbeddingKind::Baseline2D, cfg, options, reference);
+    ASSERT_GT(snapshots.size(), 3u);
+    const McProgress& snap = snapshots[1];
+
+    std::string path = tmpPath("progress.ckpt");
+    removeFile(path);
+    McCheckpoint state;
+    ASSERT_EQ(state.open(path, mcRunFingerprintSummary(options)), "");
+    state.update(checkpointPointKey(EmbeddingKind::Baseline2D, cfg),
+                 CheckpointEntry{snap.trialsDone, snap.failures, false});
+    ASSERT_EQ(state.save(), "");
+
+    // The resumed session must report the full-run budget and global
+    // committed counts, continuing monotonically past the frontier --
+    // never restarting a per-session count at zero.
+    McOptions resumed = options;
+    resumed.checkpointPath = path;
+    uint64_t lastTrials = snap.trialsDone;
+    uint64_t lastFailures = snap.failures;
+    resumed.progress = [&](const McProgress& p) {
+        EXPECT_EQ(p.totalTrials, resumed.trials);
+        EXPECT_GT(p.trialsDone, snap.trialsDone);
+        EXPECT_GE(p.trialsDone, lastTrials);
+        EXPECT_GE(p.failures, lastFailures);
+        lastTrials = p.trialsDone;
+        lastFailures = p.failures;
+    };
+    BinomialEstimate est = estimateLogicalErrorBasis(
+        EmbeddingKind::Baseline2D, cfg, resumed);
+    EXPECT_EQ(est.successes, reference.successes);
+    EXPECT_EQ(lastTrials, reference.trials);
+    removeFile(path);
+}
+
+TEST(CheckpointResume, EngineRejectsMismatchedFingerprint)
+{
+    GeneratorConfig cfg = ckptConfig(3, 5e-3);
+    McOptions options;
+    options.trials = 100;
+    options.seed = 5;
+
+    std::string path = tmpPath("engine_mismatch.ckpt");
+    removeFile(path);
+    McCheckpoint state;
+    ASSERT_EQ(state.open(path, "some other run"), "");
+    ASSERT_EQ(state.save(), "");
+
+    options.checkpointPath = path;
+    EXPECT_EXIT(
+        estimateLogicalErrorBasis(EmbeddingKind::Baseline2D, cfg,
+                                  options),
+        testing::ExitedWithCode(1), "fingerprint mismatch");
+    removeFile(path);
+}
+
+TEST(CheckpointResume, ThresholdScanSkipsCompletedPoints)
+{
+    EvaluationSetup setup{EmbeddingKind::Baseline2D,
+                          ExtractionSchedule::AllAtOnce};
+    ThresholdScanConfig cfg;
+    cfg.distances = {3, 5};
+    cfg.physicalPs = {8e-3, 2e-2};
+    cfg.mc.trials = 150;
+    cfg.mc.seed = 21;
+    cfg.mc.checkpointPath = tmpPath("scan.ckpt");
+    removeFile(cfg.mc.checkpointPath);
+
+    ThresholdResult first = scanThreshold(setup, cfg);
+
+    // All 8 (d, p, basis) points are recorded; the second scan is
+    // served entirely from the checkpoint and must reproduce the
+    // counts exactly.
+    ThresholdResult second = scanThreshold(setup, cfg);
+    ASSERT_EQ(second.curves.size(), first.curves.size());
+    for (size_t i = 0; i < first.curves.size(); ++i) {
+        for (size_t j = 0; j < first.curves[i].points.size(); ++j) {
+            const LogicalErrorPoint& a = first.curves[i].points[j];
+            const LogicalErrorPoint& b = second.curves[i].points[j];
+            EXPECT_EQ(a.basisZ.successes, b.basisZ.successes);
+            EXPECT_EQ(a.basisZ.trials, b.basisZ.trials);
+            EXPECT_EQ(a.basisX.successes, b.basisX.successes);
+            EXPECT_EQ(a.basisX.trials, b.basisX.trials);
+        }
+    }
+
+    // And an un-checkpointed run agrees too (the checkpoint changed
+    // nothing about the sampled counts).
+    ThresholdScanConfig plain = cfg;
+    plain.mc.checkpointPath.clear();
+    ThresholdResult third = scanThreshold(setup, plain);
+    EXPECT_EQ(third.curves[0].points[0].basisZ.successes,
+              first.curves[0].points[0].basisZ.successes);
+    removeFile(cfg.mc.checkpointPath);
+}
+
+TEST(CheckpointResume, SensitivityPanelReproducesFromCheckpoint)
+{
+    GeneratorConfig base = ckptConfig(3, 5e-3);
+    SensitivitySpec spec;
+    spec.name = "test panel";
+    spec.axisLabel = "x";
+    spec.values = {1e-3, 8e-3};
+    spec.apply = [](GeneratorConfig& c, double x) { c.noise.p2 = x; };
+
+    McOptions mc;
+    mc.trials = 120;
+    mc.seed = 33;
+    mc.checkpointPath = tmpPath("panel.ckpt");
+    removeFile(mc.checkpointPath);
+
+    std::vector<int> distances{3};
+    SensitivityResult first =
+        runSensitivity(EmbeddingKind::Compact, base, spec, distances, mc);
+    SensitivityResult second =
+        runSensitivity(EmbeddingKind::Compact, base, spec, distances, mc);
+    for (size_t i = 0; i < first.points.size(); ++i) {
+        EXPECT_EQ(first.points[i][0].basisZ.successes,
+                  second.points[i][0].basisZ.successes);
+        EXPECT_EQ(first.points[i][0].basisX.successes,
+                  second.points[i][0].basisX.successes);
+    }
+    removeFile(mc.checkpointPath);
+}
+
+} // namespace
+} // namespace vlq

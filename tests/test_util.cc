@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -234,6 +235,69 @@ TEST(Env, ParsesValues)
     unsetenv("VLQ_TEST_SET");
 }
 
+TEST(Env, RejectsTrailingGarbage)
+{
+    setenv("VLQ_TEST_SET", "42x", 1);
+    EXPECT_EQ(envInt("VLQ_TEST_SET", 7), 7);
+    EXPECT_EQ(envU64("VLQ_TEST_SET", 7u), 7u);
+    setenv("VLQ_TEST_SET", "42 ", 1); // trailing space is garbage too
+    EXPECT_EQ(envInt("VLQ_TEST_SET", 7), 7);
+    setenv("VLQ_TEST_SET", "2.5e3q", 1);
+    EXPECT_DOUBLE_EQ(envDouble("VLQ_TEST_SET", 1.5), 1.5);
+    unsetenv("VLQ_TEST_SET");
+}
+
+TEST(Env, RejectsOverflowInsteadOfTruncating)
+{
+    // One past INT64_MAX: strtoll would saturate to LLONG_MAX; the
+    // env readers must fall back instead of running 9.2e18 trials.
+    setenv("VLQ_TEST_SET", "9223372036854775808", 1);
+    EXPECT_EQ(envInt("VLQ_TEST_SET", 7), 7);
+    EXPECT_EQ(envU64("VLQ_TEST_SET", 7u), 7u);
+    setenv("VLQ_TEST_SET", "99999999999999999999", 1);
+    EXPECT_EQ(envInt("VLQ_TEST_SET", 7), 7);
+    setenv("VLQ_TEST_SET", "1e999", 1); // strtod saturates to HUGE_VAL
+    EXPECT_DOUBLE_EQ(envDouble("VLQ_TEST_SET", 1.5), 1.5);
+    // Literal non-finite spellings are the same garbage-run hazard.
+    setenv("VLQ_TEST_SET", "inf", 1);
+    EXPECT_DOUBLE_EQ(envDouble("VLQ_TEST_SET", 1.5), 1.5);
+    setenv("VLQ_TEST_SET", "nan", 1);
+    EXPECT_DOUBLE_EQ(envDouble("VLQ_TEST_SET", 1.5), 1.5);
+    unsetenv("VLQ_TEST_SET");
+}
+
+TEST(Env, RejectsLeadingWhitespace)
+{
+    setenv("VLQ_TEST_SET", " 42", 1);
+    EXPECT_EQ(envInt("VLQ_TEST_SET", 7), 7);
+    EXPECT_EQ(envU64("VLQ_TEST_SET", 7u), 7u);
+    setenv("VLQ_TEST_SET", "   ", 1); // whitespace-only
+    EXPECT_EQ(envInt("VLQ_TEST_SET", 7), 7);
+    setenv("VLQ_TEST_SET", " 2.5", 1);
+    EXPECT_DOUBLE_EQ(envDouble("VLQ_TEST_SET", 1.5), 1.5);
+    unsetenv("VLQ_TEST_SET");
+}
+
+TEST(Env, NegativeCountFallsBack)
+{
+    setenv("VLQ_TEST_SET", "-5", 1);
+    EXPECT_EQ(envInt("VLQ_TEST_SET", 7), -5);  // signed reader: fine
+    EXPECT_EQ(envU64("VLQ_TEST_SET", 9u), 9u); // count reader: fallback
+    unsetenv("VLQ_TEST_SET");
+}
+
+TEST(Env, U64RoundTripsThroughText)
+{
+    for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{65536},
+                      int64_t{9223372036854775807LL}}) {
+        setenv("VLQ_TEST_SET", std::to_string(v).c_str(), 1);
+        EXPECT_EQ(envU64("VLQ_TEST_SET", 424242u),
+                  static_cast<uint64_t>(v));
+        EXPECT_EQ(envInt("VLQ_TEST_SET", 424242), v);
+    }
+    unsetenv("VLQ_TEST_SET");
+}
+
 TEST(Env, ParseInt64RejectsJunk)
 {
     EXPECT_EQ(parseInt64("42"), 42);
@@ -244,6 +308,89 @@ TEST(Env, ParseInt64RejectsJunk)
     EXPECT_FALSE(parseInt64("12abc").has_value());
     EXPECT_FALSE(parseInt64("1.5").has_value());
     EXPECT_FALSE(parseInt64("99999999999999999999").has_value());
+    EXPECT_FALSE(parseInt64(" 42").has_value());
+    EXPECT_FALSE(parseInt64("42 ").has_value());
+    EXPECT_FALSE(parseInt64("  ").has_value());
+    // Exact int64 bounds parse; one past either bound does not.
+    EXPECT_EQ(parseInt64("9223372036854775807"),
+              int64_t{9223372036854775807LL});
+    EXPECT_EQ(parseInt64("-9223372036854775808"),
+              std::numeric_limits<int64_t>::min());
+    EXPECT_FALSE(parseInt64("9223372036854775808").has_value());
+    EXPECT_FALSE(parseInt64("-9223372036854775809").has_value());
+}
+
+TEST(Env, ParseInt64RoundTripsBoundaryValues)
+{
+    for (int64_t v : {std::numeric_limits<int64_t>::min(), int64_t{-1},
+                      int64_t{0}, int64_t{1},
+                      std::numeric_limits<int64_t>::max()}) {
+        auto parsed = parseInt64(std::to_string(v));
+        ASSERT_TRUE(parsed.has_value()) << v;
+        EXPECT_EQ(*parsed, v);
+    }
+}
+
+TEST(Flags, ParsesKnownFlagPairs)
+{
+    std::string csv;
+    std::string ckpt = "preset"; // flag absent -> preset survives
+    char prog[] = "prog";
+    char f1[] = "--csv";
+    char v1[] = "out.csv";
+    char* argv[] = {prog, f1, v1};
+    EXPECT_TRUE(parseFlagArgs(3, argv,
+                              {{"--csv", &csv},
+                               {"--checkpoint", &ckpt}}));
+    EXPECT_EQ(csv, "out.csv");
+    EXPECT_EQ(ckpt, "preset");
+}
+
+TEST(Flags, RejectsUnknownAndTypoedFlags)
+{
+    std::string csv;
+    char prog[] = "prog";
+    char typo[] = "--cvs"; // the classic bench-wasting typo
+    char v1[] = "out.csv";
+    char* argv[] = {prog, typo, v1};
+    EXPECT_FALSE(parseFlagArgs(3, argv, {{"--csv", &csv}}));
+
+    char stray[] = "positional";
+    char* argv2[] = {prog, stray};
+    EXPECT_FALSE(parseFlagArgs(2, argv2, {{"--csv", &csv}}));
+}
+
+TEST(Flags, RejectsFlagMissingItsValue)
+{
+    std::string csv;
+    char prog[] = "prog";
+    char f1[] = "--csv";
+    char* argv[] = {prog, f1};
+    EXPECT_FALSE(parseFlagArgs(2, argv, {{"--csv", &csv}}));
+}
+
+TEST(Flags, CsvFlagStillParses)
+{
+    std::string csv;
+    char prog[] = "prog";
+    char f1[] = "--csv";
+    char v1[] = "x.csv";
+    char* argv[] = {prog, f1, v1};
+    EXPECT_TRUE(parseCsvFlag(3, argv, csv));
+    EXPECT_EQ(csv, "x.csv");
+    char* argv2[] = {prog};
+    EXPECT_TRUE(parseCsvFlag(1, argv2, csv));
+    EXPECT_EQ(csv, "");
+}
+
+TEST(Flags, RequireNoArgs)
+{
+    char prog[] = "prog";
+    char* argv1[] = {prog};
+    EXPECT_TRUE(requireNoArgs(1, argv1));
+    char extra[] = "--surprise";
+    char* argv2[] = {prog, extra};
+    EXPECT_FALSE(requireNoArgs(2, argv2));
 }
 
 TEST(Env, NameListContains)
