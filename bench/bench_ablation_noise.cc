@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Ablation A2: composite noise sources. Sweeps the biased-Pauli ratio
+ * and the heralded-erasure fraction of the composite noise layer on
+ * the baseline memory, decoding with the erasure-aware union-find
+ * backend. The eta = 1 / fraction = 0 rows run the uniform fast path
+ * and must reproduce the flat-model rates bit-for-bit; the
+ * threshold-proxy table shows the erasure win: converting the whole
+ * error budget to heralded erasure (decoded by zero-weight cluster
+ * seeding) moves the pseudo-threshold up, so the d = 5 curve drops
+ * below d = 3 at total error rates where pure Pauli noise has long
+ * crossed above.
+ *
+ * Knobs: VLQ_TRIALS (default 400), VLQ_SEED.
+ * Flags: --csv <path>  emit every deterministic record as CSV
+ *        (record,variant,d,x,value rows; the CI bench-regression job
+ *        diffs them against bench/reference/ablation_noise.csv).
+ */
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/generator_common.h"
+#include "mc/monte_carlo.h"
+#include "util/csv.h"
+#include "util/env.h"
+#include "util/table.h"
+
+using namespace vlq;
+
+namespace {
+
+McOptions
+baseOptions()
+{
+    McOptions opts;
+    opts.trials = envU64("VLQ_TRIALS", 400);
+    opts.seed = envU64("VLQ_SEED", 0x5eed);
+    opts.decoder = DecoderKind::UnionFind;
+    return opts;
+}
+
+GeneratorConfig
+configAt(int d, double p)
+{
+    GeneratorConfig cfg;
+    cfg.distance = d;
+    cfg.cavityDepth = 10;
+    cfg.schedule = ExtractionSchedule::AllAtOnce;
+    cfg.noise = NoiseModel::atPhysicalRate(
+        p, HardwareParams::transmonsWithMemory());
+    return cfg;
+}
+
+double
+rateAt(const GeneratorConfig& cfg, const McOptions& opts)
+{
+    return estimateLogicalError(EmbeddingKind::Baseline2D, cfg, opts)
+        .combinedRate();
+}
+
+void
+biasTable(CsvWriter* csv)
+{
+    const McOptions opts = baseOptions();
+    const double p = 5e-3;
+
+    std::cout << "=== Logical error vs Z-bias ratio (p = "
+              << TablePrinter::sci(p, 1) << ", X:Y:Z = 1:1:eta) ===\n\n";
+    TablePrinter t({"eta", "d=3 rate", "d=5 rate"});
+    for (double eta : {1.0, 10.0, 100.0}) {
+        std::vector<std::string> row{TablePrinter::num(eta, 0)};
+        for (int d : {3, 5}) {
+            GeneratorConfig cfg = configAt(d, p);
+            cfg.noise.bias.rZ = eta; // eta == 1: the uniform fast path
+            double rate = rateAt(cfg, opts);
+            row.push_back(TablePrinter::sci(rate, 2));
+            if (csv)
+                csv->addRow({"rate_bias", "biasZ", std::to_string(d),
+                             TablePrinter::num(eta, 0),
+                             std::to_string(rate)});
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    std::cout <<
+        "\nBiased Pauli budgets feed the same total error mass through\n"
+        "pauliChannel1 splits; a Z-memory patch keeps detecting the\n"
+        "dominant Z component, so rates stay in the same regime while\n"
+        "the X/Y-driven syndrome weight thins out.\n";
+}
+
+void
+erasureTable(CsvWriter* csv)
+{
+    const McOptions opts = baseOptions();
+    const double p = 5e-3;
+
+    std::cout << "\n=== Logical error vs heralded-erasure fraction "
+                 "(p = " << TablePrinter::sci(p, 1) << ") ===\n\n";
+    TablePrinter t({"fraction", "d=3 rate", "d=5 rate"});
+    for (double f : {0.0, 0.5, 1.0}) {
+        std::vector<std::string> row{TablePrinter::num(f, 1)};
+        for (int d : {3, 5}) {
+            GeneratorConfig cfg = configAt(d, p);
+            cfg.noise.erasure.fraction = f; // 0: the uniform fast path
+            double rate = rateAt(cfg, opts);
+            row.push_back(TablePrinter::sci(rate, 2));
+            if (csv)
+                csv->addRow({"rate_erasure", "heralded",
+                             std::to_string(d),
+                             TablePrinter::num(f, 1),
+                             std::to_string(rate)});
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    std::cout <<
+        "\nHeralded erasure tells the union-find decoder *where* the\n"
+        "fault sat; zero-weight cluster seeding then pays nothing to\n"
+        "span it, so the logical rate falls as the fraction grows.\n";
+}
+
+void
+thresholdProxyTable(CsvWriter* csv)
+{
+    const McOptions opts = baseOptions();
+
+    std::cout << "\n=== Threshold proxy: d=5/d=3 rate ratio, pure "
+                 "Pauli vs 100% heralded erasure ===\n\n";
+    TablePrinter t({"p", "variant", "d=3 rate", "d=5 rate",
+                    "d5/d3"});
+    double midPauliRatio = 0.0;
+    double midErasureRatio = 0.0;
+    for (double p : {3.5e-3, 5e-3, 8e-3}) {
+        for (bool erasure : {false, true}) {
+            double rates[2];
+            int di = 0;
+            for (int d : {3, 5}) {
+                GeneratorConfig cfg = configAt(d, p);
+                if (erasure)
+                    cfg.noise.erasure.fraction = 1.0;
+                rates[di++] = rateAt(cfg, opts);
+            }
+            double ratio = rates[0] > 0.0 ? rates[1] / rates[0] : 0.0;
+            const char* variant = erasure ? "erasure100" : "pauli";
+            t.addRow({TablePrinter::sci(p, 1), variant,
+                      TablePrinter::sci(rates[0], 2),
+                      TablePrinter::sci(rates[1], 2),
+                      TablePrinter::num(ratio, 2)});
+            if (csv) {
+                csv->addRow({"rate_threshold", variant, "3",
+                             TablePrinter::sci(p, 1),
+                             std::to_string(rates[0])});
+                csv->addRow({"rate_threshold", variant, "5",
+                             TablePrinter::sci(p, 1),
+                             std::to_string(rates[1])});
+            }
+            if (p == 5e-3) {
+                if (erasure)
+                    midErasureRatio = ratio;
+                else
+                    midPauliRatio = ratio;
+            }
+        }
+    }
+    t.print(std::cout);
+    std::cout <<
+        "\nBelow threshold, growing the distance helps (d5/d3 < 1);\n"
+        "above it, distance hurts. Pure Pauli noise crosses first: at\n"
+        "p = 5.0e-03 its ratio sits at "
+              << TablePrinter::num(midPauliRatio, 2)
+              << " (distance already hurts)\nwhile full heralded "
+                 "erasure holds "
+              << TablePrinter::num(midErasureRatio, 2)
+              << " -- the erasure\nthreshold exceeds the Pauli one at "
+                 "equal total error rate\n(Delfosse-Nickerson zero-"
+                 "weight seeding).\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string csvPath;
+    if (!parseCsvFlag(argc, argv, csvPath))
+        return 1;
+    CsvWriter csv({"record", "variant", "d", "x", "value"});
+    CsvWriter* csvp = csvPath.empty() ? nullptr : &csv;
+
+    biasTable(csvp);
+    erasureTable(csvp);
+    thresholdProxyTable(csvp);
+
+    if (csvp && !csv.writeFile(csvPath)) {
+        std::cerr << "failed to write " << csvPath << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -15,6 +15,8 @@ opIsNoise(OpCode code)
       case OpCode::X_ERROR:
       case OpCode::Y_ERROR:
       case OpCode::Z_ERROR:
+      case OpCode::PAULI_CHANNEL_1:
+      case OpCode::HERALDED_ERASE:
         return true;
       default:
         return false;
@@ -52,6 +54,8 @@ opName(OpCode code)
       case OpCode::X_ERROR: return "X_ERROR";
       case OpCode::Y_ERROR: return "Y_ERROR";
       case OpCode::Z_ERROR: return "Z_ERROR";
+      case OpCode::PAULI_CHANNEL_1: return "PAULI_CHANNEL_1";
+      case OpCode::HERALDED_ERASE: return "HERALDED_ERASE";
     }
     VLQ_PANIC("invalid OpCode");
 }
@@ -152,6 +156,29 @@ Circuit::zError(uint32_t q, double p)
         append1(OpCode::Z_ERROR, q, p);
 }
 
+void
+Circuit::pauliChannel1(uint32_t q, double px, double py, double pz)
+{
+    if (px < 0.0 || py < 0.0 || pz < 0.0)
+        VLQ_FATAL("pauliChannel1: negative probability");
+    if (px + py + pz > 1.0)
+        VLQ_FATAL("pauliChannel1: probabilities exceed 1");
+    if (px + py + pz <= 0.0)
+        return;
+    checkQubit(q);
+    Operation op{OpCode::PAULI_CHANNEL_1, q, 0, px, -1};
+    op.py = py;
+    op.pz = pz;
+    ops_.push_back(op);
+}
+
+void
+Circuit::heraldedErase(uint32_t q, double p)
+{
+    if (p > 0.0)
+        append1(OpCode::HERALDED_ERASE, q, p);
+}
+
 uint32_t
 Circuit::addDetector(Detector detector)
 {
@@ -193,7 +220,7 @@ Circuit::totalNoiseMass() const
     double mass = 0.0;
     for (const auto& op : ops_) {
         if (opIsNoise(op.code))
-            mass += op.p;
+            mass += op.p + op.py + op.pz;
         else if (op.code == OpCode::MEASURE_Z)
             mass += op.p;
     }
@@ -210,6 +237,8 @@ Circuit::str() const
             ss << " " << op.q1;
         if (op.p != 0.0)
             ss << " p=" << op.p;
+        if (op.code == OpCode::PAULI_CHANNEL_1)
+            ss << " py=" << op.py << " pz=" << op.pz;
         if (op.meas >= 0)
             ss << " m" << op.meas;
         ss << "\n";

@@ -33,6 +33,17 @@ enum class OpCode : uint8_t {
     X_ERROR,
     Y_ERROR,
     Z_ERROR,
+    /**
+     * 1-qubit Pauli channel with independent X/Y/Z weights: X with
+     * probability `p`, Y with `py`, Z with `pz` (mutually exclusive).
+     */
+    PAULI_CHANNEL_1,
+    /**
+     * Heralded erasure: with probability `p` the qubit is erased — it is
+     * replaced by the maximally mixed state (uniform I/X/Y/Z, each p/4)
+     * and a classical herald flag is raised for the decoder.
+     */
+    HERALDED_ERASE,
 };
 
 /** True for noise channels (including measurement flips handled apart). */
@@ -55,6 +66,9 @@ struct Operation
     uint32_t q1 = 0;
     double p = 0.0;
     int32_t meas = -1;
+    /** Y/Z weights; meaningful only for PAULI_CHANNEL_1. */
+    double py = 0.0;
+    double pz = 0.0;
 };
 
 /** Which parity-check family a detector belongs to. */
@@ -122,6 +136,10 @@ class Circuit
     void xError(uint32_t q, double p);
     void yError(uint32_t q, double p);
     void zError(uint32_t q, double p);
+    /** Exclusive X/Y/Z channel; skipped when px + py + pz <= 0. */
+    void pauliChannel1(uint32_t q, double px, double py, double pz);
+    /** Heralded erasure with probability p; skipped when p <= 0. */
+    void heraldedErase(uint32_t q, double p);
     /** @} */
 
     /** Register a detector; returns its index. */

@@ -63,9 +63,9 @@ requireValidConfig(const GeneratorConfig& config)
 }
 
 NoisyBuilder::NoisyBuilder(uint32_t numWires, std::vector<WireKind> kinds,
-                           const NoiseModel& noise)
+                           const CompositeNoiseModel& noise)
     : circuit_(numWires), tracker_(numWires), kinds_(std::move(kinds)),
-      noise_(noise)
+      noise_(noise), uniform_(noise.isUniform())
 {
     VLQ_ASSERT(kinds_.size() == numWires, "wire kind count mismatch");
 }
@@ -73,12 +73,98 @@ NoisyBuilder::NoisyBuilder(uint32_t numWires, std::vector<WireKind> kinds,
 void
 NoisyBuilder::emitIdle(uint32_t wire, double durationNs)
 {
-    double p = noise_.idleError(kinds_[wire], durationNs);
-    circuit_.depolarize1(wire, p);
-    if (kinds_[wire] == WireKind::Transmon)
-        budget_.idleTransmon += p;
-    else
-        budget_.idleCavity += p;
+    WireKind kind = kinds_[wire];
+    double& budgetField = (kind == WireKind::Transmon)
+        ? budget_.idleTransmon : budget_.idleCavity;
+    double p = noise_.idleError(kind, durationNs);
+    if (uniform_ || !noise_.bias.enabled()) {
+        circuit_.depolarize1(wire, p);
+    } else {
+        double px, py, pz;
+        noise_.bias.split(p, px, py, pz);
+        circuit_.pauliChannel1(wire, px, py, pz);
+    }
+    budgetField += p;
+    if (noise_.dephasing.enabled()) {
+        double pzExtra = noise_.dephasing.dephasingError(kind, durationNs);
+        circuit_.zError(wire, pzExtra);
+        budgetField += pzExtra;
+    }
+}
+
+void
+NoisyBuilder::emitDamping(uint32_t q, double& budgetField)
+{
+    if (!noise_.damping.enabled())
+        return;
+    double px, py, pz;
+    AmplitudeDampingSource::twirl(noise_.damping.gamma, px, py, pz);
+    circuit_.pauliChannel1(q, px, py, pz);
+    budgetField += px + py + pz;
+}
+
+void
+NoisyBuilder::emitGateNoise1(uint32_t q, double p, double& budgetField)
+{
+    if (uniform_) {
+        circuit_.depolarize1(q, p);
+        budgetField += p;
+        return;
+    }
+    double pErase = noise_.erasure.enabled()
+        ? noise_.erasure.fraction * p : 0.0;
+    double pPauli = p - pErase;
+    if (noise_.bias.enabled()) {
+        double px, py, pz;
+        noise_.bias.split(pPauli, px, py, pz);
+        circuit_.pauliChannel1(q, px, py, pz);
+    } else {
+        circuit_.depolarize1(q, pPauli);
+    }
+    if (pErase > 0.0) {
+        if (noise_.erasure.heralded)
+            circuit_.heraldedErase(q, pErase);
+        else
+            circuit_.depolarize1(q, 0.75 * pErase);
+    }
+    budgetField += p;
+    emitDamping(q, budgetField);
+}
+
+void
+NoisyBuilder::emitGateNoise2(uint32_t a, uint32_t b, double p,
+                             double& budgetField)
+{
+    if (uniform_) {
+        circuit_.depolarize2(a, b, p);
+        budgetField += p;
+        return;
+    }
+    double pErase = noise_.erasure.enabled()
+        ? noise_.erasure.fraction * p : 0.0;
+    double pPauli = p - pErase;
+    if (noise_.bias.enabled()) {
+        // Independent single-qubit biased channels with half the gate
+        // budget each (a correlated biased 2-qubit channel is not
+        // representable in the IR).
+        double px, py, pz;
+        noise_.bias.split(pPauli / 2.0, px, py, pz);
+        circuit_.pauliChannel1(a, px, py, pz);
+        circuit_.pauliChannel1(b, px, py, pz);
+    } else {
+        circuit_.depolarize2(a, b, pPauli);
+    }
+    if (pErase > 0.0) {
+        for (uint32_t q : {a, b}) {
+            if (noise_.erasure.heralded)
+                circuit_.heraldedErase(q, pErase / 2.0);
+            else
+                circuit_.depolarize1(q, 0.75 * pErase / 2.0);
+        }
+    }
+    budgetField += p;
+    emitDamping(a, budgetField);
+    emitDamping(b, budgetField);
 }
 
 void
@@ -104,8 +190,7 @@ void
 NoisyBuilder::gateH(uint32_t q)
 {
     circuit_.h(q);
-    circuit_.depolarize1(q, noise_.p1);
-    budget_.gate1 += noise_.p1;
+    emitGateNoise1(q, noise_.p1, budget_.gate1);
     tracker_.touch(q);
 }
 
@@ -113,8 +198,7 @@ void
 NoisyBuilder::cnotTT(uint32_t control, uint32_t target)
 {
     circuit_.cnot(control, target);
-    circuit_.depolarize2(control, target, noise_.p2);
-    budget_.gateTT += noise_.p2;
+    emitGateNoise2(control, target, noise_.p2, budget_.gateTT);
     tracker_.touch(control);
     tracker_.touch(target);
 }
@@ -123,8 +207,7 @@ void
 NoisyBuilder::cnotTM(uint32_t control, uint32_t target)
 {
     circuit_.cnot(control, target);
-    circuit_.depolarize2(control, target, noise_.pTm);
-    budget_.gateTM += noise_.pTm;
+    emitGateNoise2(control, target, noise_.pTm, budget_.gateTM);
     tracker_.touch(control);
     tracker_.touch(target);
 }
@@ -133,8 +216,7 @@ void
 NoisyBuilder::loadStore(uint32_t transmon, uint32_t mode)
 {
     circuit_.swapGate(transmon, mode);
-    circuit_.depolarize2(transmon, mode, noise_.pLoadStore);
-    budget_.loadStore += noise_.pLoadStore;
+    emitGateNoise2(transmon, mode, noise_.pLoadStore, budget_.loadStore);
     tracker_.touch(transmon);
     tracker_.touch(mode);
     // Liveness moves with the information.
@@ -149,8 +231,12 @@ void
 NoisyBuilder::resetQ(uint32_t q)
 {
     circuit_.reset(q);
-    circuit_.xError(q, noise_.pReset);
-    budget_.resetErr += noise_.pReset;
+    // Reset errors are X flips by nature; skip p == 0 entirely so the
+    // default error-free reset adds no dead weight anywhere downstream.
+    if (noise_.pReset > 0.0) {
+        circuit_.xError(q, noise_.pReset);
+        budget_.resetErr += noise_.pReset;
+    }
     tracker_.touch(q);
     tracker_.setLive(q, true);
 }
@@ -158,8 +244,11 @@ NoisyBuilder::resetQ(uint32_t q)
 uint32_t
 NoisyBuilder::measure(uint32_t q)
 {
-    uint32_t m = circuit_.measureZ(q, noise_.pMeas);
-    budget_.measurement += noise_.pMeas;
+    // measFlip() is exactly pMeas when the readout source inherits both
+    // sides, so uniform configs emit byte-identical records.
+    double pm = noise_.measFlip();
+    uint32_t m = circuit_.measureZ(q, pm);
+    budget_.measurement += pm;
     tracker_.touch(q);
     tracker_.setLive(q, false);
     return m;

@@ -8,7 +8,7 @@
 #include "arch/device.h"
 #include "circuit/circuit.h"
 #include "circuit/moment_tracker.h"
-#include "noise/noise_model.h"
+#include "noise/noise_sources.h"
 #include "surface/layout.h"
 
 namespace vlq {
@@ -66,8 +66,12 @@ struct GeneratorConfig
     /** Paging-gap accounting (see PagingGapModel). */
     PagingGapModel gapModel = PagingGapModel::BlockOnce;
 
-    /** Full error model. */
-    NoiseModel noise;
+    /**
+     * Full error model: the flat uniform-Pauli rates plus the optional
+     * composable sources (bias, readout asymmetry, dephasing, damping,
+     * erasure). Assigning a flat NoiseModel resets all sources.
+     */
+    CompositeNoiseModel noise;
 
     int effectiveRounds() const { return rounds > 0 ? rounds : distance; }
 
@@ -151,10 +155,10 @@ class NoisyBuilder
 {
   public:
     NoisyBuilder(uint32_t numWires, std::vector<WireKind> kinds,
-                 const NoiseModel& noise);
+                 const CompositeNoiseModel& noise);
 
     Circuit& circuit() { return circuit_; }
-    const NoiseModel& noise() const { return noise_; }
+    const CompositeNoiseModel& noise() const { return noise_; }
     MomentTracker& tracker() { return tracker_; }
 
     /** Open a lock-step moment of the given duration. */
@@ -195,11 +199,22 @@ class NoisyBuilder
     Circuit circuit_;
     MomentTracker tracker_;
     std::vector<WireKind> kinds_;
-    NoiseModel noise_;
+    CompositeNoiseModel noise_;
+    bool uniform_;
     int loadStoreCount_ = 0;
     NoiseBudget budget_;
 
     void emitIdle(uint32_t wire, double durationNs);
+
+    /** Gate-class noise on one qubit through the composite sources. */
+    void emitGateNoise1(uint32_t q, double p, double& budgetField);
+
+    /** Gate-class noise on a two-qubit operand pair. */
+    void emitGateNoise2(uint32_t a, uint32_t b, double p,
+                        double& budgetField);
+
+    /** Post-gate Pauli-twirled amplitude damping (when enabled). */
+    void emitDamping(uint32_t q, double& budgetField);
 };
 
 /**

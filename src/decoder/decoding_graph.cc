@@ -29,6 +29,17 @@ DecodingGraph::DecodingGraph(uint32_t numDetectors)
 {
 }
 
+int32_t
+DecodingGraph::findEdge(uint32_t a, uint32_t b) const
+{
+    if (a > b)
+        std::swap(a, b);
+    uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+    auto it = edgeIndex_.find(key);
+    return it == edgeIndex_.end() ? -1
+                                  : static_cast<int32_t>(it->second);
+}
+
 uint32_t
 DecodingGraph::edgeIndexFor(uint32_t a, uint32_t b)
 {
@@ -103,17 +114,50 @@ DecodingGraph::build(const DetectorErrorModel& dem)
         }
     }
 
-    // Pass 2: accumulate every outcome into edges.
+    // Pass 2: accumulate every outcome into edges. Outcomes of ONE
+    // channel are mutually exclusive, so same-signature outcomes within
+    // a channel sum exactly (e.g. the X and Y branches of a depolarizing
+    // event often land on the same edge); only the per-channel
+    // aggregates combine with the independent-flip XOR rule
+    // p = p1(1-p2) + p2(1-p1) in addContribution. Feeding exclusive
+    // outcomes through the XOR rule undercounts -- measurably so in
+    // high-p sweeps.
+    struct ExclusivePiece
+    {
+        uint32_t a;
+        uint32_t b;
+        double probability; // exclusive sum over the channel
+        double best;        // largest single contribution
+        uint32_t observables;
+    };
+    std::vector<ExclusivePiece> pieces1and2;
     for (const auto& ch : dem.channels()) {
+        pieces1and2.clear();
+        auto accumulate = [&](uint32_t a, uint32_t b, double p,
+                              uint32_t obs) {
+            if (a > b)
+                std::swap(a, b);
+            for (auto& piece : pieces1and2) {
+                if (piece.a == a && piece.b == b) {
+                    piece.probability += p;
+                    if (p > piece.best) {
+                        piece.best = p;
+                        piece.observables = obs;
+                    }
+                    return;
+                }
+            }
+            pieces1and2.push_back(ExclusivePiece{a, b, p, p, obs});
+        };
         for (const auto& o : ch.outcomes) {
             if (o.detectors.empty()) {
                 continue; // pure observable flips are undetectable
             } else if (o.detectors.size() == 1) {
-                g.addContribution(o.detectors[0], boundary, o.probability,
-                                  o.observables);
+                accumulate(o.detectors[0], boundary, o.probability,
+                           o.observables);
             } else if (o.detectors.size() == 2) {
-                g.addContribution(o.detectors[0], o.detectors[1],
-                                  o.probability, o.observables);
+                accumulate(o.detectors[0], o.detectors[1],
+                           o.probability, o.observables);
             } else {
                 // Decompose into known pairs; leftovers pair arbitrarily.
                 std::vector<uint32_t> rest(o.detectors.begin(),
@@ -163,6 +207,9 @@ DecodingGraph::build(const DetectorErrorModel& dem)
                 }
             }
         }
+        for (const auto& piece : pieces1and2)
+            g.addContribution(piece.a, piece.b, piece.probability,
+                              piece.observables);
     }
 
     g.finalize();

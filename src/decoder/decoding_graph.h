@@ -92,6 +92,12 @@ class DecodingGraph
         return edge.a == v ? edge.b : edge.a;
     }
 
+    /**
+     * Index of the edge between a and b (either order; b may be the
+     * boundary), or -1 when no fault contributes such an edge.
+     */
+    int32_t findEdge(uint32_t a, uint32_t b) const;
+
     /** Smallest positive edge weight (0 when the graph is empty). */
     double minWeight() const { return minWeight_; }
 

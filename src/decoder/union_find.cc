@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "dem/shot_batch.h"
+#include "util/logging.h"
 
 namespace vlq {
 
@@ -47,6 +48,12 @@ struct Scratch
     std::vector<uint8_t> edgeMult;
     std::vector<uint32_t> roundEdges;
     std::vector<uint32_t> mergeQueue;
+    // Erasure state: per-edge flag (set/cleared per shot through the
+    // erased list) and the (vertex, edge) pairs of erased
+    // boundary-incident edges -- a cluster holding one has a free
+    // boundary exit for its leftover defect.
+    std::vector<uint8_t> erasedEdge;
+    std::vector<std::pair<uint32_t, uint32_t>> erasedBoundary;
 
     // Peeling state. Dijkstra arrays are cleared through `touched` so
     // each search pays only for what it explored; the pair cache holds
@@ -113,6 +120,7 @@ struct Scratch
             grown.resize(numEdges, 0);
             edgeStamp.resize(numEdges, 0);
             edgeMult.resize(numEdges); // stamp-guarded, no init needed
+            erasedEdge.resize(numEdges, 0);
         }
         if (cacheEpoch != epoch) {
             cacheEpoch = epoch;
@@ -205,12 +213,39 @@ scratch()
     return s;
 }
 
+/** Shared empty erased-edge list for the non-erasure entry points. */
+const std::vector<uint32_t> kNoErasedEdges;
+
 } // namespace
 
 UnionFindDecoder::UnionFindDecoder(const DetectorErrorModel& dem,
                                    UnionFindOptions options)
     : UnionFindDecoder(DecodingGraph::build(dem), options)
 {
+    // Map each heralded-erasure site to the graph edges its outcomes
+    // land on, so a raised herald can seed exactly those edges at zero
+    // weight. Outcomes with empty signatures (the I branch, or Paulis
+    // the detectors cannot see) have no edge to seed and are skipped.
+    erasureSiteEdges_.resize(dem.numErasureSites());
+    const uint32_t boundary = graph_.boundaryNode();
+    for (const auto& ch : dem.channels()) {
+        if (ch.erasureSite < 0)
+            continue;
+        auto& edges =
+            erasureSiteEdges_[static_cast<uint32_t>(ch.erasureSite)];
+        for (const auto& o : ch.outcomes) {
+            int32_t e = -1;
+            if (o.detectors.size() == 1)
+                e = graph_.findEdge(o.detectors[0], boundary);
+            else if (o.detectors.size() == 2)
+                e = graph_.findEdge(o.detectors[0], o.detectors[1]);
+            if (e < 0)
+                continue;
+            uint32_t eu = static_cast<uint32_t>(e);
+            if (std::find(edges.begin(), edges.end(), eu) == edges.end())
+                edges.push_back(eu);
+        }
+    }
 }
 
 UnionFindDecoder::UnionFindDecoder(DecodingGraph graph,
@@ -268,34 +303,92 @@ UnionFindDecoder::UnionFindDecoder(DecodingGraph graph,
 uint32_t
 UnionFindDecoder::decode(const BitVec& detectorFlips) const
 {
-    return decodeEvents(detectorFlips.onesIndices(), nullptr);
+    return decodeEvents(detectorFlips.onesIndices(), kNoErasedEdges,
+                        nullptr);
 }
 
 uint32_t
 UnionFindDecoder::decode(const BitVec& detectorFlips,
                          DecodeInfo* info) const
 {
-    return decodeEvents(detectorFlips.onesIndices(), info);
+    return decodeEvents(detectorFlips.onesIndices(), kNoErasedEdges,
+                        info);
+}
+
+uint32_t
+UnionFindDecoder::decodeWithErasures(const BitVec& detectorFlips,
+                                     const BitVec& erasures,
+                                     DecodeInfo* info) const
+{
+    thread_local std::vector<uint32_t> edges;
+    mapErasureSites(erasures.onesIndices(), edges);
+    return decodeEvents(detectorFlips.onesIndices(), edges, info);
+}
+
+uint32_t
+UnionFindDecoder::decodeErasedEdges(
+    const BitVec& detectorFlips,
+    const std::vector<uint32_t>& erasedEdges, DecodeInfo* info) const
+{
+    return decodeEvents(detectorFlips.onesIndices(), erasedEdges, info);
+}
+
+void
+UnionFindDecoder::mapErasureSites(const std::vector<uint32_t>& sites,
+                                  std::vector<uint32_t>& edges) const
+{
+    edges.clear();
+    for (uint32_t site : sites) {
+        // Graph-built decoders have no site map; heralds are then
+        // decoded as ordinary syndromes.
+        if (site >= erasureSiteEdges_.size())
+            continue;
+        const auto& se = erasureSiteEdges_[site];
+        edges.insert(edges.end(), se.begin(), se.end());
+    }
 }
 
 void
 UnionFindDecoder::decodeBatch(const ShotBatch& batch,
                               std::span<uint32_t> predictions) const
 {
-    decodeBatchEvents(batch, predictions,
-                      [this](const std::vector<uint32_t>& events) {
-                          return decodeEvents(events, nullptr);
-                      });
+    if (batch.numErasureSites() == 0 || erasureSiteEdges_.empty()) {
+        decodeBatchEvents(batch, predictions,
+                          [this](const std::vector<uint32_t>& events) {
+                              return decodeEvents(events,
+                                                  kNoErasedEdges,
+                                                  nullptr);
+                          });
+        return;
+    }
+    // Erasure-aware batch: gather event and herald lists with one
+    // sparse sweep each, then decode per shot with the herald's edges
+    // seeded at zero weight.
+    VLQ_ASSERT(predictions.size() >= batch.numShots(),
+               "predictions span smaller than the batch");
+    thread_local std::vector<std::vector<uint32_t>> events;
+    thread_local std::vector<std::vector<uint32_t>> sites;
+    thread_local std::vector<uint32_t> edges;
+    batch.gatherEvents(events);
+    batch.gatherErasures(sites);
+    for (uint32_t s = 0; s < batch.numShots(); ++s) {
+        mapErasureSites(sites[s], edges);
+        predictions[s] = decodeEvents(events[s], edges, nullptr);
+    }
 }
 
 uint32_t
 UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
+                               const std::vector<uint32_t>& erasedEdges,
                                DecodeInfo* info) const
 {
     if (info)
         *info = DecodeInfo{};
+    // With no detection events there is nothing to correct: erased
+    // clusters without defects peel to the empty correction anyway.
     if (events.empty())
         return 0;
+    const bool hasErasures = !erasedEdges.empty();
 
     const uint32_t n = graph_.numNodes();
     const uint32_t numEdges = static_cast<uint32_t>(graph_.edges().size());
@@ -563,8 +656,10 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
 
     // Fast path: a small syndrome is matched exactly as one global
     // problem -- identical to the blossom formulation, so the result
-    // is MWPM-exact -- with no growth and no arena reset.
-    if (events.size() <= exactSyndromeThreshold_) {
+    // is MWPM-exact -- with no growth and no arena reset. Erased
+    // shots must take the growth path: the global distances know
+    // nothing about the (free) erased edges.
+    if (!hasErasures && events.size() <= exactSyndromeThreshold_) {
         matchDefectsExact(events);
         if (info) {
             info->initialClusters =
@@ -631,6 +726,44 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
         fu.insert(fu.end(), fv.begin(), fv.end());
         fv.clear();
     };
+
+    // Zero-weight erasure seeding (Delfosse-Nickerson): every erased
+    // edge is grown to full support at time zero -- traversing it
+    // costs nothing -- and its endpoint clusters merge before ordinary
+    // weighted growth starts. Erased boundary edges freeze their
+    // cluster (free boundary exit) and are remembered so peeling can
+    // discharge a leftover defect through them.
+    if (hasErasures) {
+        s.erasedBoundary.clear();
+        for (uint32_t e : erasedEdges) {
+            VLQ_ASSERT(e < numEdges, "erased edge index out of range");
+            if (s.erasedEdge[e])
+                continue; // two heralds over one edge seed it once
+            s.erasedEdge[e] = 1;
+            const DecodingEdge& edge = graph_.edges()[e];
+            if (edge.a == boundary || edge.b == boundary)
+                s.erasedBoundary.push_back(
+                    {edge.a == boundary ? edge.b : edge.a, e});
+            s.support[e] = capacity_[e];
+            s.grown[e] = 1;
+            s.grownList.push_back(e);
+            mergeEdge(e);
+        }
+        // Pre-merging can move roots off the defect vertices, pair
+        // defects into even clusters, or freeze clusters at the
+        // boundary -- rebuild the active list from the merged state.
+        const uint64_t seedId = ++s.counter;
+        s.nextActive.clear();
+        for (uint32_t v : events) {
+            uint32_t r = s.find(v);
+            if (s.stamp[r] == seedId)
+                continue;
+            s.stamp[r] = seedId;
+            if (s.parity[r] && !s.btouch[r])
+                s.nextActive.push_back(r);
+        }
+        s.active.swap(s.nextActive);
+    }
 
     // Growth is event-driven: each round, every active cluster claims
     // its frontier edges (an edge claimed from both endpoints grows at
@@ -719,12 +852,18 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
 
     constexpr size_t kExactMatching = 6;
 
-    // Classic union-find peeling for one large cluster: build a BFS
-    // spanning tree of the cluster's grown edges, peel it leaves-first
-    // XOR-ing a tree edge whenever the child side carries a defect,
-    // and send any leftover root defect to the boundary via the table.
+    // Classic union-find peeling for one large (or erased) cluster:
+    // build a BFS spanning tree of the cluster's grown edges, peel it
+    // leaves-first XOR-ing a tree edge whenever the child side carries
+    // a defect, and send any leftover root defect to the boundary --
+    // through the cluster's erased boundary edge when it has one (the
+    // free exit, exact for erasure-only shots), otherwise via the
+    // global table. Erased edges sit in the tree like any grown edge,
+    // which is what makes peeling exact on pure-erasure clusters.
     auto peelForest = [&](uint32_t r,
-                          const std::vector<uint32_t>& defects) {
+                          const std::vector<uint32_t>& defects,
+                          bool hasExit, uint32_t exitVertex,
+                          uint32_t exitObs) {
         for (uint32_t e : s.clusterEdges[r]) {
             const DecodingEdge& edge = graph_.edges()[e];
             for (uint32_t v : {edge.a, edge.b}) {
@@ -734,7 +873,9 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
             s.treeAdj[edge.a].push_back(e);
             s.treeAdj[edge.b].push_back(e);
         }
-        uint32_t root = defects[0];
+        // Rooting at the erased boundary exit makes the leftover
+        // defect (if any) land exactly where the free exit is.
+        uint32_t root = hasExit ? exitVertex : defects[0];
         s.order.clear();
         s.order.push_back(root);
         s.finalized[root] = 1;
@@ -764,7 +905,10 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
         }
         if (s.defect[root]) {
             s.defect[root] = 0;
-            if (std::isfinite(boundaryDist_[root])) {
+            if (hasExit) {
+                obs ^= exitObs;
+                ++boundaryMatches;
+            } else if (std::isfinite(boundaryDist_[root])) {
                 obs ^= boundaryObs_[root];
                 ++boundaryMatches;
             }
@@ -778,12 +922,42 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
 
     for (uint32_t r : s.roots) {
         const auto& defects = s.clusterDefects[r];
-        if (defects.size() > kExactMatching)
-            peelForest(r, defects);
+        // A cluster holding erased edges peels on its spanning forest:
+        // the forest includes the free erased edges, which the global
+        // distances of the exact matcher cannot see. An erased
+        // boundary edge additionally gives the cluster a free exit.
+        bool erased = false;
+        bool hasExit = false;
+        uint32_t exitVertex = 0;
+        uint32_t exitObs = 0;
+        if (hasErasures) {
+            for (uint32_t e : s.clusterEdges[r]) {
+                if (s.erasedEdge[e]) {
+                    erased = true;
+                    break;
+                }
+            }
+            for (const auto& [v, e] : s.erasedBoundary) {
+                if (s.find(v) == r) {
+                    hasExit = true;
+                    exitVertex = v;
+                    exitObs = graph_.edges()[e].observables;
+                    break;
+                }
+            }
+        }
+        if (defects.size() > kExactMatching || erased || hasExit)
+            peelForest(r, defects, hasExit, exitVertex, exitObs);
         else
             matchDefectsExact(defects);
         s.clusterEdges[r].clear();
         s.clusterDefects[r].clear();
+    }
+
+    if (hasErasures) {
+        for (uint32_t e : erasedEdges)
+            s.erasedEdge[e] = 0;
+        s.erasedBoundary.clear();
     }
 
     if (info) {

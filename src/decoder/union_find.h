@@ -98,6 +98,8 @@ class UnionFindDecoder : public Decoder
      * sparse sweep over the transposed batch, and the cluster arenas
      * and the memoized pair-distance cache stay hot across the whole
      * batch (they are thread-local, so cross-shot reuse is free).
+     * When the batch carries heralded-erasure rows, each shot's
+     * erased edges are seeded at zero weight (see decodeWithErasures).
      */
     void decodeBatch(const ShotBatch& batch,
                      std::span<uint32_t> predictions) const override;
@@ -105,17 +107,56 @@ class UnionFindDecoder : public Decoder
     /** decode() variant that also reports diagnostics. */
     uint32_t decode(const BitVec& detectorFlips, DecodeInfo* info) const;
 
+    /**
+     * Erasure-aware decode: `erasures` holds one bit per DEM erasure
+     * site (FaultSampler::Shot::erasures). The edges of heralded sites
+     * are grown to full support at time zero -- erasure costs nothing,
+     * the Delfosse-Nickerson zero-weight seeding -- before ordinary
+     * weighted growth, and clusters containing erased edges peel on
+     * their spanning forests (exact for erasure-only shots). Requires
+     * construction from a DetectorErrorModel (the graph alone cannot
+     * map sites to edges).
+     */
+    uint32_t decodeWithErasures(const BitVec& detectorFlips,
+                                const BitVec& erasures,
+                                DecodeInfo* info = nullptr) const;
+
+    /**
+     * Lower-level erasure decode on explicit edge indices (hand-built
+     * graph tests and the batched path).
+     */
+    uint32_t decodeErasedEdges(const BitVec& detectorFlips,
+                               const std::vector<uint32_t>& erasedEdges,
+                               DecodeInfo* info = nullptr) const;
+
+    /** Edges seeded by each heralded-erasure site (diagnostics). */
+    const std::vector<std::vector<uint32_t>>& erasureSiteEdges() const
+    {
+        return erasureSiteEdges_;
+    }
+
     const DecodingGraph& graph() const { return graph_; }
 
     /** Growth ticks of edge e (the quantized weight). */
     uint32_t edgeCapacity(uint32_t e) const { return capacity_[e]; }
 
   private:
-    /** The decode core, on a pre-extracted ascending event list. */
+    /**
+     * The decode core, on a pre-extracted ascending event list.
+     * `erasedEdges` (possibly with duplicates) is pre-grown at zero
+     * weight; pass an empty list for ordinary decoding.
+     */
     uint32_t decodeEvents(const std::vector<uint32_t>& events,
+                          const std::vector<uint32_t>& erasedEdges,
                           DecodeInfo* info) const;
 
+    /** Flatten fired erasure-site indices into their edges. */
+    void mapErasureSites(const std::vector<uint32_t>& sites,
+                         std::vector<uint32_t>& edges) const;
+
     DecodingGraph graph_;
+    /** Edge indices seeded by each heralded-erasure site. */
+    std::vector<std::vector<uint32_t>> erasureSiteEdges_;
     uint32_t exactSyndromeThreshold_ = 0;
     std::vector<uint16_t> capacity_;
     // Global shortest path to the boundary per detector (one Dijkstra

@@ -10,9 +10,15 @@ namespace vlq {
 double
 FaultChannel::totalProbability() const
 {
+    // Outcomes of one channel are mutually exclusive physical events, so
+    // exclusive summation is exact here. The XOR combination rule
+    // p = p1(1-p2) + p2(1-p1) applies only across *independent* channels
+    // and lives in DecodingGraph, where contributions from different
+    // channels meet on a shared edge.
     double p = 0.0;
     for (const auto& o : outcomes)
         p += o.probability;
+    VLQ_ASSERT(p <= 1.0 + 1e-9, "fault channel mass exceeds 1");
     return p;
 }
 
@@ -171,11 +177,60 @@ DetectorErrorModel::build(const Circuit& circuit)
                 dem.channels_.push_back(std::move(ch));
             break;
           }
+          case OpCode::PAULI_CHANNEL_1: {
+            FaultChannel ch;
+            ch.opIndex = static_cast<uint32_t>(idx);
+            FaultOutcome ox = toOutcome(dx[op.q0], dem.numDetectors_,
+                                        op.p);
+            scratch = dx[op.q0];
+            scratch ^= dz[op.q0];
+            FaultOutcome oy = toOutcome(scratch, dem.numDetectors_,
+                                        op.py);
+            FaultOutcome oz = toOutcome(dz[op.q0], dem.numDetectors_,
+                                        op.pz);
+            for (auto* o : {&ox, &oy, &oz}) {
+                if (o->probability > 0.0
+                    && (!o->detectors.empty() || o->observables != 0)) {
+                    ch.outcomes.push_back(std::move(*o));
+                }
+            }
+            if (!ch.outcomes.empty())
+                dem.channels_.push_back(std::move(ch));
+            break;
+          }
+          case OpCode::HERALDED_ERASE: {
+            // The erased qubit is replaced by the maximally mixed state:
+            // uniform I/X/Y/Z, each p/4. Empty signatures (always the I
+            // branch, possibly more) are KEPT so the channel fires --
+            // and the herald raises -- with the full probability p.
+            FaultChannel ch;
+            ch.opIndex = static_cast<uint32_t>(idx);
+            ch.heralded = true;
+            const double p4 = op.p / 4.0;
+            scratch.clear();
+            ch.outcomes.push_back(
+                toOutcome(scratch, dem.numDetectors_, p4)); // I
+            ch.outcomes.push_back(
+                toOutcome(dx[op.q0], dem.numDetectors_, p4)); // X
+            scratch = dx[op.q0];
+            scratch ^= dz[op.q0];
+            ch.outcomes.push_back(
+                toOutcome(scratch, dem.numDetectors_, p4)); // Y
+            ch.outcomes.push_back(
+                toOutcome(dz[op.q0], dem.numDetectors_, p4)); // Z
+            dem.channels_.push_back(std::move(ch));
+            break;
+          }
         }
     }
 
-    // Reverse to circuit order (cosmetic: keeps opIndex ascending).
+    // Reverse to circuit order (cosmetic: keeps opIndex ascending), then
+    // number the heralded channels in that final order.
     std::reverse(dem.channels_.begin(), dem.channels_.end());
+    for (auto& ch : dem.channels_)
+        if (ch.heralded)
+            ch.erasureSite =
+                static_cast<int32_t>(dem.numErasureSites_++);
     return dem;
 }
 

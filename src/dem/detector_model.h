@@ -23,7 +23,9 @@ struct FaultOutcome
  * An independent physical fault mechanism (one noise channel of the
  * circuit). Outcomes are mutually exclusive; probabilities sum to at
  * most 1 (the remainder is "no error"). Outcomes whose signature is
- * empty are dropped -- they are indistinguishable from no error.
+ * empty are dropped -- they are indistinguishable from no error --
+ * except for heralded channels, which keep them so the herald fires
+ * with the channel's full physical probability.
  */
 struct FaultChannel
 {
@@ -32,7 +34,21 @@ struct FaultChannel
 
     std::vector<FaultOutcome> outcomes;
 
-    /** Total probability that any (visible) outcome fires. */
+    /** True for heralded-erasure channels: firing raises a herald. */
+    bool heralded = false;
+
+    /**
+     * Dense index of this channel among heralded channels (the bit it
+     * sets in a shot's erasure mask), or -1 when not heralded.
+     */
+    int32_t erasureSite = -1;
+
+    /**
+     * Total probability that any recorded outcome fires. Outcomes of
+     * one channel are mutually exclusive, so this is their plain sum
+     * (independent channels sharing a signature are instead combined
+     * with the XOR rule downstream, in the decoding graph).
+     */
     double totalProbability() const;
 };
 
@@ -66,6 +82,9 @@ class DetectorErrorModel
     uint32_t numDetectors() const { return numDetectors_; }
     uint32_t numObservables() const { return numObservables_; }
 
+    /** Number of heralded-erasure sites (bits in a shot erasure mask). */
+    uint32_t numErasureSites() const { return numErasureSites_; }
+
     const std::vector<FaultChannel>& channels() const { return channels_; }
 
     const std::vector<DetectorMeta>& detectorMeta() const { return meta_; }
@@ -76,6 +95,7 @@ class DetectorErrorModel
   private:
     uint32_t numDetectors_ = 0;
     uint32_t numObservables_ = 0;
+    uint32_t numErasureSites_ = 0;
     std::vector<FaultChannel> channels_;
     std::vector<DetectorMeta> meta_;
 };

@@ -10,11 +10,13 @@ namespace vlq {
 
 FaultSampler::FaultSampler(const DetectorErrorModel& dem)
     : numDetectors_(dem.numDetectors()),
-      numObservables_(dem.numObservables())
+      numObservables_(dem.numObservables()),
+      numErasureSites_(dem.numErasureSites())
 {
     channels_.reserve(dem.channels().size());
     for (const auto& ch : dem.channels()) {
         FlatChannel fc;
+        fc.erasureSite = ch.erasureSite;
         fc.begin = static_cast<uint32_t>(outcomes_.size());
         double cum = 0.0;
         for (const auto& o : ch.outcomes) {
@@ -65,7 +67,8 @@ FaultSampler::sample(Rng& rng) const
 {
     Shot shot;
     shot.detectors.resize(numDetectors_);
-    sampleInto(rng, shot.detectors, shot.observables);
+    shot.erasures.resize(numErasureSites_);
+    sampleInto(rng, shot.detectors, shot.observables, shot.erasures);
     return shot;
 }
 
@@ -73,12 +76,25 @@ void
 FaultSampler::sampleInto(Rng& rng, BitVec& detectors,
                          uint32_t& observables) const
 {
+    // Heralds discarded; the RNG stream is identical either way.
+    thread_local BitVec scratchErasures;
+    scratchErasures.resize(numErasureSites_);
+    sampleInto(rng, detectors, observables, scratchErasures);
+}
+
+void
+FaultSampler::sampleInto(Rng& rng, BitVec& detectors,
+                         uint32_t& observables, BitVec& erasures) const
+{
     detectors.clear();
     observables = 0;
+    erasures.clear();
     for (const auto& ch : channels_) {
         double u = rng.nextDouble();
         if (u >= ch.total)
             continue;
+        if (ch.erasureSite >= 0)
+            erasures.set(static_cast<uint32_t>(ch.erasureSite), true);
         // Linear scan: channels have at most 15 outcomes.
         for (uint32_t i = ch.begin; i < ch.end; ++i) {
             const FlatOutcome& o = outcomes_[i];
@@ -97,6 +113,9 @@ FaultSampler::fireChannel(const FlatChannel& ch, double u,
                           uint64_t laneBit, uint32_t laneWord,
                           ShotBatch& batch) const
 {
+    if (ch.erasureSite >= 0)
+        batch.erasureRow(static_cast<uint32_t>(ch.erasureSite))
+            [laneWord] |= laneBit;
     // u is uniform in [0, ch.total): the outcome choice conditioned on
     // the channel firing, matching the scalar path's distribution. The
     // last outcome also catches u rounding up to exactly ch.total --
@@ -126,6 +145,8 @@ FaultSampler::sampleBatchInto(const Rng& root, ShotBatch& batch) const
     VLQ_ASSERT(batch.numDetectors() == numDetectors_
                    && batch.numObservables() == numObservables_,
                "ShotBatch not reset for this sampler's model");
+    VLQ_ASSERT(batch.numErasureSites() == numErasureSites_,
+               "ShotBatch erasure rows not sized for this model");
     const uint32_t shots = batch.numShots();
     for (uint32_t s = 0; s < shots; ++s) {
         Rng rng = root.split(batch.firstTrial() + s);

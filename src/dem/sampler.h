@@ -45,6 +45,8 @@ class FaultSampler
     {
         BitVec detectors;
         uint32_t observables = 0;
+        /** Heralded-erasure mask, one bit per erasure site. */
+        BitVec erasures;
     };
 
     /** Sample one trial. */
@@ -53,6 +55,14 @@ class FaultSampler
     /** Sample into preallocated storage (hot path). */
     void sampleInto(Rng& rng, BitVec& detectors,
                     uint32_t& observables) const;
+
+    /**
+     * Like sampleInto, additionally recording fired heralds into
+     * `erasures` (must be sized to numErasureSites). Draws the exact
+     * same RNG stream as the two-argument overload.
+     */
+    void sampleInto(Rng& rng, BitVec& detectors, uint32_t& observables,
+                    BitVec& erasures) const;
 
     /**
      * Fill a whole batch: shot s of `batch` samples trial
@@ -64,6 +74,7 @@ class FaultSampler
 
     uint32_t numDetectors() const { return numDetectors_; }
     uint32_t numObservables() const { return numObservables_; }
+    uint32_t numErasureSites() const { return numErasureSites_; }
 
   private:
     struct FlatOutcome
@@ -78,6 +89,7 @@ class FaultSampler
         double total;      // total visible probability
         uint32_t begin;    // range into outcomes_
         uint32_t end;
+        int32_t erasureSite = -1; // herald bit set on fire, or -1
     };
     /** Channels sharing one firing probability (skip-sampling unit). */
     struct ChannelGroup
@@ -95,6 +107,7 @@ class FaultSampler
 
     uint32_t numDetectors_ = 0;
     uint32_t numObservables_ = 0;
+    uint32_t numErasureSites_ = 0;
     std::vector<FlatChannel> channels_;
     std::vector<FlatOutcome> outcomes_;
     std::vector<uint32_t> detectorIndices_;

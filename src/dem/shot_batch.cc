@@ -8,12 +8,14 @@ namespace vlq {
 
 void
 ShotBatch::reset(uint32_t numDetectors, uint32_t numObservables,
-                 uint32_t numShots, uint64_t firstTrial)
+                 uint32_t numShots, uint64_t firstTrial,
+                 uint32_t numErasureSites)
 {
     VLQ_ASSERT(numShots > 0, "ShotBatch::reset needs at least one shot");
     numShots_ = numShots;
     numDetectors_ = numDetectors;
     numObservables_ = numObservables;
+    numErasureSites_ = numErasureSites;
     firstTrial_ = firstTrial;
     wordsPerRow_ = (numShots + kWordBits - 1) / kWordBits;
     size_t rowBits = static_cast<size_t>(wordsPerRow_) * kWordBits;
@@ -21,6 +23,8 @@ ShotBatch::reset(uint32_t numDetectors, uint32_t numObservables,
     detectorBits_.clear();
     observableBits_.resize(numObservables * rowBits);
     observableBits_.clear();
+    erasureBits_.resize(numErasureSites * rowBits);
+    erasureBits_.clear();
 }
 
 uint32_t
@@ -60,6 +64,16 @@ ShotBatch::nonTrivialMask(uint32_t wordIndex) const
     return acc;
 }
 
+uint64_t
+ShotBatch::erasedLanesMask(uint32_t wordIndex) const
+{
+    uint64_t acc = 0;
+    const uint64_t* words = erasureBits_.wordData() + wordIndex;
+    for (uint32_t e = 0; e < numErasureSites_; ++e)
+        acc |= words[static_cast<size_t>(e) * wordsPerRow_];
+    return acc;
+}
+
 void
 ShotBatch::gatherEvents(
     std::vector<std::vector<uint32_t>>& events) const
@@ -80,6 +94,30 @@ ShotBatch::gatherEvents(
                 uint32_t shot = wi * kWordBits + lane;
                 if (shot < numShots_)
                     events[shot].push_back(d);
+                w &= w - 1;
+            }
+        }
+    }
+}
+
+void
+ShotBatch::gatherErasures(
+    std::vector<std::vector<uint32_t>>& sites) const
+{
+    if (sites.size() < numShots_)
+        sites.resize(numShots_);
+    for (uint32_t s = 0; s < numShots_; ++s)
+        sites[s].clear();
+    for (uint32_t e = 0; e < numErasureSites_; ++e) {
+        const uint64_t* row = erasureRow(e);
+        for (uint32_t wi = 0; wi < wordsPerRow_; ++wi) {
+            uint64_t w = row[wi];
+            while (w) {
+                uint32_t lane =
+                    static_cast<uint32_t>(std::countr_zero(w));
+                uint32_t shot = wi * kWordBits + lane;
+                if (shot < numShots_)
+                    sites[shot].push_back(e);
                 w &= w - 1;
             }
         }

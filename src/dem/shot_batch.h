@@ -39,13 +39,17 @@ class ShotBatch
      * detector/observable counts, covering trials
      * [firstTrial, firstTrial + numShots). Zeroes all rows. Backing
      * storage is reused across calls (no steady-state allocation).
+     * `numErasureSites` adds one row per heralded-erasure site; 0 for
+     * models without erasure (no overhead).
      */
     void reset(uint32_t numDetectors, uint32_t numObservables,
-               uint32_t numShots, uint64_t firstTrial = 0);
+               uint32_t numShots, uint64_t firstTrial = 0,
+               uint32_t numErasureSites = 0);
 
     uint32_t numShots() const { return numShots_; }
     uint32_t numDetectors() const { return numDetectors_; }
     uint32_t numObservables() const { return numObservables_; }
+    uint32_t numErasureSites() const { return numErasureSites_; }
     uint64_t firstTrial() const { return firstTrial_; }
 
     /** Words per row: ceil(numShots / 64). */
@@ -75,10 +79,29 @@ class ShotBatch
             + static_cast<size_t>(observable) * wordsPerRow_;
     }
 
+    /** Row of packed herald bits for one erasure site. */
+    uint64_t* erasureRow(uint32_t site)
+    {
+        return erasureBits_.wordData()
+            + static_cast<size_t>(site) * wordsPerRow_;
+    }
+    const uint64_t* erasureRow(uint32_t site) const
+    {
+        return erasureBits_.wordData()
+            + static_cast<size_t>(site) * wordsPerRow_;
+    }
+
     /** Shot s's outcome for one detector. */
     bool detector(uint32_t shot, uint32_t det) const
     {
         return (detectorRow(det)[shot / kWordBits]
+                >> (shot % kWordBits)) & 1;
+    }
+
+    /** Whether erasure site `site` was heralded in shot s. */
+    bool erased(uint32_t shot, uint32_t site) const
+    {
+        return (erasureRow(site)[shot / kWordBits]
                 >> (shot % kWordBits)) & 1;
     }
 
@@ -100,6 +123,13 @@ class ShotBatch
     uint64_t nonTrivialMask(uint32_t wordIndex) const;
 
     /**
+     * Word of lanes with at least one heralded erasure: bit s of word
+     * `wordIndex` is set iff shot wordIndex*64+s saw any herald. Lets
+     * erasure-aware decoders keep the erasure-free fast path.
+     */
+    uint64_t erasedLanesMask(uint32_t wordIndex) const;
+
+    /**
      * Gather per-shot detection-event lists in one sparse sweep:
      * events[s] receives the flipped detector indices of shot s,
      * ascending (same order as BitVec::onesIndices). `events` is
@@ -107,14 +137,22 @@ class ShotBatch
      */
     void gatherEvents(std::vector<std::vector<uint32_t>>& events) const;
 
+    /**
+     * Gather per-shot heralded-erasure site lists, ascending, same
+     * contract as gatherEvents.
+     */
+    void gatherErasures(std::vector<std::vector<uint32_t>>& sites) const;
+
   private:
     uint32_t numShots_ = 0;
     uint32_t numDetectors_ = 0;
     uint32_t numObservables_ = 0;
+    uint32_t numErasureSites_ = 0;
     uint32_t wordsPerRow_ = 0;
     uint64_t firstTrial_ = 0;
     BitVec detectorBits_;   // numDetectors rows of wordsPerRow words
     BitVec observableBits_; // numObservables rows of wordsPerRow words
+    BitVec erasureBits_;    // numErasureSites rows of wordsPerRow words
 };
 
 } // namespace vlq

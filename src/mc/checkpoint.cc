@@ -104,6 +104,23 @@ checkpointPointKey(EmbeddingKind embedding, const GeneratorConfig& config)
        << " tLS=" << canonicalDouble(hw.tLoadStore)
        << " tM=" << canonicalDouble(hw.tMeasure)
        << " tR=" << canonicalDouble(hw.tReset);
+    // Composite noise sources change the generated circuit, so they
+    // must change the key. Appended only when some source is active:
+    // uniform configs keep their pre-composite keys, so existing
+    // checkpoint files keep resuming.
+    const CompositeNoiseModel& cn = config.noise;
+    if (!cn.isUniform()) {
+        os << " biasX=" << canonicalDouble(cn.bias.rX)
+           << " biasY=" << canonicalDouble(cn.bias.rY)
+           << " biasZ=" << canonicalDouble(cn.bias.rZ)
+           << " p01=" << canonicalDouble(cn.readout.p0to1)
+           << " p10=" << canonicalDouble(cn.readout.p1to0)
+           << " tPhiT=" << canonicalDouble(cn.dephasing.tPhiTransmonNs)
+           << " tPhiC=" << canonicalDouble(cn.dephasing.tPhiCavityNs)
+           << " gamma=" << canonicalDouble(cn.damping.gamma)
+           << " pErase=" << canonicalDouble(cn.erasure.fraction)
+           << " herald=" << (cn.erasure.heralded ? 1 : 0);
+    }
     return fnv1a64(os.str());
 }
 

@@ -244,7 +244,7 @@ estimateLogicalErrorBasis(EmbeddingKind embedding,
             uint32_t count = static_cast<uint32_t>(
                 std::min<uint64_t>(batchSize, trials - begin));
             batch.reset(dem.numDetectors(), dem.numObservables(), count,
-                        begin);
+                        begin, dem.numErasureSites());
             sampler.sampleBatchInto(root, batch);
             predictions.resize(count);
             decoder->decodeBatch(batch, std::span<uint32_t>(predictions));

@@ -1,9 +1,19 @@
 #include "noise/noise_model.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
+#include "util/logging.h"
+
 namespace vlq {
+
+namespace {
+
+std::atomic<uint64_t> idleCapBinds{0};
+std::atomic<bool> idleCapWarned{false};
+
+} // namespace
 
 NoiseModel
 NoiseModel::atPhysicalRate(double p, const HardwareParams& hw,
@@ -30,7 +40,29 @@ NoiseModel::idleError(WireKind kind, double dtNs) const
     if (t1 <= 0.0)
         return 0.0;
     double lambda = 1.0 - std::exp(-dtNs / t1);
-    return std::min(0.75, lambda * idleScale);
+    double scaled = lambda * idleScale;
+    if (scaled > 0.75) {
+        idleCapBinds.fetch_add(1, std::memory_order_relaxed);
+        if (!idleCapWarned.exchange(true, std::memory_order_relaxed))
+            VLQ_WARN("idle error saturated at 0.75 (maximally mixing); "
+                     "idleScale is too large for this duration and the "
+                     "sweep will flatten");
+        return 0.75;
+    }
+    return scaled;
+}
+
+uint64_t
+NoiseModel::idleCapBindCount()
+{
+    return idleCapBinds.load(std::memory_order_relaxed);
+}
+
+void
+NoiseModel::resetIdleCapDiagnostics()
+{
+    idleCapBinds.store(0, std::memory_order_relaxed);
+    idleCapWarned.store(false, std::memory_order_relaxed);
 }
 
 } // namespace vlq

@@ -1,6 +1,8 @@
 #ifndef VLQ_NOISE_NOISE_MODEL_H
 #define VLQ_NOISE_NOISE_MODEL_H
 
+#include <cstdint>
+
 #include "noise/hardware_params.h"
 
 namespace vlq {
@@ -69,9 +71,18 @@ struct NoiseModel
 
     /**
      * Depolarizing probability for a wire idling dtNs nanoseconds.
-     * Capped at 0.75 (maximally mixing).
+     * Capped at 0.75 (maximally mixing). The first time the cap binds in
+     * a run a warning is printed, so large-idleScale sensitivity scans
+     * cannot silently flatten; every bind is also counted (see
+     * idleCapBindCount).
      */
     double idleError(WireKind kind, double dtNs) const;
+
+    /** Number of idleError calls that hit the 0.75 cap so far. */
+    static uint64_t idleCapBindCount();
+
+    /** Reset the cap-bind counter and the warn-once latch (tests). */
+    static void resetIdleCapDiagnostics();
 };
 
 } // namespace vlq

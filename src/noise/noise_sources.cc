@@ -1,0 +1,52 @@
+#include "noise/noise_sources.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vlq {
+
+void
+BiasedPauliSource::split(double p, double& px, double& py,
+                         double& pz) const
+{
+    VLQ_ASSERT(rX >= 0.0 && rY >= 0.0 && rZ >= 0.0,
+               "negative Pauli bias ratio");
+    double s = rX + rY + rZ;
+    VLQ_ASSERT(s > 0.0, "all Pauli bias ratios zero");
+    px = p * rX / s;
+    py = p * rY / s;
+    pz = p * rZ / s;
+}
+
+double
+ReadoutFlipSource::effectiveFlip(double pMeas) const
+{
+    double p01 = p0to1 >= 0.0 ? p0to1 : pMeas;
+    double p10 = p1to0 >= 0.0 ? p1to0 : pMeas;
+    return (p01 + p10) / 2.0;
+}
+
+double
+IdleDephasingSource::dephasingError(WireKind kind, double dtNs) const
+{
+    double tPhi = (kind == WireKind::Transmon) ? tPhiTransmonNs
+                                               : tPhiCavityNs;
+    if (tPhi <= 0.0 || dtNs <= 0.0)
+        return 0.0;
+    return 0.5 * (1.0 - std::exp(-dtNs / tPhi));
+}
+
+void
+AmplitudeDampingSource::twirl(double gamma, double& px, double& py,
+                              double& pz)
+{
+    VLQ_ASSERT(gamma >= 0.0 && gamma <= 1.0,
+               "damping gamma outside [0, 1]");
+    px = gamma / 4.0;
+    py = gamma / 4.0;
+    double half = (1.0 - std::sqrt(1.0 - gamma)) / 2.0;
+    pz = half * half;
+}
+
+} // namespace vlq

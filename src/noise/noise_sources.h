@@ -1,0 +1,151 @@
+#ifndef VLQ_NOISE_NOISE_SOURCES_H
+#define VLQ_NOISE_NOISE_SOURCES_H
+
+#include "noise/noise_model.h"
+
+namespace vlq {
+
+/**
+ * Composable per-channel noise sources.
+ *
+ * The flat NoiseModel collapses every error mechanism into uniform Pauli
+ * depolarizing with a handful of scalar rates. Each struct below is one
+ * independent physical mechanism that can be switched on individually;
+ * CompositeNoiseModel bundles them on top of the flat model. Every
+ * source defaults to *disabled*, in which case generators emit exactly
+ * the same operation stream as the flat model (bit-identical circuits,
+ * DEMs and seeded Monte-Carlo counts).
+ */
+
+/**
+ * Biased Pauli errors: distribute each gate class's depolarizing budget
+ * over X:Y:Z in the given ratios instead of uniformly. Equal ratios
+ * (the default) are exactly the uniform depolarizing channel and keep
+ * the DEPOLARIZE1/2 emission path. With bias enabled, two-qubit gate
+ * errors are modeled as independent single-qubit biased channels on
+ * each operand carrying half the gate budget each (the standard
+ * biased-noise simplification; a correlated 2-qubit biased channel is
+ * not representable in the IR).
+ */
+struct BiasedPauliSource
+{
+    double rX = 1.0;
+    double rY = 1.0;
+    double rZ = 1.0;
+
+    bool enabled() const { return !(rX == rY && rY == rZ); }
+
+    /** Split a total budget p into px/py/pz according to the ratios. */
+    void split(double p, double& px, double& py, double& pz) const;
+};
+
+/**
+ * Asymmetric readout: the recorded outcome flips 0->1 with probability
+ * p0to1 and 1->0 with p1to0. A negative value inherits the flat pMeas.
+ * Detector error models cannot represent state-dependent flips, so the
+ * emitted flip probability is the state-averaged (p0to1 + p1to0) / 2 —
+ * exactly pMeas when both sides inherit.
+ */
+struct ReadoutFlipSource
+{
+    double p0to1 = -1.0;
+    double p1to0 = -1.0;
+
+    bool enabled() const { return p0to1 >= 0.0 || p1to0 >= 0.0; }
+
+    /** State-averaged flip probability given the flat fallback. */
+    double effectiveFlip(double pMeas) const;
+};
+
+/**
+ * Pure-dephasing idle noise on top of the T1-derived depolarizing idle
+ * error: an extra Z error with probability (1 - exp(-dt/Tphi))/2 per
+ * idle window, with distinct Tphi for transmons and cavity modes.
+ * Tphi <= 0 disables the respective wire kind.
+ */
+struct IdleDephasingSource
+{
+    double tPhiTransmonNs = 0.0;
+    double tPhiCavityNs = 0.0;
+
+    bool enabled() const
+    {
+        return tPhiTransmonNs > 0.0 || tPhiCavityNs > 0.0;
+    }
+
+    /** Z-error probability for a wire of the given kind idling dtNs. */
+    double dephasingError(WireKind kind, double dtNs) const;
+};
+
+/**
+ * Amplitude damping after every gate, Pauli-twirled so the stabilizer
+ * pipeline can sample it: damping strength gamma twirls to
+ * pX = pY = gamma/4, pZ = ((1 - sqrt(1-gamma)) / 2)^2.
+ * gamma <= 0 disables the source.
+ */
+struct AmplitudeDampingSource
+{
+    double gamma = 0.0;
+
+    bool enabled() const { return gamma > 0.0; }
+
+    /** Twirled Pauli weights of an amplitude-damping channel. */
+    static void twirl(double gamma, double& px, double& py, double& pz);
+};
+
+/**
+ * Qubit loss / erasure: a fraction of each gate's error budget is
+ * converted from depolarizing to erasure. An erased qubit is replaced
+ * by the maximally mixed state (uniform I/X/Y/Z). When heralded, the
+ * erasure location is flagged to the decoder, which seeds union-find
+ * clusters on the corresponding edges at zero weight — the known
+ * erasure-threshold win. When unheralded it degrades to plain
+ * depolarizing of strength 3p/4 (the Pauli mass of the mixed state).
+ */
+struct ErasureSource
+{
+    /** Fraction of each gate error budget converted to erasure. */
+    double fraction = 0.0;
+    bool heralded = true;
+
+    bool enabled() const { return fraction > 0.0; }
+};
+
+/**
+ * The flat NoiseModel plus the composable sources. Inherits so every
+ * existing `config.noise.p2`-style knob (sensitivity panels, benches,
+ * checkpoints) keeps working. Assigning a flat NoiseModel resets all
+ * sources to their disabled defaults.
+ */
+struct CompositeNoiseModel : public NoiseModel
+{
+    BiasedPauliSource bias;
+    ReadoutFlipSource readout;
+    IdleDephasingSource dephasing;
+    AmplitudeDampingSource damping;
+    ErasureSource erasure;
+
+    CompositeNoiseModel() = default;
+    CompositeNoiseModel(const NoiseModel& flat)
+        : NoiseModel(flat)
+    {
+    }
+
+    /**
+     * True when every source is disabled and generators must emit the
+     * byte-identical uniform-Pauli operation stream of the flat model.
+     */
+    bool isUniform() const
+    {
+        return !bias.enabled() && !readout.enabled()
+            && !dephasing.enabled() && !damping.enabled()
+            && !erasure.enabled();
+    }
+
+    /** Measurement flip probability after the readout source. */
+    double measFlip() const { return readout.effectiveFlip(pMeas); }
+};
+
+} // namespace vlq
+
+#endif // VLQ_NOISE_NOISE_SOURCES_H

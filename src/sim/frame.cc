@@ -121,6 +121,33 @@ FrameSimulator::sampleMeasurementFlips(Rng& rng) const
             if (rng.bernoulli(op.p))
                 z.flip(op.q0);
             break;
+          case OpCode::PAULI_CHANNEL_1: {
+            double u = rng.nextDouble();
+            // Cumulative scan over the exclusive X/Y/Z branches.
+            if (u < op.p) {
+                x.flip(op.q0);
+            } else if (u < op.p + op.py) {
+                x.flip(op.q0);
+                z.flip(op.q0);
+            } else if (u < op.p + op.py + op.pz) {
+                z.flip(op.q0);
+            }
+            break;
+          }
+          case OpCode::HERALDED_ERASE: {
+            double u = rng.nextDouble();
+            if (u < op.p) {
+                // Erased: uniform I/X/Y/Z replacement state.
+                int which = static_cast<int>(u / op.p * 4.0);
+                if (which > 3)
+                    which = 3;
+                if (which == 1 || which == 2)
+                    x.flip(op.q0);
+                if (which == 2 || which == 3)
+                    z.flip(op.q0);
+            }
+            break;
+          }
           case OpCode::MEASURE_Z:
             applyGate(op, x, z, meas);
             if (op.p > 0.0 && rng.bernoulli(op.p))

@@ -252,6 +252,52 @@ TEST(Checkpoint, PointKeySeparatesConfigs)
     EXPECT_NE(checkpointPointKey(EmbeddingKind::Natural, base), key);
 }
 
+TEST(Checkpoint, PointKeyCoversCompositeNoiseSources)
+{
+    GeneratorConfig base = ckptConfig(3, 5e-3);
+    uint64_t key = checkpointPointKey(EmbeddingKind::Compact, base);
+
+    // A composite model with every source at its default is the same
+    // run as the flat model: existing checkpoint files must keep
+    // resuming, so the key is unchanged.
+    GeneratorConfig uniform = base;
+    uniform.noise.bias.rX = uniform.noise.bias.rY =
+        uniform.noise.bias.rZ = 1.0;
+    uniform.noise.readout.p0to1 = -1.0;
+    uniform.noise.erasure.fraction = 0.0;
+    ASSERT_TRUE(uniform.noise.isUniform());
+    EXPECT_EQ(checkpointPointKey(EmbeddingKind::Compact, uniform), key);
+
+    // Each source, once active, changes the generated circuit and so
+    // must change the key -- and distinct settings get distinct keys.
+    GeneratorConfig biased = base;
+    biased.noise.bias.rZ = 10.0;
+    uint64_t biasedKey =
+        checkpointPointKey(EmbeddingKind::Compact, biased);
+    EXPECT_NE(biasedKey, key);
+    biased.noise.bias.rZ = 100.0;
+    EXPECT_NE(checkpointPointKey(EmbeddingKind::Compact, biased),
+              biasedKey);
+
+    GeneratorConfig readout = base;
+    readout.noise.readout.p0to1 = 0.02;
+    readout.noise.readout.p1to0 = 0.005;
+    EXPECT_NE(checkpointPointKey(EmbeddingKind::Compact, readout), key);
+
+    GeneratorConfig erased = base;
+    erased.noise.erasure.fraction = 0.5;
+    uint64_t erasedKey =
+        checkpointPointKey(EmbeddingKind::Compact, erased);
+    EXPECT_NE(erasedKey, key);
+    erased.noise.erasure.heralded = false;
+    EXPECT_NE(checkpointPointKey(EmbeddingKind::Compact, erased),
+              erasedKey);
+
+    GeneratorConfig damped = base;
+    damped.noise.damping.gamma = 1e-3;
+    EXPECT_NE(checkpointPointKey(EmbeddingKind::Compact, damped), key);
+}
+
 /** Progress snapshots of an uninterrupted run = every possible kill
  *  frontier (batches commit in trial order, so a kill leaves exactly
  *  one of these committed states on disk). */

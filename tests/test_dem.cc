@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/generator_common.h"
+#include "decoder/decoding_graph.h"
 #include "dem/detector_model.h"
 #include "dem/sampler.h"
 #include "sim/frame.h"
@@ -248,6 +249,67 @@ TEST(Dem, ChannelsOrderedByOpIndex)
     for (size_t i = 1; i < dem.channels().size(); ++i)
         EXPECT_LE(dem.channels()[i - 1].opIndex,
                   dem.channels()[i].opIndex);
+}
+
+TEST(Dem, ExclusiveOutcomesSumExactlyInDecodingGraph)
+{
+    // One channel whose X and Y branches land on the same edge: the
+    // branches are mutually exclusive, so the edge probability is the
+    // plain sum 0.1 + 0.1 = 0.2 -- NOT the independent-flip combination
+    // 0.1 + 0.1 - 2*0.1*0.1 = 0.18. Run at p >= 0.1 where the two
+    // disagree by far more than rounding.
+    Circuit c(1);
+    c.reset(0);
+    c.pauliChannel1(0, 0.1, 0.1, 0.05);
+    uint32_t m = c.measureZ(0);
+    Detector d;
+    d.measurements = {m};
+    c.addDetector(d);
+    DetectorErrorModel dem = DetectorErrorModel::build(c);
+    ASSERT_EQ(dem.channels().size(), 1u);
+    DecodingGraph g = DecodingGraph::build(dem);
+    ASSERT_EQ(g.edges().size(), 1u);
+    EXPECT_NEAR(g.edges()[0].probability, 0.2, 1e-12);
+
+    // Two INDEPENDENT channels with the same signature keep the XOR
+    // rule: either flips alone, both cancel.
+    Circuit c2(1);
+    c2.reset(0);
+    c2.xError(0, 0.1);
+    c2.xError(0, 0.1);
+    uint32_t m2 = c2.measureZ(0);
+    Detector d2;
+    d2.measurements = {m2};
+    c2.addDetector(d2);
+    DetectorErrorModel dem2 = DetectorErrorModel::build(c2);
+    ASSERT_EQ(dem2.channels().size(), 2u);
+    DecodingGraph g2 = DecodingGraph::build(dem2);
+    ASSERT_EQ(g2.edges().size(), 1u);
+    EXPECT_NEAR(g2.edges()[0].probability,
+                0.1 + 0.1 - 2 * 0.1 * 0.1, 1e-12);
+}
+
+TEST(Dem, ZeroProbabilityNoiseEmitsNothing)
+{
+    // pReset = 0 (the atPhysicalRate default) must suppress the
+    // reset-flip ops entirely: fewer circuit ops, strictly fewer DEM
+    // channels than the same config with reset noise on, and never a
+    // zero-probability outcome anywhere.
+    GeneratorConfig cfg0 = smallConfig(EmbeddingKind::Baseline2D, 2e-3);
+    ASSERT_EQ(cfg0.noise.pReset, 0.0);
+    GeneratedCircuit without = generateBaselineMemory(cfg0);
+    GeneratorConfig cfg = cfg0;
+    cfg.noise.pReset = 2e-3;
+    GeneratedCircuit with = generateBaselineMemory(cfg);
+    EXPECT_LT(without.circuit.ops().size(), with.circuit.ops().size());
+
+    DetectorErrorModel demWith = DetectorErrorModel::build(with.circuit);
+    DetectorErrorModel demWithout =
+        DetectorErrorModel::build(without.circuit);
+    EXPECT_LT(demWithout.channels().size(), demWith.channels().size());
+    for (const auto& ch : demWithout.channels())
+        for (const auto& o : ch.outcomes)
+            EXPECT_GT(o.probability, 0.0);
 }
 
 TEST(Sampler, ZeroNoiseSamplesNothing)

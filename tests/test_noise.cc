@@ -2,8 +2,13 @@
 
 #include <cmath>
 
+#include "core/generator_common.h"
+#include "dem/detector_model.h"
 #include "noise/hardware_params.h"
 #include "noise/noise_model.h"
+#include "noise/noise_sources.h"
+#include "sim/frame.h"
+#include "util/rng.h"
 
 namespace vlq {
 namespace {
@@ -73,12 +78,260 @@ TEST(NoiseModel, IdleErrorCapped)
     EXPECT_LE(nm.idleError(WireKind::Transmon, 1e9), 0.75);
 }
 
+TEST(NoiseModel, IdleErrorCapBindingIsCounted)
+{
+    NoiseModel nm = NoiseModel::atPhysicalRate(
+        2e-1, HardwareParams::transmonsWithMemory());
+    NoiseModel::resetIdleCapDiagnostics();
+    EXPECT_EQ(NoiseModel::idleCapBindCount(), 0u);
+    // Ordinary durations never bind the cap.
+    (void)nm.idleError(WireKind::Transmon, 100.0);
+    EXPECT_EQ(NoiseModel::idleCapBindCount(), 0u);
+    // Every saturated evaluation is counted (the warning itself fires
+    // once per run so billion-trial scans aren't spammed).
+    (void)nm.idleError(WireKind::Transmon, 1e9);
+    (void)nm.idleError(WireKind::CavityMode, 1e12);
+    EXPECT_EQ(NoiseModel::idleCapBindCount(), 2u);
+    NoiseModel::resetIdleCapDiagnostics();
+    EXPECT_EQ(NoiseModel::idleCapBindCount(), 0u);
+}
+
 TEST(NoiseModel, ZeroAndNegativeDurations)
 {
     NoiseModel nm = NoiseModel::atPhysicalRate(
         2e-3, HardwareParams::transmonsWithMemory());
     EXPECT_EQ(nm.idleError(WireKind::Transmon, 0.0), 0.0);
     EXPECT_EQ(nm.idleError(WireKind::Transmon, -5.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Composite noise sources
+// ---------------------------------------------------------------------------
+
+TEST(NoiseSources, BiasedSplitPreservesBudget)
+{
+    BiasedPauliSource bias;
+    EXPECT_FALSE(bias.enabled()); // 1:1:1 is uniform depolarizing
+    bias.rZ = 2.0;
+    EXPECT_TRUE(bias.enabled());
+
+    double px, py, pz;
+    bias.split(0.04, px, py, pz);
+    EXPECT_NEAR(px, 0.01, 1e-15);
+    EXPECT_NEAR(py, 0.01, 1e-15);
+    EXPECT_NEAR(pz, 0.02, 1e-15);
+    EXPECT_NEAR(px + py + pz, 0.04, 1e-15);
+
+    // Pure dephasing limit: the whole budget lands on Z.
+    bias.rX = bias.rY = 0.0;
+    bias.rZ = 1.0;
+    bias.split(0.04, px, py, pz);
+    EXPECT_EQ(px, 0.0);
+    EXPECT_EQ(py, 0.0);
+    EXPECT_NEAR(pz, 0.04, 1e-15);
+}
+
+TEST(NoiseSources, ReadoutFlipAveragesAsymmetry)
+{
+    ReadoutFlipSource readout;
+    EXPECT_FALSE(readout.enabled());
+    // Both sides inherit: exactly pMeas, bit-for-bit (the uniform
+    // bit-identity contract leans on this IEEE identity).
+    EXPECT_EQ(readout.effectiveFlip(3e-3), 3e-3);
+
+    readout.p0to1 = 0.02;
+    readout.p1to0 = 0.0;
+    EXPECT_TRUE(readout.enabled());
+    EXPECT_NEAR(readout.effectiveFlip(3e-3), 0.01, 1e-15);
+
+    // One-sided override: the other side still inherits the flat rate.
+    readout.p1to0 = -1.0;
+    EXPECT_NEAR(readout.effectiveFlip(4e-3), (0.02 + 4e-3) / 2.0,
+                1e-15);
+}
+
+TEST(NoiseSources, IdleDephasingFollowsTphi)
+{
+    IdleDephasingSource deph;
+    EXPECT_FALSE(deph.enabled());
+    deph.tPhiTransmonNs = 200.0e3;
+    EXPECT_TRUE(deph.enabled());
+
+    double dt = 1000.0;
+    double expect = 0.5 * (1.0 - std::exp(-dt / 200.0e3));
+    EXPECT_NEAR(deph.dephasingError(WireKind::Transmon, dt), expect,
+                1e-15);
+    // Cavity Tphi is still disabled.
+    EXPECT_EQ(deph.dephasingError(WireKind::CavityMode, dt), 0.0);
+    EXPECT_EQ(deph.dephasingError(WireKind::Transmon, 0.0), 0.0);
+}
+
+TEST(NoiseSources, AmplitudeDampingTwirlIsAProbability)
+{
+    double px, py, pz;
+    AmplitudeDampingSource::twirl(0.1, px, py, pz);
+    EXPECT_NEAR(px, 0.025, 1e-15);
+    EXPECT_NEAR(py, 0.025, 1e-15);
+    double expectZ = std::pow((1.0 - std::sqrt(0.9)) / 2.0, 2.0);
+    EXPECT_NEAR(pz, expectZ, 1e-15);
+    // The twirled channel is trace-preserving: pI + px + py + pz = 1
+    // with pI = ((1 + sqrt(1-gamma)) / 2)^2.
+    double pi = std::pow((1.0 + std::sqrt(0.9)) / 2.0, 2.0);
+    EXPECT_NEAR(pi + px + py + pz, 1.0, 1e-12);
+}
+
+TEST(NoiseSources, CompositeUniformityTracksEverySource)
+{
+    CompositeNoiseModel cn(NoiseModel::atPhysicalRate(
+        2e-3, HardwareParams::transmonsWithMemory()));
+    EXPECT_TRUE(cn.isUniform());
+
+    auto expectNonUniform = [](CompositeNoiseModel m) {
+        EXPECT_FALSE(m.isUniform());
+    };
+    { CompositeNoiseModel m = cn; m.bias.rZ = 10.0; expectNonUniform(m); }
+    { CompositeNoiseModel m = cn; m.readout.p0to1 = 0.01;
+      expectNonUniform(m); }
+    { CompositeNoiseModel m = cn; m.dephasing.tPhiCavityNs = 1e6;
+      expectNonUniform(m); }
+    { CompositeNoiseModel m = cn; m.damping.gamma = 0.01;
+      expectNonUniform(m); }
+    { CompositeNoiseModel m = cn; m.erasure.fraction = 0.3;
+      expectNonUniform(m); }
+
+    // Re-assigning a flat model resets every source.
+    CompositeNoiseModel m = cn;
+    m.erasure.fraction = 0.3;
+    m = NoiseModel::atPhysicalRate(
+        4e-3, HardwareParams::transmonsWithMemory());
+    EXPECT_TRUE(m.isUniform());
+    EXPECT_DOUBLE_EQ(m.p2, 4e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Composite sources through the generators
+// ---------------------------------------------------------------------------
+
+GeneratorConfig
+compositeConfig(double p)
+{
+    GeneratorConfig cfg;
+    cfg.distance = 3;
+    cfg.cavityDepth = 3;
+    cfg.schedule = ExtractionSchedule::AllAtOnce;
+    cfg.noise = NoiseModel::atPhysicalRate(
+        p, HardwareParams::transmonsWithMemory());
+    return cfg;
+}
+
+TEST(CompositeGenerators, UniformCompositeIsBitIdenticalToFlat)
+{
+    for (int embInt : {0, 1, 2}) {
+        GeneratorConfig flat = compositeConfig(3e-3);
+        GeneratorConfig composite = flat;
+        // Equal bias ratios ARE the uniform channel, whatever their
+        // absolute scale; explicit inherit markers are the defaults.
+        composite.noise.bias.rX = composite.noise.bias.rY =
+            composite.noise.bias.rZ = 2.0;
+        composite.noise.readout.p0to1 = -1.0;
+        ASSERT_TRUE(composite.noise.isUniform());
+
+        auto emb = static_cast<EmbeddingKind>(embInt);
+        GeneratedCircuit a = generateMemoryCircuit(emb, flat);
+        GeneratedCircuit b = generateMemoryCircuit(emb, composite);
+        // Byte-identical operation streams: same ops, same
+        // probabilities, same order -- the contract that keeps seeded
+        // Monte-Carlo counts and reference CSVs unchanged.
+        EXPECT_EQ(a.circuit.str(), b.circuit.str())
+            << "embedding " << embInt;
+        EXPECT_EQ(DetectorErrorModel::build(a.circuit).channels().size(),
+                  DetectorErrorModel::build(b.circuit).channels().size());
+    }
+}
+
+TEST(CompositeGenerators, BiasAndErasurePreserveTotalNoiseMass)
+{
+    GeneratorConfig flat = compositeConfig(3e-3);
+    GeneratedCircuit ref = generateBaselineMemory(flat);
+    double refMass = ref.circuit.totalNoiseMass();
+
+    GeneratorConfig biased = flat;
+    biased.noise.bias.rZ = 10.0;
+    EXPECT_NEAR(generateBaselineMemory(biased).circuit.totalNoiseMass(),
+                refMass, refMass * 1e-9);
+
+    GeneratorConfig erased = flat;
+    erased.noise.erasure.fraction = 0.4;
+    EXPECT_NEAR(generateBaselineMemory(erased).circuit.totalNoiseMass(),
+                refMass, refMass * 1e-9);
+}
+
+TEST(CompositeGenerators, ErasureEmitsHeraldedOps)
+{
+    GeneratorConfig cfg = compositeConfig(3e-3);
+    cfg.noise.erasure.fraction = 0.5;
+    GeneratedCircuit heralded = generateBaselineMemory(cfg);
+    size_t heraldOps = 0;
+    for (const Operation& op : heralded.circuit.ops())
+        if (op.code == OpCode::HERALDED_ERASE)
+            ++heraldOps;
+    EXPECT_GT(heraldOps, 0u);
+    // The DEM exposes one erasure site per heralded op, in op order.
+    DetectorErrorModel dem = DetectorErrorModel::build(heralded.circuit);
+    EXPECT_EQ(dem.numErasureSites(), heraldOps);
+
+    // Unheralded loss degrades to depolarizing: no heralds anywhere.
+    cfg.noise.erasure.heralded = false;
+    GeneratedCircuit silent = generateBaselineMemory(cfg);
+    for (const Operation& op : silent.circuit.ops())
+        EXPECT_NE(op.code, OpCode::HERALDED_ERASE);
+    EXPECT_EQ(DetectorErrorModel::build(silent.circuit).numErasureSites(),
+              0u);
+}
+
+TEST(CompositeGenerators, PauliChannelSamplingStatistics)
+{
+    // One qubit, one biased channel, one perfect measurement: the
+    // recorded flip rate is px + py (X and Y components flip a Z
+    // readout; Z does not).
+    Circuit c(1);
+    c.reset(0);
+    c.pauliChannel1(0, 0.05, 0.03, 0.10);
+    c.measureZ(0, 0.0);
+    FrameSimulator sim(c);
+    const int shots = 20000;
+    Rng root(0xb1a5);
+    int flips = 0;
+    for (int i = 0; i < shots; ++i) {
+        Rng rng = root.split(static_cast<uint64_t>(i));
+        if (sim.sampleMeasurementFlips(rng).get(0))
+            ++flips;
+    }
+    double rate = static_cast<double>(flips) / shots;
+    // 4 sigma ~ 0.0077 at p = 0.08.
+    EXPECT_NEAR(rate, 0.08, 0.008);
+}
+
+TEST(CompositeGenerators, HeraldedEraseSamplingStatistics)
+{
+    // An erased qubit is replaced by the maximally mixed state: X and
+    // Y arms (p/4 each) flip a Z readout, so the flip rate is p/2.
+    Circuit c(1);
+    c.reset(0);
+    c.heraldedErase(0, 0.2);
+    c.measureZ(0, 0.0);
+    FrameSimulator sim(c);
+    const int shots = 20000;
+    Rng root(0xe7a5e);
+    int flips = 0;
+    for (int i = 0; i < shots; ++i) {
+        Rng rng = root.split(static_cast<uint64_t>(i));
+        if (sim.sampleMeasurementFlips(rng).get(0))
+            ++flips;
+    }
+    double rate = static_cast<double>(flips) / shots;
+    // 4 sigma ~ 0.0085 at p = 0.1.
+    EXPECT_NEAR(rate, 0.1, 0.009);
 }
 
 } // namespace

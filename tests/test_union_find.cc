@@ -548,5 +548,166 @@ TEST(UnionFindMcTest, LogicalErrorWithinTwiceMwpmBelowThreshold)
         << "uf " << b.combinedRate() << " mwpm " << a.combinedRate();
 }
 
+// ---------------------------------------------------------------------------
+// Erasure-aware decoding (zero-weight cluster seeding)
+// ---------------------------------------------------------------------------
+
+// chainGraph edge indices follow insertion order:
+// 0 = (0,B) obs 1, 1 = (0,1) obs 0, 2 = (1,2) obs 2, 3 = (2,B) obs 0.
+
+TEST(UnionFindErasureTest, ErasedEdgeSeedsClusterAtZeroWeight)
+{
+    UnionFindDecoder uf(chainGraph(), growthOnly());
+    UnionFindDecoder::DecodeInfo info;
+    // Defects 0 and 1 with the 0-1 edge erased: the edge is pre-grown
+    // to full support before any growth round, so the pair resolves
+    // with zero rounds even though 0's boundary edge is cheaper.
+    EXPECT_EQ(uf.decodeErasedEdges(syndromeOf({0, 1}, 3), {1}, &info),
+              0u);
+    EXPECT_EQ(info.growthRounds, 0u);
+}
+
+TEST(UnionFindErasureTest, ErasedBoundaryEdgeIsAFreeExit)
+{
+    UnionFindDecoder uf(chainGraph(), growthOnly());
+    UnionFindDecoder::DecodeInfo info;
+    // Lone defect at 0, its boundary edge erased: the defect leaves
+    // through the free exit without growing at all.
+    EXPECT_EQ(uf.decodeErasedEdges(syndromeOf({0}, 3), {0}, &info), 1u);
+    EXPECT_EQ(info.growthRounds, 0u);
+    EXPECT_EQ(info.boundaryMatches, 1u);
+
+    // Erasing an edge the syndrome never touches changes nothing.
+    EXPECT_EQ(uf.decodeErasedEdges(syndromeOf({0}, 3), {2}), 1u);
+}
+
+TEST(UnionFindErasureTest, ErasedBoundaryExitBeatsGlobalTable)
+{
+    // 1's own boundary edge is so unlikely (p = 0.001) that every
+    // weighted path routes 1 -> 0 -> B (obs 4 ^ 1 = 5). Erasing the
+    // 1-B edge must override that: the erased edge is free NOW, no
+    // matter what the precomputed distance table says.
+    DecodingGraph g(2);
+    g.addContribution(0, g.boundaryNode(), 0.2, 1);  // edge 0
+    g.addContribution(0, 1, 0.2, 4);                 // edge 1
+    g.addContribution(1, g.boundaryNode(), 0.001, 2); // edge 2
+    g.finalize();
+
+    UnionFindDecoder uf(g, growthOnly());
+    EXPECT_EQ(uf.decode(syndromeOf({1}, 2)), 5u);
+    EXPECT_EQ(uf.decodeErasedEdges(syndromeOf({1}, 2), {2}), 2u);
+    // The exact-matching fast path must reach the same answer (it has
+    // to be bypassed whenever erasures are present).
+    UnionFindDecoder fast(g);
+    EXPECT_EQ(fast.decodeErasedEdges(syndromeOf({1}, 2), {2}), 2u);
+}
+
+TEST(UnionFindErasureTest, ErasureOnlyShotsDecodeExactly)
+{
+    GeneratorConfig cfg = configFor(3, 5e-3,
+                                    ExtractionSchedule::AllAtOnce);
+    cfg.noise.erasure.fraction = 1.0;
+    GeneratedCircuit gen = generateBaselineMemory(cfg);
+    DetectorErrorModel dem = DetectorErrorModel::build(gen.circuit);
+    ASSERT_GT(dem.numErasureSites(), 0u);
+    UnionFindDecoder uf(dem);
+
+    // Delfosse-Nickerson peeling is exact on erased supports: for every
+    // outcome of every heralded channel, decoding its syndrome with the
+    // herald raised recovers the exact observable flip.
+    int checked = 0;
+    for (const auto& ch : dem.channels()) {
+        if (ch.erasureSite < 0)
+            continue;
+        BitVec erasures(dem.numErasureSites());
+        erasures.set(static_cast<size_t>(ch.erasureSite), true);
+        for (const auto& o : ch.outcomes) {
+            if (o.detectors.empty())
+                continue;
+            BitVec det = syndromeOf(o.detectors, dem.numDetectors());
+            EXPECT_EQ(uf.decodeWithErasures(det, erasures),
+                      o.observables)
+                << "op " << ch.opIndex << " site " << ch.erasureSite;
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 100);
+}
+
+TEST(UnionFindErasureTest, BatchDecodeMatchesScalarWithErasures)
+{
+    GeneratorConfig cfg = configFor(3, 8e-3,
+                                    ExtractionSchedule::AllAtOnce);
+    cfg.noise.erasure.fraction = 0.6;
+    GeneratedCircuit gen = generateBaselineMemory(cfg);
+    DetectorErrorModel dem = DetectorErrorModel::build(gen.circuit);
+    FaultSampler sampler(dem);
+    UnionFindDecoder uf(dem);
+
+    const uint32_t shots = 96;
+    Rng root(0xe7a5eb17);
+    ShotBatch batch;
+    batch.reset(dem.numDetectors(), dem.numObservables(), shots, 0,
+                dem.numErasureSites());
+    sampler.sampleBatchInto(root, batch);
+    std::vector<uint32_t> predictions(shots);
+    uf.decodeBatch(batch, predictions);
+
+    // Erasure-mask propagation: decoding each shot's extracted
+    // detector column with the heralds recorded in the batch's
+    // transposed erasure rows must reproduce the batched predictions
+    // shot for shot.
+    BitVec det(dem.numDetectors());
+    size_t heraldsSeen = 0;
+    for (uint32_t s = 0; s < shots; ++s) {
+        batch.extractShot(s, det);
+        BitVec era(dem.numErasureSites());
+        for (uint32_t site = 0; site < dem.numErasureSites(); ++site)
+            if (batch.erased(s, site))
+                era.set(site, true);
+        heraldsSeen += era.popcount();
+        EXPECT_EQ(predictions[s], uf.decodeWithErasures(det, era))
+            << "shot " << s;
+    }
+    // The config is chosen so heralds actually fire in this batch.
+    EXPECT_GT(heraldsSeen, 0u);
+
+    // The scalar sampling path raises heralds too (the two paths draw
+    // different streams but the same distribution).
+    BitVec era(dem.numErasureSites());
+    uint32_t obs = 0;
+    size_t scalarHeralds = 0;
+    for (uint32_t s = 0; s < shots; ++s) {
+        Rng rng = root.split(s);
+        sampler.sampleInto(rng, det, obs, era);
+        scalarHeralds += era.popcount();
+    }
+    EXPECT_GT(scalarHeralds, 0u);
+}
+
+TEST(UnionFindErasureTest, HeraldedErasureLowersLogicalError)
+{
+    // Same total error budget, d = 5: converting every fault to
+    // heralded erasure must beat the pure-Pauli rate (the decoder pays
+    // nothing to span heralded faults). Deterministic under the fixed
+    // seed.
+    GeneratorConfig pauli = configFor(5, 5e-3,
+                                      ExtractionSchedule::AllAtOnce);
+    GeneratorConfig erased = pauli;
+    erased.noise.erasure.fraction = 1.0;
+    McOptions opts;
+    opts.trials = 800;
+    opts.seed = 0x5eed;
+    opts.decoder = DecoderKind::UnionFind;
+    double pauliRate = estimateLogicalError(EmbeddingKind::Baseline2D,
+                                            pauli, opts)
+                           .combinedRate();
+    double erasedRate = estimateLogicalError(EmbeddingKind::Baseline2D,
+                                             erased, opts)
+                            .combinedRate();
+    EXPECT_LT(erasedRate, pauliRate)
+        << "erased " << erasedRate << " pauli " << pauliRate;
+}
+
 } // namespace
 } // namespace vlq
