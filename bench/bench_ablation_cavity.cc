@@ -13,9 +13,11 @@
  * compact).
  */
 #include <iostream>
+#include <string>
 
 #include "core/generator_registry.h"
 #include "mc/monte_carlo.h"
+#include "obs/obs.h"
 #include "util/env.h"
 #include "util/table.h"
 
@@ -55,8 +57,14 @@ sweepTable(EmbeddingKind embedding, const std::vector<int>& ks,
 int
 main(int argc, char** argv)
 {
-    if (!requireNoArgs(argc, argv))
+    obs::initFromEnv();
+    std::string metricsJsonPath;
+    std::string traceJsonPath;
+    if (!parseFlagArgs(argc, argv,
+                       {{"--metrics-json", &metricsJsonPath},
+                        {"--trace-json", &traceJsonPath}}))
         return 1;
+    obs::applyCliPaths(metricsJsonPath, traceJsonPath);
     const bool full = envInt("VLQ_FULL", 0) != 0;
     McOptions mc;
     mc.trials = envU64("VLQ_TRIALS", 300);
@@ -102,5 +110,10 @@ main(int argc, char** argv)
                  "hardware roughly in half -- the trade to make when"
                  " the physical noise is strongly biased toward one\n"
                  "Pauli and the unprotected basis can afford dx = 3.\n";
+    std::string obsErr;
+    if (!obs::finalize(&obsErr)) {
+        std::cerr << "error: " << obsErr << "\n";
+        return 1;
+    }
     return 0;
 }

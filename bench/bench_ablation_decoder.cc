@@ -13,6 +13,9 @@
  *        (record,setup,d,p,decoder,value rows; the CI bench-regression
  *        job diffs the deterministic records against
  *        bench/reference/ablation_decoder.csv).
+ *        --metrics-json <path> / --trace-json <path>  observability
+ *        outputs (see src/obs/obs.h); also via VLQ_METRICS_JSON and
+ *        VLQ_TRACE.
  */
 #include <chrono>
 #include <iostream>
@@ -26,6 +29,7 @@
 #include "decoder/union_find.h"
 #include "dem/shot_batch.h"
 #include "mc/monte_carlo.h"
+#include "obs/obs.h"
 #include "util/csv.h"
 #include "util/env.h"
 #include "util/rng.h"
@@ -316,9 +320,16 @@ batchedThroughputTable(CsvWriter* csv)
 int
 main(int argc, char** argv)
 {
+    obs::initFromEnv();
     std::string csvPath;
-    if (!parseCsvFlag(argc, argv, csvPath))
+    std::string metricsJsonPath;
+    std::string traceJsonPath;
+    if (!parseFlagArgs(argc, argv,
+                       {{"--csv", &csvPath},
+                        {"--metrics-json", &metricsJsonPath},
+                        {"--trace-json", &traceJsonPath}}))
         return 1;
+    obs::applyCliPaths(metricsJsonPath, traceJsonPath);
     CsvWriter csv({"record", "setup", "d", "p", "decoder", "value"});
     CsvWriter* csvp = csvPath.empty() ? nullptr : &csv;
 
@@ -328,6 +339,11 @@ main(int argc, char** argv)
 
     if (csvp && !csv.writeFile(csvPath)) {
         std::cerr << "failed to write " << csvPath << "\n";
+        return 1;
+    }
+    std::string obsErr;
+    if (!obs::finalize(&obsErr)) {
+        std::cerr << "error: " << obsErr << "\n";
         return 1;
     }
     return 0;

@@ -22,6 +22,7 @@
 
 #include "core/generator_common.h"
 #include "mc/monte_carlo.h"
+#include "obs/obs.h"
 #include "util/csv.h"
 #include "util/env.h"
 #include "util/table.h"
@@ -183,9 +184,16 @@ thresholdProxyTable(CsvWriter* csv)
 int
 main(int argc, char** argv)
 {
+    obs::initFromEnv();
     std::string csvPath;
-    if (!parseCsvFlag(argc, argv, csvPath))
+    std::string metricsJsonPath;
+    std::string traceJsonPath;
+    if (!parseFlagArgs(argc, argv,
+                       {{"--csv", &csvPath},
+                        {"--metrics-json", &metricsJsonPath},
+                        {"--trace-json", &traceJsonPath}}))
         return 1;
+    obs::applyCliPaths(metricsJsonPath, traceJsonPath);
     CsvWriter csv({"record", "variant", "d", "x", "value"});
     CsvWriter* csvp = csvPath.empty() ? nullptr : &csv;
 
@@ -195,6 +203,11 @@ main(int argc, char** argv)
 
     if (csvp && !csv.writeFile(csvPath)) {
         std::cerr << "failed to write " << csvPath << "\n";
+        return 1;
+    }
+    std::string obsErr;
+    if (!obs::finalize(&obsErr)) {
+        std::cerr << "error: " << obsErr << "\n";
         return 1;
     }
     return 0;

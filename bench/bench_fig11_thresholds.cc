@@ -35,6 +35,10 @@
  *                 bench-regression job diffs the rate records against
  *                 bench/reference/fig11_thresholds.csv)
  *   --checkpoint <base>  see VLQ_CHECKPOINT
+ *   --metrics-json <path>  structured end-of-run metrics report
+ *                          (VLQ_METRICS_JSON equivalent; validated in
+ *                          CI by tools/check_metrics.py)
+ *   --trace-json <path>    Chrome trace_event timeline (VLQ_TRACE)
  *
  * Unknown arguments are rejected with a usage message -- a typo'd
  * flag must fail fast, not silently run the full bench with defaults.
@@ -44,6 +48,7 @@
 
 #include "decoder/decoder_factory.h"
 #include "mc/threshold.h"
+#include "obs/obs.h"
 #include "util/csv.h"
 #include "util/env.h"
 #include "util/table.h"
@@ -53,12 +58,18 @@ using namespace vlq;
 int
 main(int argc, char** argv)
 {
+    obs::initFromEnv();
     std::string csvPath;
     std::string checkpointBase = envString("VLQ_CHECKPOINT", "");
+    std::string metricsJsonPath;
+    std::string traceJsonPath;
     if (!parseFlagArgs(argc, argv,
                        {{"--csv", &csvPath},
-                        {"--checkpoint", &checkpointBase}}))
+                        {"--checkpoint", &checkpointBase},
+                        {"--metrics-json", &metricsJsonPath},
+                        {"--trace-json", &traceJsonPath}}))
         return 1;
+    obs::applyCliPaths(metricsJsonPath, traceJsonPath);
 
     const bool full = envInt("VLQ_FULL", 0) != 0;
     ThresholdScanConfig cfg;
@@ -153,6 +164,11 @@ main(int argc, char** argv)
     }
     if (!csvPath.empty() && !combined.writeFile(csvPath)) {
         std::cerr << "failed to write " << csvPath << "\n";
+        return 1;
+    }
+    std::string obsErr;
+    if (!obs::finalize(&obsErr)) {
+        std::cerr << "error: " << obsErr << "\n";
         return 1;
     }
     return 0;

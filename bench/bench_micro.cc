@@ -6,10 +6,15 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <span>
+#include <vector>
+
 #include "core/generator_common.h"
 #include "decoder/mwpm_decoder.h"
+#include "decoder/union_find.h"
 #include "dem/detector_model.h"
 #include "dem/sampler.h"
+#include "dem/shot_batch.h"
 #include "util/rng.h"
 
 using namespace vlq;
@@ -89,6 +94,36 @@ BM_DecodeMwpm(benchmark::State& state)
     }
 }
 BENCHMARK(BM_DecodeMwpm)->Arg(3)->Arg(5)->Arg(7);
+
+/**
+ * Pinned batched union-find decode: the same pre-sampled 256-shot
+ * batch is decoded every iteration (fixed seed, sampler outside the
+ * loop), so the number isolates the decode path the Monte-Carlo engine
+ * spends its time in. This is the loop the observability layer's
+ * <1%-overhead-when-disabled budget is measured against (test_obs).
+ */
+void
+BM_DecodeBatchUf(benchmark::State& state)
+{
+    GeneratorConfig cfg = benchConfig(static_cast<int>(state.range(0)),
+                                      8e-3);
+    GeneratedCircuit gen = generateBaselineMemory(cfg);
+    DetectorErrorModel dem = DetectorErrorModel::build(gen.circuit);
+    FaultSampler sampler(dem);
+    UnionFindDecoder decoder(dem);
+    const uint32_t shots = 256;
+    ShotBatch batch;
+    batch.reset(dem.numDetectors(), dem.numObservables(), shots, 0);
+    sampler.sampleBatchInto(Rng(1), batch);
+    std::vector<uint32_t> predictions(shots);
+    for (auto _ : state) {
+        decoder.decodeBatch(batch, std::span<uint32_t>(predictions));
+        benchmark::DoNotOptimize(predictions[0]);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations())
+                            * shots);
+}
+BENCHMARK(BM_DecodeBatchUf)->Arg(3)->Arg(5)->Arg(7);
 
 void
 BM_BuildMatchingGraph(benchmark::State& state)

@@ -1,9 +1,30 @@
 #include "decoder/decoder.h"
 
 #include "dem/shot_batch.h"
+#include "obs/obs.h"
 #include "util/logging.h"
 
 namespace vlq {
+
+namespace {
+
+/** Shots skipped (all-zero syndrome) vs decoded, per finished batch. */
+void
+countBatchShots(uint32_t shots, uint32_t trivial)
+{
+    if (!obs::metricsEnabled())
+        return;
+    static const obs::Counter batches =
+        obs::Counter::get("decode.batches");
+    static const obs::Counter decoded = obs::Counter::get("decode.shots");
+    static const obs::Counter trivialShots =
+        obs::Counter::get("decode.trivial_shots");
+    batches.add(1);
+    decoded.add(shots);
+    trivialShots.add(trivial);
+}
+
+} // namespace
 
 void
 Decoder::decodeBatch(const ShotBatch& batch,
@@ -11,6 +32,8 @@ Decoder::decodeBatch(const ShotBatch& batch,
 {
     VLQ_ASSERT(predictions.size() >= batch.numShots(),
                "decodeBatch predictions span too small");
+    obs::StageTimer obsTimer("decode.batch");
+    uint32_t trivial = 0;
     BitVec detectors(batch.numDetectors());
     for (uint32_t wi = 0; wi < batch.wordsPerRow(); ++wi) {
         uint64_t nonTrivial = batch.nonTrivialMask(wi);
@@ -21,12 +44,14 @@ Decoder::decodeBatch(const ShotBatch& batch,
             uint32_t s = base + lane;
             if (!((nonTrivial >> lane) & 1)) {
                 predictions[s] = 0;
+                ++trivial;
                 continue;
             }
             batch.extractShot(s, detectors);
             predictions[s] = decode(detectors);
         }
     }
+    countBatchShots(batch.numShots(), trivial);
 }
 
 void
@@ -37,10 +62,19 @@ Decoder::decodeBatchEvents(
 {
     VLQ_ASSERT(predictions.size() >= batch.numShots(),
                "decodeBatch predictions span too small");
+    obs::StageTimer obsTimer("decode.batch");
     static thread_local std::vector<std::vector<uint32_t>> events;
-    batch.gatherEvents(events);
-    for (uint32_t s = 0; s < batch.numShots(); ++s)
+    {
+        obs::StageTimer gatherTimer("decode.gather");
+        batch.gatherEvents(events);
+    }
+    uint32_t trivial = 0;
+    for (uint32_t s = 0; s < batch.numShots(); ++s) {
+        if (events[s].empty())
+            ++trivial;
         predictions[s] = decodeEvents(events[s]);
+    }
+    countBatchShots(batch.numShots(), trivial);
 }
 
 } // namespace vlq

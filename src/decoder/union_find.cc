@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "dem/shot_batch.h"
+#include "obs/obs.h"
 #include "util/logging.h"
 
 namespace vlq {
@@ -348,17 +349,45 @@ UnionFindDecoder::mapErasureSites(const std::vector<uint32_t>& sites,
     }
 }
 
+namespace {
+
+/** Cumulative per-thread decode-path tallies for the trace's counter
+ *  tracks ("ph":"C"): the timeline shows fast-path vs general-growth
+ *  decode mix evolving per worker lane. */
+thread_local uint64_t tUfExactShots = 0;
+thread_local uint64_t tUfGrowthShots = 0;
+thread_local uint64_t tUfErasureShots = 0;
+
+void
+traceDecodeMix()
+{
+    obs::traceCounter("uf.exact_fastpath", tUfExactShots);
+    obs::traceCounter("uf.growth", tUfGrowthShots);
+    if (tUfErasureShots > 0)
+        obs::traceCounter("uf.erasure_seeded", tUfErasureShots);
+}
+
+} // namespace
+
 void
 UnionFindDecoder::decodeBatch(const ShotBatch& batch,
                               std::span<uint32_t> predictions) const
 {
     if (batch.numErasureSites() == 0 || erasureSiteEdges_.empty()) {
-        decodeBatchEvents(batch, predictions,
-                          [this](const std::vector<uint32_t>& events) {
-                              return decodeEvents(events,
-                                                  kNoErasedEdges,
-                                                  nullptr);
-                          });
+        const bool tracing = obs::traceEnabled();
+        decodeBatchEvents(
+            batch, predictions,
+            [this, tracing](const std::vector<uint32_t>& events) {
+                if (tracing && !events.empty()) {
+                    if (events.size() <= exactSyndromeThreshold_)
+                        ++tUfExactShots;
+                    else
+                        ++tUfGrowthShots;
+                }
+                return decodeEvents(events, kNoErasedEdges, nullptr);
+            });
+        if (tracing)
+            traceDecodeMix();
         return;
     }
     // Erasure-aware batch: gather event and herald lists with one
@@ -366,14 +395,45 @@ UnionFindDecoder::decodeBatch(const ShotBatch& batch,
     // seeded at zero weight.
     VLQ_ASSERT(predictions.size() >= batch.numShots(),
                "predictions span smaller than the batch");
+    obs::StageTimer obsTimer("decode.batch");
     thread_local std::vector<std::vector<uint32_t>> events;
     thread_local std::vector<std::vector<uint32_t>> sites;
     thread_local std::vector<uint32_t> edges;
-    batch.gatherEvents(events);
-    batch.gatherErasures(sites);
+    {
+        obs::StageTimer gatherTimer("decode.gather");
+        batch.gatherEvents(events);
+        batch.gatherErasures(sites);
+    }
+    const bool tracing = obs::traceEnabled();
+    uint32_t trivial = 0;
     for (uint32_t s = 0; s < batch.numShots(); ++s) {
+        obs::StageTimer seedTimer(
+            !sites[s].empty() ? "uf.erasure_seed" : nullptr);
         mapErasureSites(sites[s], edges);
+        if (tracing && !events[s].empty()) {
+            if (!edges.empty())
+                ++tUfErasureShots;
+            else if (events[s].size() <= exactSyndromeThreshold_)
+                ++tUfExactShots;
+            else
+                ++tUfGrowthShots;
+        }
+        if (events[s].empty())
+            ++trivial;
         predictions[s] = decodeEvents(events[s], edges, nullptr);
+    }
+    if (tracing)
+        traceDecodeMix();
+    if (obs::metricsEnabled()) {
+        static const obs::Counter batches =
+            obs::Counter::get("decode.batches");
+        static const obs::Counter decoded =
+            obs::Counter::get("decode.shots");
+        static const obs::Counter trivialShots =
+            obs::Counter::get("decode.trivial_shots");
+        batches.add(1);
+        decoded.add(batch.numShots());
+        trivialShots.add(trivial);
     }
 }
 
@@ -660,6 +720,11 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
     // shots must take the growth path: the global distances know
     // nothing about the (free) erased edges.
     if (!hasErasures && events.size() <= exactSyndromeThreshold_) {
+        if (obs::metricsEnabled()) {
+            static const obs::Counter fastPath =
+                obs::Counter::get("uf.decode.exact_fastpath");
+            fastPath.add(1);
+        }
         matchDefectsExact(events);
         if (info) {
             info->initialClusters =
@@ -670,6 +735,16 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
         return obs;
     }
 
+    if (obs::metricsEnabled()) {
+        static const obs::Counter growth =
+            obs::Counter::get("uf.decode.growth");
+        growth.add(1);
+        if (hasErasures) {
+            static const obs::Counter erasureShots =
+                obs::Counter::get("uf.decode.erasure_shots");
+            erasureShots.add(1);
+        }
+    }
     s.reset(n, numEdges);
     s.btouch[boundary] = 1;
     s.absorbed[boundary] = 1;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "obs/obs.h"
 #include "util/logging.h"
 
 namespace vlq {
@@ -147,6 +148,7 @@ FaultSampler::sampleBatchInto(const Rng& root, ShotBatch& batch) const
                "ShotBatch not reset for this sampler's model");
     VLQ_ASSERT(batch.numErasureSites() == numErasureSites_,
                "ShotBatch erasure rows not sized for this model");
+    obs::StageTimer obsTimer("sampler.sample_batch");
     const uint32_t shots = batch.numShots();
     for (uint32_t s = 0; s < shots; ++s) {
         Rng rng = root.split(batch.firstTrial() + s);
@@ -187,6 +189,14 @@ FaultSampler::sampleBatchInto(const Rng& root, ShotBatch& batch) const
                 ++i;
             }
         }
+    }
+    if (obs::metricsEnabled()) {
+        static const obs::Counter batches =
+            obs::Counter::get("sampler.batches");
+        static const obs::Counter shotsSampled =
+            obs::Counter::get("sampler.shots");
+        batches.add(1);
+        shotsSampled.add(shots);
     }
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/generator_registry.h"
+#include "obs/obs.h"
 #include "decoder/decoder_factory.h"
 
 namespace vlq {
@@ -275,6 +276,12 @@ McCheckpoint::save() const
 {
     if (path_.empty())
         return "checkpoint not bound to a path";
+    obs::StageTimer obsTimer("checkpoint.save");
+    if (obs::metricsEnabled()) {
+        static const obs::Counter saves =
+            obs::Counter::get("checkpoint.saves");
+        saves.add(1);
+    }
     std::ostringstream os;
     os << kMagic << ' ' << kFormatVersion << '\n'
        << "fingerprint " << hex16(fingerprint_) << '\n'

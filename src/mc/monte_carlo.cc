@@ -2,17 +2,21 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
 
+#include "core/generator_registry.h"
 #include "decoder/decoder_factory.h"
 #include "dem/detector_model.h"
 #include "dem/sampler.h"
 #include "dem/shot_batch.h"
 #include "mc/checkpoint.h"
+#include "obs/obs.h"
+#include "obs/report.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/threadpool.h"
@@ -53,7 +57,8 @@ class BatchSequencer
         : trials_(trials), batchSize_(batchSize),
           resumeTrials_(resumeTrials), target_(options.targetFailures),
           progress_(options.progress), commitHook_(std::move(commitHook)),
-          failures_(resumeFailures), trialsDone_(resumeTrials)
+          failures_(resumeFailures), trialsDone_(resumeTrials),
+          start_(std::chrono::steady_clock::now())
     {
     }
 
@@ -78,6 +83,8 @@ class BatchSequencer
                 break;
             std::vector<uint64_t> fails = std::move(it->second);
             pending_.erase(it);
+            const uint64_t prevTrials = trialsDone_;
+            const uint64_t prevFailures = failures_;
             uint64_t batchEnd =
                 std::min(trials_, resumeTrials_
                                       + (nextToCommit_ + 1)
@@ -100,8 +107,34 @@ class BatchSequencer
             if (!done_)
                 trialsDone_ = batchEnd;
             ++nextToCommit_;
-            if (progress_)
-                progress_(McProgress{trialsDone_, failures_, trials_});
+            if (obs::metricsEnabled()) {
+                static const obs::Counter batches =
+                    obs::Counter::get("mc.batches_committed");
+                static const obs::Counter trialsCtr =
+                    obs::Counter::get("mc.trials_committed");
+                static const obs::Counter failuresCtr =
+                    obs::Counter::get("mc.failures");
+                batches.add(1);
+                trialsCtr.add(trialsDone_ - prevTrials);
+                failuresCtr.add(failures_ - prevFailures);
+            }
+            if (progress_) {
+                McProgress p{trialsDone_, failures_, trials_};
+                p.elapsedSeconds =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+                const uint64_t session = trialsDone_ - resumeTrials_;
+                if (p.elapsedSeconds > 0.0 && session > 0) {
+                    p.shotsPerSec = static_cast<double>(session)
+                        / p.elapsedSeconds;
+                    p.etaSeconds = done_ || trialsDone_ >= trials_
+                        ? 0.0
+                        : static_cast<double>(trials_ - trialsDone_)
+                            / p.shotsPerSec;
+                }
+                progress_(p);
+            }
             if (commitHook_ && !done_)
                 commitHook_(trialsDone_, failures_);
         }
@@ -132,6 +165,7 @@ class BatchSequencer
     uint64_t trialsDone_ = 0;
     bool done_ = false;
     std::atomic<bool> stopFlag_{false};
+    const std::chrono::steady_clock::time_point start_;
 };
 
 } // namespace
@@ -225,6 +259,15 @@ estimateLogicalErrorBasis(EmbeddingKind embedding,
     ThreadPool pool(options.threads);
     unsigned workers = static_cast<unsigned>(std::min<uint64_t>(
         pool.numThreads(), numBatches));
+    const auto pointStart = std::chrono::steady_clock::now();
+    if (obs::metricsEnabled()) {
+        static const obs::Gauge threadsGauge =
+            obs::Gauge::get("mc.threads");
+        static const obs::Gauge batchGauge =
+            obs::Gauge::get("mc.batch_size");
+        threadsGauge.set(workers);
+        batchGauge.set(batchSize);
+    }
     // Each worker pulls batch indices from a shared counter (dynamic
     // load balancing; under early stop, low indices -- the ones that
     // decide the stop point -- are processed first).
@@ -240,6 +283,7 @@ estimateLogicalErrorBasis(EmbeddingKind embedding,
                                              std::memory_order_relaxed);
             if (b >= numBatches)
                 break;
+            obs::StageTimer batchTimer("mc.batch");
             uint64_t begin = resumeTrials + b * batchSize;
             uint32_t count = static_cast<uint32_t>(
                 std::min<uint64_t>(batchSize, trials - begin));
@@ -257,6 +301,24 @@ estimateLogicalErrorBasis(EmbeddingKind embedding,
     });
 
     BinomialEstimate est = sequencer.result();
+    if (obs::metricsEnabled()) {
+        obs::PointReport pr;
+        pr.embedding = embeddingKindName(embedding);
+        pr.distance = config.distance;
+        pr.physicalP = config.noise.p2;
+        pr.basis = config.memoryBasis == CheckBasis::X ? 'X' : 'Z';
+        pr.trials = est.trials;
+        pr.failures = est.successes;
+        pr.sessionTrials = est.trials - resumeTrials;
+        pr.wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - pointStart)
+                .count();
+        pr.shotsPerSec = pr.wallSeconds > 0.0
+            ? static_cast<double>(pr.sessionTrials) / pr.wallSeconds
+            : 0.0;
+        obs::reportPoint(pr);
+    }
     if (checkpoint.enabled()) {
         // The point is finished (budget exhausted or early stop fired):
         // persist the final frontier with the done flag.

@@ -23,6 +23,15 @@ struct McProgress
     uint64_t trialsDone = 0;   // trials committed so far (in order)
     uint64_t failures = 0;     // failures among the committed trials
     uint64_t totalTrials = 0;  // the run's trial budget
+
+    // Heartbeat: liveness fields for long scans. Unlike the counts
+    // above these are *session-relative* -- throughput counts only the
+    // trials sampled by this process (a resumed run does not get
+    // credit for the checkpointed prefix), so the rate and ETA are
+    // honest even straight after a resume.
+    double elapsedSeconds = 0.0; // wall time since this point started
+    double shotsPerSec = 0.0;    // session trials / elapsed (0 unknown)
+    double etaSeconds = -1.0;    // projected seconds left (-1 unknown)
 };
 
 /** Options controlling one Monte-Carlo estimation. */

@@ -11,7 +11,6 @@ namespace vlq {
 namespace {
 
 std::atomic<uint64_t> idleCapBinds{0};
-std::atomic<bool> idleCapWarned{false};
 
 } // namespace
 
@@ -43,10 +42,9 @@ NoiseModel::idleError(WireKind kind, double dtNs) const
     double scaled = lambda * idleScale;
     if (scaled > 0.75) {
         idleCapBinds.fetch_add(1, std::memory_order_relaxed);
-        if (!idleCapWarned.exchange(true, std::memory_order_relaxed))
-            VLQ_WARN("idle error saturated at 0.75 (maximally mixing); "
-                     "idleScale is too large for this duration and the "
-                     "sweep will flatten");
+        VLQ_WARN_ONCE("idle error saturated at 0.75 (maximally "
+                      "mixing); idleScale is too large for this "
+                      "duration and the sweep will flatten");
         return 0.75;
     }
     return scaled;
@@ -61,8 +59,9 @@ NoiseModel::idleCapBindCount()
 void
 NoiseModel::resetIdleCapDiagnostics()
 {
+    // Resets the bind counter only; the VLQ_WARN_ONCE site keeps its
+    // fired state -- the warning is per-process, the count per-test.
     idleCapBinds.store(0, std::memory_order_relaxed);
-    idleCapWarned.store(false, std::memory_order_relaxed);
 }
 
 } // namespace vlq

@@ -81,7 +81,8 @@ struct NoiseModel
     /** Number of idleError calls that hit the 0.75 cap so far. */
     static uint64_t idleCapBindCount();
 
-    /** Reset the cap-bind counter and the warn-once latch (tests). */
+    /** Reset the cap-bind counter (tests). The warn-once latch is a
+     *  per-process VLQ_WARN_ONCE site and stays fired. */
     static void resetIdleCapDiagnostics();
 };
 

@@ -1,0 +1,274 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace vlq {
+namespace obs {
+
+std::string
+jsonQuote(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (c == '\n') {
+            out += "\\n";
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char esc[8];
+            std::snprintf(esc, sizeof esc, "\\u%04x", c);
+            out += esc;
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+
+namespace {
+
+/** Recursive-descent JSON syntax checker. */
+class Lint
+{
+  public:
+    explicit Lint(std::string_view text) : text_(text) {}
+
+    bool run(std::string* err)
+    {
+        skipWs();
+        if (!value()) {
+            fill(err);
+            return false;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            error_ = "trailing garbage";
+            fill(err);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    void fill(std::string* err)
+    {
+        if (err)
+            *err = error_ + " at byte " + std::to_string(pos_);
+    }
+
+    bool eof() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    void skipWs()
+    {
+        while (!eof() && (peek() == ' ' || peek() == '\t'
+                          || peek() == '\n' || peek() == '\r'))
+            ++pos_;
+    }
+
+    bool fail(const char* why)
+    {
+        if (error_.empty())
+            error_ = why;
+        return false;
+    }
+
+    bool literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("bad literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool string()
+    {
+        if (eof() || peek() != '"')
+            return fail("expected string");
+        ++pos_;
+        while (!eof()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c == '\\') {
+                if (eof())
+                    return fail("truncated escape");
+                char e = text_[pos_++];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        if (eof() || !std::isxdigit(
+                                static_cast<unsigned char>(peek())))
+                            return fail("bad \\u escape");
+                        ++pos_;
+                    }
+                } else if (e != '"' && e != '\\' && e != '/'
+                           && e != 'b' && e != 'f' && e != 'n'
+                           && e != 'r' && e != 't') {
+                    return fail("bad escape character");
+                }
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool number()
+    {
+        size_t start = pos_;
+        if (!eof() && peek() == '-')
+            ++pos_;
+        if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("malformed number");
+        if (peek() == '0') {
+            ++pos_;
+        } else {
+            while (!eof()
+                   && std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (!eof() && peek() == '.') {
+            ++pos_;
+            if (eof()
+                || !std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("malformed fraction");
+            while (!eof()
+                   && std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!eof() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            if (eof()
+                || !std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("malformed exponent");
+            while (!eof()
+                   && std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool value()
+    {
+        if (++depth_ > 256)
+            return fail("nesting too deep");
+        skipWs();
+        if (eof())
+            return fail("unexpected end of input");
+        bool ok;
+        switch (peek()) {
+        case '{':
+            ok = object();
+            break;
+        case '[':
+            ok = array();
+            break;
+        case '"':
+            ok = string();
+            break;
+        case 't':
+            ok = literal("true");
+            break;
+        case 'f':
+            ok = literal("false");
+            break;
+        case 'n':
+            ok = literal("null");
+            break;
+        default:
+            ok = number();
+            break;
+        }
+        --depth_;
+        return ok;
+    }
+
+    bool object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (!eof() && peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (eof() || peek() != ':')
+                return fail("expected ':' in object");
+            ++pos_;
+            if (!value())
+                return false;
+            skipWs();
+            if (!eof() && peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (!eof() && peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (!eof() && peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            skipWs();
+            if (!eof() && peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (!eof() && peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+bool
+jsonLint(std::string_view text, std::string* err)
+{
+    return Lint(text).run(err);
+}
+
+} // namespace obs
+} // namespace vlq

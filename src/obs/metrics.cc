@@ -1,0 +1,352 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace vlq {
+namespace obs {
+
+namespace detail {
+std::atomic<uint32_t> gObsFlags{0};
+} // namespace detail
+
+namespace {
+
+/**
+ * Fixed metric-id capacities. Shards are allocated at full capacity so
+ * the hot path indexes a flat array with no growth (growth would race
+ * with scrapes). Far above current usage; exceeding one is a bug in
+ * instrumentation, reported fatally at registration (cold path).
+ */
+constexpr uint32_t kMaxCounters = 192;
+constexpr uint32_t kMaxGauges = 48;
+constexpr uint32_t kMaxHistograms = 64;
+
+/** One histogram's lock-free per-thread storage. */
+struct HistShard
+{
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{UINT64_MAX};
+    std::atomic<uint64_t> max{0};
+};
+
+/** One thread's lock-free metric storage. */
+struct Shard
+{
+    std::array<std::atomic<uint64_t>, kMaxCounters> counters{};
+    std::array<HistShard, kMaxHistograms> hists;
+};
+
+/** Accumulated values of shards whose threads have exited. */
+struct RetiredTotals
+{
+    std::array<uint64_t, kMaxCounters> counters{};
+    std::array<HistogramSnapshot, kMaxHistograms> hists{};
+};
+
+uint32_t
+bucketIndex(uint64_t value)
+{
+    // Bucket 0: zeros; bucket i: [2^(i-1), 2^i).
+    return static_cast<uint32_t>(std::bit_width(value));
+}
+
+void
+mergeHistShard(const HistShard& shard, HistogramSnapshot& into)
+{
+    uint64_t c = shard.count.load(std::memory_order_relaxed);
+    if (c == 0)
+        return;
+    into.count += c;
+    into.sum += shard.sum.load(std::memory_order_relaxed);
+    uint64_t mn = shard.min.load(std::memory_order_relaxed);
+    uint64_t mx = shard.max.load(std::memory_order_relaxed);
+    if (into.count == c || mn < into.min)
+        into.min = mn;
+    into.max = std::max(into.max, mx);
+    for (uint32_t b = 0; b < kHistogramBuckets; ++b)
+        into.buckets[b] +=
+            shard.buckets[b].load(std::memory_order_relaxed);
+}
+
+class Registry
+{
+  public:
+    static Registry& instance()
+    {
+        static Registry* reg = [] {
+            Registry* r = new Registry();
+            created_.store(true, std::memory_order_release);
+            return r;
+        }();
+        return *reg;
+    }
+
+    static bool created()
+    {
+        return created_.load(std::memory_order_acquire);
+    }
+
+    uint32_t intern(std::map<std::string, uint32_t, std::less<>>& names,
+                    std::string_view name, uint32_t cap,
+                    const char* kind)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = names.find(name);
+        if (it != names.end())
+            return it->second;
+        if (names.size() >= cap) {
+            std::fprintf(stderr, "obs: too many %s metrics (cap %u) "
+                         "registering '%.*s'\n", kind, cap,
+                         static_cast<int>(name.size()), name.data());
+            VLQ_FATAL("obs metric capacity exceeded");
+        }
+        uint32_t id = static_cast<uint32_t>(names.size());
+        names.emplace(std::string(name), id);
+        return id;
+    }
+
+    uint32_t internCounter(std::string_view name)
+    {
+        return intern(counterNames_, name, kMaxCounters, "counter");
+    }
+    uint32_t internGauge(std::string_view name)
+    {
+        return intern(gaugeNames_, name, kMaxGauges, "gauge");
+    }
+    uint32_t internHistogram(std::string_view name)
+    {
+        return intern(histNames_, name, kMaxHistograms, "histogram");
+    }
+
+    void setGauge(uint32_t id, int64_t value)
+    {
+        gauges_[id].store(value, std::memory_order_relaxed);
+    }
+
+    /** The calling thread's shard, created and registered on demand. */
+    Shard& localShard();
+
+    void retire(Shard* shard)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (uint32_t i = 0; i < kMaxCounters; ++i)
+            retired_.counters[i] +=
+                shard->counters[i].load(std::memory_order_relaxed);
+        for (uint32_t h = 0; h < kMaxHistograms; ++h)
+            mergeHistShard(shard->hists[h], retired_.hists[h]);
+        std::erase(live_, shard);
+        delete shard;
+    }
+
+    MetricsSnapshot snapshot()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::array<uint64_t, kMaxCounters> counters = retired_.counters;
+        std::array<HistogramSnapshot, kMaxHistograms> hists =
+            retired_.hists;
+        for (Shard* shard : live_) {
+            for (uint32_t i = 0; i < kMaxCounters; ++i)
+                counters[i] += shard->counters[i].load(
+                    std::memory_order_relaxed);
+            for (uint32_t h = 0; h < kMaxHistograms; ++h)
+                mergeHistShard(shard->hists[h], hists[h]);
+        }
+
+        MetricsSnapshot snap;
+        snap.counters.reserve(counterNames_.size());
+        for (const auto& [name, id] : counterNames_)
+            snap.counters.emplace_back(name, counters[id]);
+        snap.gauges.reserve(gaugeNames_.size());
+        for (const auto& [name, id] : gaugeNames_)
+            snap.gauges.emplace_back(
+                name, gauges_[id].load(std::memory_order_relaxed));
+        snap.histograms.reserve(histNames_.size());
+        for (const auto& [name, id] : histNames_) {
+            HistogramSnapshot h = hists[id];
+            if (h.count == 0)
+                h.min = 0;
+            snap.histograms.emplace_back(name, h);
+        }
+        return snap;
+    }
+
+  private:
+    static std::atomic<bool> created_;
+
+    std::mutex mutex_;
+    std::map<std::string, uint32_t, std::less<>> counterNames_;
+    std::map<std::string, uint32_t, std::less<>> gaugeNames_;
+    std::map<std::string, uint32_t, std::less<>> histNames_;
+    std::array<std::atomic<int64_t>, kMaxGauges> gauges_{};
+    std::vector<Shard*> live_;
+    RetiredTotals retired_;
+};
+
+std::atomic<bool> Registry::created_{false};
+
+/**
+ * Thread-local shard handle. The holder (not the raw pointer) is
+ * thread_local so its destructor runs at thread exit and folds the
+ * shard's values into the retired accumulator -- the MC pool's
+ * short-lived workers would otherwise take their counts with them.
+ */
+struct ShardHolder
+{
+    Shard* shard = nullptr;
+    ~ShardHolder()
+    {
+        if (shard)
+            Registry::instance().retire(shard);
+    }
+};
+
+thread_local ShardHolder tShard;
+
+Shard&
+Registry::localShard()
+{
+    if (!tShard.shard) {
+        Shard* shard = new Shard();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            live_.push_back(shard);
+        }
+        tShard.shard = shard;
+    }
+    return *tShard.shard;
+}
+
+} // namespace
+
+void
+setMetricsEnabled(bool on)
+{
+    if (on) {
+        (void)Registry::instance();
+        detail::gObsFlags.fetch_or(detail::kMetricsBit,
+                                   std::memory_order_relaxed);
+    } else {
+        detail::gObsFlags.fetch_and(~detail::kMetricsBit,
+                                    std::memory_order_relaxed);
+    }
+}
+
+bool
+registryCreated()
+{
+    return Registry::created();
+}
+
+Counter
+Counter::get(std::string_view name)
+{
+    return Counter(Registry::instance().internCounter(name));
+}
+
+void
+Counter::add(uint64_t delta) const
+{
+    Registry::instance().localShard().counters[id_].fetch_add(
+        delta, std::memory_order_relaxed);
+}
+
+Gauge
+Gauge::get(std::string_view name)
+{
+    return Gauge(Registry::instance().internGauge(name));
+}
+
+void
+Gauge::set(int64_t value) const
+{
+    Registry::instance().setGauge(id_, value);
+}
+
+Histogram
+Histogram::get(std::string_view name)
+{
+    return Histogram(Registry::instance().internHistogram(name));
+}
+
+void
+Histogram::record(uint64_t value) const
+{
+    HistShard& h = Registry::instance().localShard().hists[id_];
+    h.buckets[bucketIndex(value)].fetch_add(1,
+                                            std::memory_order_relaxed);
+    h.count.fetch_add(1, std::memory_order_relaxed);
+    h.sum.fetch_add(value, std::memory_order_relaxed);
+    // Min/max are per-thread-exclusive except for the relaxed loads of
+    // a scrape, so a load-compare-store (not CAS) is race-free here.
+    if (value < h.min.load(std::memory_order_relaxed))
+        h.min.store(value, std::memory_order_relaxed);
+    if (value > h.max.load(std::memory_order_relaxed))
+        h.max.store(value, std::memory_order_relaxed);
+}
+
+double
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    double target = q * static_cast<double>(count);
+    uint64_t seen = 0;
+    for (uint32_t b = 0; b < kHistogramBuckets; ++b) {
+        if (buckets[b] == 0)
+            continue;
+        uint64_t next = seen + buckets[b];
+        if (static_cast<double>(next) >= target) {
+            // Geometric interpolation inside bucket b's range.
+            double lo = b == 0 ? 0.0 : std::ldexp(1.0, int(b) - 1);
+            double hi = b == 0 ? 0.0 : std::ldexp(1.0, int(b));
+            double frac = buckets[b] == 0 ? 0.0
+                : (target - static_cast<double>(seen))
+                    / static_cast<double>(buckets[b]);
+            double est = lo + (hi - lo) * frac;
+            est = std::clamp(est, static_cast<double>(min),
+                             static_cast<double>(max));
+            return est;
+        }
+        seen = next;
+    }
+    return static_cast<double>(max);
+}
+
+uint64_t
+MetricsSnapshot::counter(std::string_view name) const
+{
+    for (const auto& [n, v] : counters)
+        if (n == name)
+            return v;
+    return 0;
+}
+
+const HistogramSnapshot*
+MetricsSnapshot::histogram(std::string_view name) const
+{
+    for (const auto& [n, h] : histograms)
+        if (n == name)
+            return &h;
+    return nullptr;
+}
+
+MetricsSnapshot
+snapshotMetrics()
+{
+    if (!Registry::created())
+        return MetricsSnapshot{};
+    return Registry::instance().snapshot();
+}
+
+} // namespace obs
+} // namespace vlq

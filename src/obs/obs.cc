@@ -1,0 +1,77 @@
+#include "obs/obs.h"
+
+#include <mutex>
+
+#include "obs/report.h"
+#include "util/env.h"
+
+namespace vlq {
+namespace obs {
+
+namespace {
+
+std::mutex gPathMutex;
+std::string gMetricsJsonPath;
+std::string gTraceJsonPath;
+
+} // namespace
+
+void
+initFromEnv()
+{
+    std::string metricsJson = envString("VLQ_METRICS_JSON", "");
+    std::string trace = envString("VLQ_TRACE", "");
+    if (envInt("VLQ_METRICS", 0) != 0 || !metricsJson.empty())
+        setMetricsEnabled(true);
+    if (!trace.empty())
+        setTraceEnabled(true);
+    std::lock_guard<std::mutex> lock(gPathMutex);
+    if (!metricsJson.empty())
+        gMetricsJsonPath = metricsJson;
+    if (!trace.empty())
+        gTraceJsonPath = trace;
+}
+
+void
+applyCliPaths(const std::string& metricsJsonPath,
+              const std::string& traceJsonPath)
+{
+    if (!metricsJsonPath.empty())
+        setMetricsEnabled(true);
+    if (!traceJsonPath.empty())
+        setTraceEnabled(true);
+    std::lock_guard<std::mutex> lock(gPathMutex);
+    if (!metricsJsonPath.empty())
+        gMetricsJsonPath = metricsJsonPath;
+    if (!traceJsonPath.empty())
+        gTraceJsonPath = traceJsonPath;
+}
+
+std::string
+configuredMetricsJsonPath()
+{
+    std::lock_guard<std::mutex> lock(gPathMutex);
+    return gMetricsJsonPath;
+}
+
+std::string
+configuredTraceJsonPath()
+{
+    std::lock_guard<std::mutex> lock(gPathMutex);
+    return gTraceJsonPath;
+}
+
+bool
+finalize(std::string* err)
+{
+    std::string metricsPath = configuredMetricsJsonPath();
+    std::string tracePath = configuredTraceJsonPath();
+    if (!metricsPath.empty() && !writeReportJson(metricsPath, err))
+        return false;
+    if (!tracePath.empty() && !writeTraceJson(tracePath, err))
+        return false;
+    return true;
+}
+
+} // namespace obs
+} // namespace vlq

@@ -1,0 +1,110 @@
+#ifndef VLQ_OBS_OBS_H
+#define VLQ_OBS_OBS_H
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vlq {
+namespace obs {
+
+/**
+ * Umbrella header of the observability layer: the RAII stage timer
+ * used at every pipeline instrumentation point, plus the env/CLI glue
+ * the executables share.
+ *
+ * Enabling knobs (all off by default -- the disabled pipeline is
+ * bit-identical and within noise of an uninstrumented build):
+ *
+ *   VLQ_METRICS=1           record metrics (report printed nowhere;
+ *                           snapshotMetrics()/tests consume them)
+ *   VLQ_METRICS_JSON=path   record metrics and write the end-of-run
+ *                           JSON report to `path` on finalize()
+ *   VLQ_TRACE=path          record spans and write a Chrome
+ *                           trace_event JSON timeline to `path`
+ *   --metrics-json/--trace-json   CLI equivalents (applyCliPaths)
+ */
+
+/** True when either metrics or tracing is on (one relaxed load). */
+inline bool anyEnabled()
+{
+    return detail::obsFlags() != 0;
+}
+
+/**
+ * RAII scoped timer for one pipeline stage: on destruction records the
+ * elapsed nanoseconds into the histogram named `name` (when metrics
+ * are on) and emits a complete-span trace event of the same name on
+ * the calling thread's lane (when tracing is on). Fully inert -- no
+ * clock read, no allocation -- when both are off:
+ *
+ *     void FaultSampler::sampleBatchInto(...) {
+ *         obs::StageTimer timer("sampler.sample_batch");
+ *         ...
+ *     }
+ *
+ * `name` must be a string literal (stored by pointer).
+ */
+class StageTimer
+{
+  public:
+    explicit StageTimer(const char* name)
+    {
+        flags_ = detail::obsFlags();
+        if (flags_ == 0)
+            return;
+        name_ = name;
+        start_ = traceNowNs();
+    }
+
+    StageTimer(const StageTimer&) = delete;
+    StageTimer& operator=(const StageTimer&) = delete;
+
+    ~StageTimer()
+    {
+        if (!name_)
+            return;
+        uint64_t dur = traceNowNs() - start_;
+        if (flags_ & detail::kMetricsBit)
+            Histogram::get(name_).record(dur);
+        if (flags_ & detail::kTraceBit)
+            traceSpan(name_, start_, dur);
+    }
+
+  private:
+    const char* name_ = nullptr;
+    uint64_t start_ = 0;
+    uint32_t flags_ = 0;
+};
+
+/**
+ * Enable metrics/tracing from VLQ_METRICS, VLQ_METRICS_JSON and
+ * VLQ_TRACE. Call once near the top of main(), before the pipeline
+ * runs; harmless when none of the variables are set.
+ */
+void initFromEnv();
+
+/**
+ * Apply the shared --metrics-json/--trace-json CLI flags (empty =
+ * flag absent, keeps the env-derived setting). A non-empty path
+ * enables the corresponding collection.
+ */
+void applyCliPaths(const std::string& metricsJsonPath,
+                   const std::string& traceJsonPath);
+
+/** Output paths currently configured (env or CLI), empty = none. */
+std::string configuredMetricsJsonPath();
+std::string configuredTraceJsonPath();
+
+/**
+ * Write every configured output (metrics report, trace timeline).
+ * Call at the end of main(); a no-op when nothing was configured.
+ * @return true on success; false with *err filled otherwise.
+ */
+bool finalize(std::string* err);
+
+} // namespace obs
+} // namespace vlq
+
+#endif // VLQ_OBS_OBS_H

@@ -1,6 +1,7 @@
 #ifndef VLQ_UTIL_LOGGING_H
 #define VLQ_UTIL_LOGGING_H
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -29,7 +30,14 @@ vlqFatalImpl(const char* file, int line, const char* msg)
 inline void
 vlqWarnImpl(const char* file, int line, const char* msg)
 {
-    std::fprintf(stderr, "warn: %s:%d: %s\n", file, line, msg);
+    // Format into one buffer and emit it with a single stream write,
+    // so warnings racing in from pool threads never interleave
+    // mid-line (each stdio call locks the stream, but a fprintf that
+    // formats piecewise may still split across flushes).
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), "warn: %s:%d: %s\n", file, line,
+                  msg);
+    std::fputs(buf, stderr);
 }
 
 } // namespace vlq
@@ -37,6 +45,20 @@ vlqWarnImpl(const char* file, int line, const char* msg)
 #define VLQ_PANIC(msg) ::vlq::vlqPanic(__FILE__, __LINE__, (msg))
 #define VLQ_FATAL(msg) ::vlq::vlqFatalImpl(__FILE__, __LINE__, (msg))
 #define VLQ_WARN(msg) ::vlq::vlqWarnImpl(__FILE__, __LINE__, (msg))
+
+/**
+ * Warn exactly once per call site, however many threads race through
+ * it: the first thread to flip the site's atomic flag prints, everyone
+ * else skips. Use for per-shot/per-channel diagnostics that would
+ * otherwise flood stderr from a million-trial scan.
+ */
+#define VLQ_WARN_ONCE(msg) \
+    do { \
+        static ::std::atomic<bool> vlqWarnedHere_{false}; \
+        if (!vlqWarnedHere_.exchange(true, \
+                                     ::std::memory_order_relaxed)) \
+            VLQ_WARN(msg); \
+    } while (0)
 
 /** Assert an invariant that must hold regardless of user input. */
 #define VLQ_ASSERT(cond, msg) \

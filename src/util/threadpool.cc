@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace vlq {
 
 ThreadPool::ThreadPool(unsigned numThreads)
@@ -33,7 +35,13 @@ ThreadPool::parallelFor(
         uint64_t end = std::min(n, begin + chunk);
         if (begin >= end)
             break;
-        threads.emplace_back([&body, begin, end, w] { body(begin, end, w); });
+        threads.emplace_back([&body, begin, end, w] {
+            // Worker w always renders on trace lane w+1 (lane 0 is the
+            // main thread), so successive parallelFor generations of
+            // short-lived pool threads share stable timeline lanes.
+            obs::traceSetThreadLane(w + 1);
+            body(begin, end, w);
+        });
     }
     for (auto& t : threads)
         t.join();

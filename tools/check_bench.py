@@ -13,6 +13,12 @@ machine-dependent records -- timings, speedups -- that references
 deliberately omit); rows present only in the reference fail, so a
 bench cannot silently stop reporting a tracked quantity.
 
+Besides pass/fail, every run ends with a per-record drift summary:
+for each record type (the first key column) the count of compared
+values, the mean and worst relative drift, and the row that drifted
+most. A bench can pass every tolerance while quietly walking toward
+the edge; the summary makes that visible in CI logs before it trips.
+
 Exit status: 0 when every reference row matches, 1 otherwise.
 
 Usage:
@@ -75,6 +81,9 @@ def main():
     ignore = re.compile(args.ignore) if args.ignore else None
     failures = 0
     checked = 0
+    # record type (first key column) -> [count, sum drift, worst
+    # |drift|, worst drift (signed), worst row label]
+    drift_by_record = {}
     for key, ref_values in sorted(ref.items()):
         label = ",".join(key)
         if ignore and ignore.search(label):
@@ -89,20 +98,41 @@ def main():
                   f"reference {len(ref_values)}")
             failures += 1
             continue
+        record = key[0] if key else ""
         for r, c in zip(ref_values, cand_values):
             checked += 1
             tol = args.abs_tol + args.rel_tol * max(abs(r), abs(c))
+            # Relative drift against the tolerance scale, so zero-rate
+            # reference rows (r == 0) still report meaningfully.
+            drift = (c - r) / max(abs(r), args.abs_tol)
+            stats = drift_by_record.setdefault(
+                record, [0, 0.0, -1.0, 0.0, ""])
+            stats[0] += 1
+            stats[1] += drift
+            if abs(drift) > stats[2]:
+                stats[2] = abs(drift)
+                stats[3] = drift
+                stats[4] = label
             if abs(c - r) > tol:
                 print(f"FAIL: [{label}] candidate {c:g} vs "
                       f"reference {r:g} (|diff| {abs(c - r):g} > "
                       f"tol {tol:g})")
                 failures += 1
 
+    if drift_by_record:
+        print("\nDrift summary (relative to max(|ref|, abs_tol)):")
+        print(f"  {'record':<20} {'n':>5} {'mean':>9} {'worst':>9} "
+              f"  worst row")
+        for record, (n, total, _, worst, worst_label) in sorted(
+                drift_by_record.items()):
+            print(f"  {record:<20} {n:>5} {total / n:>+9.2%} "
+                  f"{worst:>+9.2%}   {worst_label}")
+
     if failures:
-        print(f"{failures} mismatch(es) across {checked} compared "
+        print(f"\n{failures} mismatch(es) across {checked} compared "
               f"value(s)")
         return 1
-    print(f"OK: {checked} value(s) within tolerance "
+    print(f"\nOK: {checked} value(s) within tolerance "
           f"(abs {args.abs_tol:g}, rel {args.rel_tol:g})")
     return 0
 
