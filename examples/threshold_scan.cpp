@@ -177,16 +177,11 @@ main(int argc, char** argv)
                       << " failures / " << p.trialsDone << " of "
                       << p.totalTrials << " trials ";
             // Heartbeat: session throughput and projected time left.
-            if (p.shotsPerSec > 0.0) {
-                std::cout << "(" << TablePrinter::sci(p.shotsPerSec, 1)
-                          << " shots/s";
-                if (p.etaSeconds >= 0.0)
-                    std::cout << ", eta "
-                              << static_cast<uint64_t>(p.etaSeconds)
-                              << "s";
-                std::cout << ") ";
-            }
-            std::cout << std::flush;
+            // heartbeatString clamps -- unknown or non-finite values
+            // (e.g. the first heartbeat of a resumed session) render
+            // as "--", never as inf or a garbage integer cast.
+            std::cout << "(" << p.heartbeatString() << ") "
+                      << std::flush;
         }
     };
     cfg.pointProgress = [](const LogicalErrorPoint& pt) {

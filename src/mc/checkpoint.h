@@ -45,6 +45,16 @@ namespace vlq {
  * exhausted (or whose early-stop target fired), which a resumed grid
  * scan skips without regenerating circuits. The trailing `end` line
  * makes truncation detectable.
+ *
+ * Checkpoints are also the suspend/resume mechanism of the scan job
+ * service (src/service/): cooperative preemption
+ * (McOptions::preempt) persists the running point's frontier with
+ * done=0 at a batch boundary, and a preempted or killed job resumes
+ * from its file bit-identically. Because save() writes points sorted
+ * and doubles canonically, a job checkpoint stamped with the same
+ * thresholdScanFingerprint as a solo threshold_scan run is
+ * byte-identical to the solo run's file -- `cmp` is a valid equality
+ * check, which CI uses after a SIGKILL loop.
  */
 
 /** Committed Monte-Carlo frontier of one (config, basis) point. */
@@ -110,6 +120,9 @@ class McCheckpoint
      * @return empty string on success, else a description of why the
      *         file was rejected (corrupt, truncated, version mismatch,
      *         fingerprint mismatch); the checkpoint stays disabled.
+     *         The message is complete and user-facing: callers (the
+     *         scan CLIs, the job service's per-job error events)
+     *         surface it verbatim.
      */
     std::string open(const std::string& path, const std::string& summary);
 

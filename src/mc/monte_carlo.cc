@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <sstream>
 #include <vector>
 
 #include "core/generator_registry.h"
@@ -19,6 +21,7 @@
 #include "obs/report.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/table.h"
 #include "util/threadpool.h"
 
 namespace vlq {
@@ -29,6 +32,26 @@ LogicalErrorPoint::combinedRate() const
     double pz = basisZ.rate();
     double px = basisX.rate();
     return 1.0 - (1.0 - pz) * (1.0 - px);
+}
+
+std::string
+McProgress::heartbeatString() const
+{
+    // Defensive on both ends: a default-constructed or adversarial
+    // McProgress (inf/NaN rate, negative ETA) must render as unknown,
+    // never as "inf shots/s" or a garbage cast of a huge double.
+    const bool rateKnown = std::isfinite(shotsPerSec) && shotsPerSec > 0.0;
+    std::ostringstream os;
+    if (rateKnown)
+        os << TablePrinter::sci(shotsPerSec, 1) << " shots/s";
+    else
+        os << "-- shots/s";
+    os << ", eta ";
+    if (rateKnown && std::isfinite(etaSeconds) && etaSeconds >= 0.0)
+        os << static_cast<uint64_t>(etaSeconds) << "s";
+    else
+        os << "--";
+    return os.str();
 }
 
 namespace {
@@ -56,8 +79,9 @@ class BatchSequencer
                    std::function<void(uint64_t, uint64_t)> commitHook)
         : trials_(trials), batchSize_(batchSize),
           resumeTrials_(resumeTrials), target_(options.targetFailures),
-          progress_(options.progress), commitHook_(std::move(commitHook)),
-          failures_(resumeFailures), trialsDone_(resumeTrials),
+          progress_(options.progress), preempt_(options.preempt),
+          commitHook_(std::move(commitHook)), failures_(resumeFailures),
+          trialsDone_(resumeTrials),
           start_(std::chrono::steady_clock::now())
     {
     }
@@ -126,21 +150,45 @@ class BatchSequencer
                         .count();
                 const uint64_t session = trialsDone_ - resumeTrials_;
                 if (p.elapsedSeconds > 0.0 && session > 0) {
-                    p.shotsPerSec = static_cast<double>(session)
+                    double rate = static_cast<double>(session)
                         / p.elapsedSeconds;
-                    p.etaSeconds = done_ || trialsDone_ >= trials_
-                        ? 0.0
-                        : static_cast<double>(trials_ - trialsDone_)
-                            / p.shotsPerSec;
+                    // Clamp: the first heartbeat after a resume can
+                    // land before the steady clock has advanced
+                    // measurably, making the naive ratio 0, inf, or
+                    // NaN. Unknown values stay at their sentinels
+                    // (0 / -1) so renderers print "--", not garbage.
+                    if (std::isfinite(rate) && rate > 0.0) {
+                        p.shotsPerSec = rate;
+                        double eta = done_ || trialsDone_ >= trials_
+                            ? 0.0
+                            : static_cast<double>(trials_ - trialsDone_)
+                                / rate;
+                        if (std::isfinite(eta))
+                            p.etaSeconds = eta;
+                    }
                 }
                 progress_(p);
             }
             if (commitHook_ && !done_)
                 commitHook_(trialsDone_, failures_);
+            // Preemption boundary: the batch just committed is the
+            // clean suspend point. Everything already committed stays
+            // (and is what the checkpoint persists); everything still
+            // pending is discarded and will be resampled after resume
+            // -- bit-identically, since each trial owns its RNG
+            // stream.
+            if (!done_ && preempt_ && preempt_()) {
+                preempted_ = true;
+                done_ = true;
+                stopFlag_.store(true, std::memory_order_relaxed);
+            }
         }
         if (done_)
             pending_.clear();
     }
+
+    /** True when McOptions::preempt cut the run short. */
+    bool preempted() const { return preempted_; }
 
     BinomialEstimate result() const
     {
@@ -156,6 +204,7 @@ class BatchSequencer
     const uint64_t resumeTrials_;
     const uint64_t target_;
     const std::function<void(const McProgress&)>& progress_;
+    const std::function<bool()>& preempt_;
     const std::function<void(uint64_t, uint64_t)> commitHook_;
 
     std::mutex mutex_;
@@ -164,6 +213,7 @@ class BatchSequencer
     uint64_t failures_ = 0;
     uint64_t trialsDone_ = 0;
     bool done_ = false;
+    bool preempted_ = false;
     std::atomic<bool> stopFlag_{false};
     const std::chrono::steady_clock::time_point start_;
 };
@@ -301,6 +351,23 @@ estimateLogicalErrorBasis(EmbeddingKind embedding,
     });
 
     BinomialEstimate est = sequencer.result();
+    if (sequencer.preempted()) {
+        // Suspend, don't finish: persist the committed frontier with
+        // done=false so a later run (same options, same checkpoint)
+        // resumes from this exact batch boundary. The partial point is
+        // deliberately not reported to obs -- the resuming run reports
+        // it once, when it actually completes.
+        if (options.preempted)
+            *options.preempted = true;
+        if (checkpoint.enabled()) {
+            checkpoint.update(pointKey, {est.trials, est.successes,
+                                         false});
+            std::string err = checkpoint.save();
+            if (!err.empty())
+                VLQ_FATAL(err.c_str());
+        }
+        return est;
+    }
     if (obs::metricsEnabled()) {
         obs::PointReport pr;
         pr.embedding = embeddingKindName(embedding);

@@ -16,7 +16,10 @@ namespace vlq {
  * *global* to the point's full trial budget: a run resumed from a
  * checkpoint reports the globally committed trial count and the
  * full-run budget (never per-session counts), so the progress stream
- * is monotone across a kill/resume boundary.
+ * is monotone across a kill/resume boundary. The scan job service
+ * (src/service/) relies on exactly this property to emit monotone
+ * `progress` events across preemption and server restarts (see
+ * docs/job-protocol.md).
  */
 struct McProgress
 {
@@ -28,10 +31,23 @@ struct McProgress
     // above these are *session-relative* -- throughput counts only the
     // trials sampled by this process (a resumed run does not get
     // credit for the checkpointed prefix), so the rate and ETA are
-    // honest even straight after a resume.
+    // honest even straight after a resume. Both are clamped by the
+    // engine: shotsPerSec is 0 and etaSeconds is -1 whenever no finite
+    // positive estimate exists yet (e.g. the first heartbeat after a
+    // resume, where the session has committed trials but the elapsed
+    // clock reads ~0), never inf/NaN.
     double elapsedSeconds = 0.0; // wall time since this point started
     double shotsPerSec = 0.0;    // session trials / elapsed (0 unknown)
     double etaSeconds = -1.0;    // projected seconds left (-1 unknown)
+
+    /**
+     * Render the heartbeat for a status line: "3.1e+04 shots/s, eta
+     * 42s", with "--" placeholders while either value is unknown
+     * ("-- shots/s, eta --"). Non-finite or negative inputs render as
+     * unknown rather than as inf/garbage -- this is the single
+     * renderer every status line should use.
+     */
+    std::string heartbeatString() const;
 };
 
 /** Options controlling one Monte-Carlo estimation. */
@@ -94,6 +110,31 @@ struct McOptions
      * its own knobs (mcRunFingerprintSummary in mc/checkpoint.h).
      */
     std::string checkpointFingerprint;
+
+    /**
+     * Cooperative preemption hook. When set, the engine polls it at
+     * every batch-commit boundary (in trial order, under the
+     * sequencer lock -- keep it cheap); the first time it returns
+     * true, workers stop pulling batches, uncommitted batches are
+     * discarded, the committed frontier is persisted to the
+     * checkpoint with done=false (when checkpointing is on), and the
+     * run returns early with the committed counts.
+     *
+     * Because batches commit strictly in trial order, the preempted
+     * frontier is a prefix of the uninterrupted run's trial sequence:
+     * re-running the same options with the same checkpoint resumes
+     * from the boundary and reproduces the uninterrupted counts
+     * bit-identically. This is what makes scheduler preemption cheap
+     * -- suspending a job costs one checkpoint save, nothing else.
+     */
+    std::function<bool()> preempt;
+
+    /**
+     * Out-flag for preemption: when non-null, set to true if the run
+     * was cut short by `preempt` (and left untouched otherwise, so
+     * callers can share one flag across consecutive points).
+     */
+    bool* preempted = nullptr;
 };
 
 /**
@@ -130,9 +171,12 @@ LogicalErrorPoint estimateLogicalError(EmbeddingKind embedding,
                                        const McOptions& options);
 
 /**
- * Single-basis variant (used by tests and fine-grained sweeps).
+ * Single-basis variant (used by tests, fine-grained sweeps, and the
+ * scan job service, which drives one (config, basis) point at a time
+ * so it can preempt and resume at point granularity too).
  * @return failures out of the consumed trials (== options.trials
- *         unless targetFailures stopped the run early).
+ *         unless targetFailures stopped the run early or
+ *         McOptions::preempt suspended it at a batch boundary).
  */
 BinomialEstimate estimateLogicalErrorBasis(EmbeddingKind embedding,
                                            const GeneratorConfig& config,

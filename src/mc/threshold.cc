@@ -9,15 +9,6 @@
 
 namespace vlq {
 
-namespace {
-
-/**
- * Canonical checkpoint fingerprint of a threshold scan: the engine
- * knobs plus the setup identity and the (distances, ps) grid, with the
- * hardware/coherence context folded in via a representative point key.
- * Resuming a scan whose grid or setup changed is a hard error rather
- * than a silent mix of incompatible counts.
- */
 std::string
 thresholdScanFingerprint(const EvaluationSetup& setup,
                          const ThresholdScanConfig& config)
@@ -52,8 +43,6 @@ thresholdScanFingerprint(const EvaluationSetup& setup,
     }
     return os.str();
 }
-
-} // namespace
 
 ThresholdResult
 scanThreshold(const EvaluationSetup& setup, const ThresholdScanConfig& config)

@@ -56,6 +56,21 @@ struct ThresholdScanConfig
 ThresholdResult scanThreshold(const EvaluationSetup& setup,
                               const ThresholdScanConfig& config);
 
+/**
+ * Canonical checkpoint fingerprint of a threshold scan: the engine
+ * knobs plus the setup identity and the (distances, ps) grid, with the
+ * hardware/coherence context folded in via a representative point key.
+ * Resuming a scan whose grid or setup changed is a hard error rather
+ * than a silent mix of incompatible counts.
+ *
+ * Public because the scan job service stamps its per-job checkpoints
+ * with exactly this summary: a job's state file is then byte-identical
+ * to the checkpoint of a solo threshold_scan run with the same knobs,
+ * which is how CI proves service results bit-identical to solo runs.
+ */
+std::string thresholdScanFingerprint(const EvaluationSetup& setup,
+                                     const ThresholdScanConfig& config);
+
 /** Compute the threshold estimate from finished curves. */
 double estimateThresholdFromCurves(
     const std::vector<ThresholdCurve>& curves);

@@ -348,5 +348,24 @@ snapshotMetrics()
     return Registry::instance().snapshot();
 }
 
+std::string
+labeledName(std::string_view base, std::string_view key,
+            std::string_view value)
+{
+    std::string name;
+    name.reserve(base.size() + key.size() + value.size() + 6);
+    name.append(base);
+    name += '{';
+    name.append(key);
+    name += "=\"";
+    for (char c : value) {
+        if (c == '\\' || c == '"')
+            name += '\\';
+        name += c;
+    }
+    name += "\"}";
+    return name;
+}
+
 } // namespace obs
 } // namespace vlq

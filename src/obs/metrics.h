@@ -163,6 +163,17 @@ struct MetricsSnapshot
  */
 MetricsSnapshot snapshotMetrics();
 
+/**
+ * Canonical labeled metric name: `base{key="value"}` (Prometheus-style
+ * escaping of backslash and double quote in the value). The registry
+ * itself is label-unaware -- a labeled name is interned like any
+ * other -- but every multiplexed producer (the scan job service's
+ * per-job counters) must build names through this helper so labels
+ * stay parseable and one convention holds across the report.
+ */
+std::string labeledName(std::string_view base, std::string_view key,
+                        std::string_view value);
+
 } // namespace obs
 } // namespace vlq
 

@@ -24,6 +24,15 @@ namespace obs {
  *   VLQ_TRACE=path          record spans and write a Chrome
  *                           trace_event JSON timeline to `path`
  *   --metrics-json/--trace-json   CLI equivalents (applyCliPaths)
+ *
+ * Multiplexed producers (the scan job service runs many jobs through
+ * one registry) keep per-producer counts by interning labeled names
+ * via labeledName() (metrics.h) -- e.g. `service.job.trials{job="x"}`
+ * -- guarded by metricsEnabled() like every other site, so the
+ * zero-cost-when-disabled contract holds regardless of how many jobs
+ * a server session runs. The JSON helpers (obs/json.h) are shared
+ * beyond the metrics report: the service's vlq-scan-job/1 event
+ * stream is built on jsonQuote/jsonNumber and tested with jsonLint.
  */
 
 /** True when either metrics or tracing is on (one relaxed load). */

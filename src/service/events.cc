@@ -1,0 +1,140 @@
+#include "service/events.h"
+
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace vlq {
+namespace service {
+
+using obs::jsonNumber;
+using obs::jsonQuote;
+
+EventSink::EventSink(std::ostream* out)
+    : out_(out), start_(std::chrono::steady_clock::now())
+{
+}
+
+void
+EventSink::emit(const std::string& event, const std::string& jobId,
+                const std::string& fields)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++seq_;
+    if (!out_)
+        return;
+    double t = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count();
+    std::ostringstream os;
+    os << "{\"schema\":" << jsonQuote(kJobEventSchema)
+       << ",\"seq\":" << seq_ << ",\"t\":" << jsonNumber(t)
+       << ",\"event\":" << jsonQuote(event) << ",\"job\":"
+       << jsonQuote(jobId);
+    if (!fields.empty())
+        os << ',' << fields;
+    os << "}\n";
+    // One write + flush per line: a kill can truncate only the tail
+    // line, never interleave two events.
+    (*out_) << os.str() << std::flush;
+}
+
+void
+EventSink::queued(const ScanJob& job, size_t queueDepth)
+{
+    std::ostringstream os;
+    os << "\"priority\":" << job.priority << ",\"queue_depth\":"
+       << queueDepth << ",\"request\":" << jsonQuote(job.requestLine());
+    emit("queued", job.id, os.str());
+}
+
+void
+EventSink::started(const std::string& jobId)
+{
+    emit("started", jobId, "");
+}
+
+void
+EventSink::resumed(const std::string& jobId)
+{
+    emit("resumed", jobId, "");
+}
+
+void
+EventSink::progress(const std::string& jobId, int pointIndex,
+                    int distance, double physicalP, char basis,
+                    const McProgress& mc, uint64_t jobTrialsDone,
+                    uint64_t jobTrialsBudget)
+{
+    std::ostringstream os;
+    os << "\"point\":" << pointIndex << ",\"d\":" << distance
+       << ",\"p\":" << jsonNumber(physicalP) << ",\"basis\":"
+       << jsonQuote(std::string(1, basis))
+       << ",\"point_trials_done\":" << mc.trialsDone
+       << ",\"point_failures\":" << mc.failures
+       << ",\"point_trials_budget\":" << mc.totalTrials
+       << ",\"trials_done\":" << jobTrialsDone
+       << ",\"trials_budget\":" << jobTrialsBudget
+       // jsonNumber maps non-finite to null; unknown heartbeat values
+       // (0 rate / -1 eta sentinels) are emitted as null too, so
+       // consumers never see a sentinel dressed up as a measurement.
+       << ",\"shots_per_sec\":"
+       << (mc.shotsPerSec > 0.0 ? jsonNumber(mc.shotsPerSec) : "null")
+       << ",\"eta_seconds\":"
+       << (mc.etaSeconds >= 0.0 ? jsonNumber(mc.etaSeconds) : "null");
+    emit("progress", jobId, os.str());
+}
+
+void
+EventSink::pointDone(const std::string& jobId, int pointIndex,
+                     int distance, double physicalP, char basis,
+                     uint64_t trials, uint64_t failures, bool cached)
+{
+    std::ostringstream os;
+    os << "\"point\":" << pointIndex << ",\"d\":" << distance
+       << ",\"p\":" << jsonNumber(physicalP) << ",\"basis\":"
+       << jsonQuote(std::string(1, basis)) << ",\"trials\":" << trials
+       << ",\"failures\":" << failures << ",\"cached\":"
+       << (cached ? "true" : "false");
+    emit("point_done", jobId, os.str());
+}
+
+void
+EventSink::preempted(const std::string& jobId, const std::string& reason,
+                     uint64_t jobTrialsDone)
+{
+    std::ostringstream os;
+    os << "\"reason\":" << jsonQuote(reason) << ",\"trials_done\":"
+       << jobTrialsDone;
+    emit("preempted", jobId, os.str());
+}
+
+void
+EventSink::done(const std::string& jobId, uint64_t trials,
+                uint64_t failures, size_t points)
+{
+    std::ostringstream os;
+    os << "\"trials\":" << trials << ",\"failures\":" << failures
+       << ",\"points\":" << points;
+    emit("done", jobId, os.str());
+}
+
+void
+EventSink::error(const std::string& jobId, const std::string& code,
+                 const std::string& message)
+{
+    std::ostringstream os;
+    os << "\"code\":" << jsonQuote(code) << ",\"message\":"
+       << jsonQuote(message);
+    emit("error", jobId, os.str());
+}
+
+uint64_t
+EventSink::eventsEmitted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return seq_;
+}
+
+} // namespace service
+} // namespace vlq

@@ -1,0 +1,107 @@
+#ifndef VLQ_SERVICE_EVENTS_H
+#define VLQ_SERVICE_EVENTS_H
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "mc/monte_carlo.h"
+#include "service/job.h"
+
+namespace vlq {
+namespace service {
+
+/**
+ * Schema tag carried by every event line. Versioning policy (see
+ * docs/job-protocol.md): additive field changes keep the version;
+ * removing or re-typing a field, or changing an ordering guarantee,
+ * bumps it.
+ */
+constexpr const char* kJobEventSchema = "vlq-scan-job/1";
+
+/** Machine-readable codes of the terminal `error` event. */
+constexpr const char* kErrBadRequest = "bad_request";
+constexpr const char* kErrCheckpointMismatch = "checkpoint_mismatch";
+
+/**
+ * The client event stream of the scan job service: one JSON object
+ * per line (JSONL), written in one buffered write and flushed per
+ * line so a SIGKILL can clip at most the final line. Every event
+ * carries {schema, seq, t, event, job}; seq is strictly increasing
+ * within a server session and t is seconds since the sink was
+ * created. Guarantees (normative spec: docs/job-protocol.md):
+ *
+ *  - per job, the first event is `queued` and the last is `done` or
+ *    `error` (both terminal);
+ *  - work begins with `started` (no prior checkpoint) or `resumed`
+ *    (after a preemption or a server restart);
+ *  - `progress.trials_done` and `point_done` replay are monotone:
+ *    counts never decrease, in-session or across kill/resume, because
+ *    they are the engine's *global* committed counts (McProgress);
+ *  - after `preempted`, the next event of that job is `resumed` (or
+ *    nothing, when the server exited first).
+ *
+ * Emission is mutex-serialized: engine progress callbacks fire on
+ * worker threads while the control loop emits queue events.
+ */
+class EventSink
+{
+  public:
+    /** Write events to `out` (borrowed; nullptr discards). */
+    explicit EventSink(std::ostream* out);
+
+    void queued(const ScanJob& job, size_t queueDepth);
+    void started(const std::string& jobId);
+    void resumed(const std::string& jobId);
+
+    /**
+     * Heartbeat for the point being sampled. `jobTrialsDone` is the
+     * job-level cumulative committed-trial count (previous points'
+     * totals plus this point's McProgress::trialsDone), the field
+     * check_jobs.py holds to monotonicity.
+     */
+    void progress(const std::string& jobId, int pointIndex, int distance,
+                  double physicalP, char basis, const McProgress& mc,
+                  uint64_t jobTrialsDone, uint64_t jobTrialsBudget);
+
+    /**
+     * One grid point finished. `cached` marks a replay: the point was
+     * already complete in the job's checkpoint when this server
+     * session started (clients treat cached replays as idempotent).
+     */
+    void pointDone(const std::string& jobId, int pointIndex,
+                   int distance, double physicalP, char basis,
+                   uint64_t trials, uint64_t failures, bool cached);
+
+    /** reason: "priority" | "quantum" | "shutdown". */
+    void preempted(const std::string& jobId, const std::string& reason,
+                   uint64_t jobTrialsDone);
+
+    void done(const std::string& jobId, uint64_t trials,
+              uint64_t failures, size_t points);
+
+    /** Terminal failure; `jobId` may be empty for unparseable
+     *  submissions that never yielded an id. */
+    void error(const std::string& jobId, const std::string& code,
+               const std::string& message);
+
+    /** Events emitted so far (== the last line's seq). */
+    uint64_t eventsEmitted() const;
+
+  private:
+    /** Serialize the common prefix + `fields` as one line. */
+    void emit(const std::string& event, const std::string& jobId,
+              const std::string& fields);
+
+    std::ostream* out_;
+    mutable std::mutex mutex_;
+    uint64_t seq_ = 0;
+    const std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace service
+} // namespace vlq
+
+#endif // VLQ_SERVICE_EVENTS_H

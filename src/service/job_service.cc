@@ -1,0 +1,298 @@
+#include "service/job_service.h"
+
+#include <optional>
+#include <vector>
+
+#include "mc/checkpoint.h"
+#include "obs/metrics.h"
+#include "service/job_validation.h"
+
+namespace vlq {
+namespace service {
+
+namespace {
+
+/** One (distance, p, basis) grid point, in the fixed scan order. */
+struct GridPoint
+{
+    int index = 0;
+    int distance = 0;
+    double physicalP = 0.0;
+    CheckBasis basis = CheckBasis::Z;
+};
+
+/**
+ * Enumerate the job's grid in exactly the order scanThreshold and
+ * estimateLogicalError visit it (d-major, then p, then basis Z before
+ * X). The fixed order is load-bearing twice: the job-level cumulative
+ * trial count stays monotone across preempt/resume, and a resumed
+ * server replays points in the same order the killed one ran them.
+ */
+std::vector<GridPoint>
+gridPoints(const ThresholdScanConfig& cfg)
+{
+    std::vector<GridPoint> points;
+    int index = 0;
+    for (int d : cfg.distances) {
+        for (double p : cfg.physicalPs) {
+            for (CheckBasis basis : {CheckBasis::Z, CheckBasis::X})
+                points.push_back(GridPoint{index++, d, p, basis});
+        }
+    }
+    return points;
+}
+
+/** The GeneratorConfig scanThreshold builds for one grid point. */
+GeneratorConfig
+pointConfig(const EvaluationSetup& setup, const ThresholdScanConfig& cfg,
+            const GridPoint& point)
+{
+    GeneratorConfig gc;
+    gc.distance = point.distance;
+    gc.cavityDepth = cfg.cavityDepth;
+    gc.schedule = setup.schedule;
+    gc.gapModel = cfg.gapModel;
+    gc.noise = NoiseModel::atPhysicalRate(point.physicalP, cfg.hardware,
+                                          cfg.scaleCoherence);
+    gc.memoryBasis = point.basis;
+    return gc;
+}
+
+char
+basisChar(CheckBasis basis)
+{
+    return basis == CheckBasis::X ? 'X' : 'Z';
+}
+
+} // namespace
+
+JobService::JobService(const JobServiceConfig& config, EventSink& events)
+    : config_(config), events_(events),
+      scheduler_(config.quantumTrials)
+{
+}
+
+std::string
+JobService::checkpointPath(const std::string& jobId) const
+{
+    return config_.stateDir + "/job-" + jobId + ".ckpt";
+}
+
+bool
+JobService::submit(const ScanJob& job)
+{
+    std::string problems = validationSummary(job);
+    {
+        std::lock_guard<std::mutex> lock(submitMutex_);
+        if (problems.empty() && knownIds_.count(job.id))
+            problems = "duplicate job id '" + job.id
+                + "': already submitted in this session";
+        if (problems.empty())
+            knownIds_.insert(job.id);
+    }
+    if (!problems.empty()) {
+        events_.error(job.id, kErrBadRequest, problems);
+        if (obs::metricsEnabled())
+            obs::Counter::get("service.jobs_rejected").add(1);
+        return false;
+    }
+    scheduler_.push(job);
+    events_.queued(job, scheduler_.size());
+    if (obs::metricsEnabled()) {
+        obs::Counter::get("service.jobs_submitted").add(1);
+        obs::Gauge::get("service.queue_depth")
+            .set(static_cast<int64_t>(scheduler_.size()));
+    }
+    return true;
+}
+
+bool
+JobService::submitLine(const std::string& line)
+{
+    std::string problem;
+    std::optional<Request> request = parseRequestLine(line, &problem);
+    if (!request) {
+        if (problem.empty())
+            return true; // blank line or comment
+        // The id is unknown when parsing failed; quote the offending
+        // line instead so the client can still find the request.
+        events_.error("", kErrBadRequest,
+                      problem + " (in request: '" + line + "')");
+        if (obs::metricsEnabled())
+            obs::Counter::get("service.jobs_rejected").add(1);
+        return false;
+    }
+    if (request->kind == Request::Kind::Shutdown) {
+        requestShutdown();
+        return true;
+    }
+    return submit(request->job);
+}
+
+void
+JobService::requestShutdown()
+{
+    scheduler_.stop();
+}
+
+int
+JobService::runUntilDrained()
+{
+    while (!scheduler_.stopped()) {
+        std::optional<ScanJob> job = scheduler_.pop();
+        if (!job)
+            break;
+        if (obs::metricsEnabled())
+            obs::Gauge::get("service.queue_depth")
+                .set(static_cast<int64_t>(scheduler_.size()));
+        Outcome outcome = runJob(*job);
+        if (outcome == Outcome::Preempted) {
+            if (scheduler_.stopped())
+                break; // suspended in its checkpoint; not requeued
+            scheduler_.push(*job);
+        } else if (outcome == Outcome::Error) {
+            ++failedJobs_;
+            if (obs::metricsEnabled())
+                obs::Counter::get("service.jobs_failed").add(1);
+        } else if (obs::metricsEnabled()) {
+            obs::Counter::get("service.jobs_done").add(1);
+        }
+    }
+    return failedJobs_;
+}
+
+JobService::Outcome
+JobService::runJob(const ScanJob& job)
+{
+    const EvaluationSetup setup = jobSetup(job);
+    ThresholdScanConfig cfg = jobScanConfig(job);
+    if (cfg.physicalPs.empty())
+        cfg.physicalPs = defaultPhysicalPs();
+    const std::string fingerprint = thresholdScanFingerprint(setup, cfg);
+    const std::string ckptPath = checkpointPath(job.id);
+
+    // Validate the job's prior state up front, where a stale or
+    // corrupt checkpoint is a per-job `error` event -- inside the
+    // engine it would be fatal for the whole server.
+    McCheckpoint prior;
+    std::string err = prior.open(ckptPath, fingerprint);
+    if (!err.empty()) {
+        events_.error(job.id, kErrCheckpointMismatch, err);
+        return Outcome::Error;
+    }
+
+    RunState& state = runStates_[job.id];
+    if (state.startedThisSession || prior.numPoints() > 0)
+        events_.resumed(job.id);
+    else
+        events_.started(job.id);
+    state.startedThisSession = true;
+
+    const std::vector<GridPoint> points = gridPoints(cfg);
+    const uint64_t jobBudget =
+        job.trials * static_cast<uint64_t>(points.size());
+    const uint64_t progressEvery = config_.progressEveryTrials > 0
+        ? config_.progressEveryTrials : uint64_t{16384};
+
+    // Per-job labeled counters (satellite of the obs layer): the
+    // service is the first multiplexed producer, so its counts carry
+    // the job id as a label instead of blending into global totals.
+    // Guarded construction -- interning a name would allocate the
+    // registry, which must never happen while metrics are off.
+    std::optional<obs::Counter> jobTrialsCtr;
+    if (obs::metricsEnabled())
+        jobTrialsCtr = obs::Counter::get(
+            obs::labeledName("service.job.trials", "job", job.id));
+
+    uint64_t sliceTrials = 0; // session trials committed this slice
+    uint64_t jobTrials = 0;   // cumulative over finished points
+    uint64_t jobFailures = 0;
+    std::string preemptReason;
+
+    for (const GridPoint& point : points) {
+        GeneratorConfig gc = pointConfig(setup, cfg, point);
+        const uint64_t pointKey =
+            checkpointPointKey(setup.embedding, gc);
+
+        // Refresh the frontier view: the engine rewrote the file
+        // after every finished point and periodic save.
+        McCheckpoint cur;
+        err = cur.open(ckptPath, fingerprint);
+        if (!err.empty()) {
+            events_.error(job.id, kErrCheckpointMismatch, err);
+            return Outcome::Error;
+        }
+        const CheckpointEntry* entry = cur.find(pointKey);
+
+        if (entry && entry->done) {
+            // Finished in an earlier session or slice: account for it
+            // and replay its announcement at most once per session.
+            if (!state.announcedPoints.count(point.index)) {
+                events_.pointDone(job.id, point.index, point.distance,
+                                  point.physicalP,
+                                  basisChar(point.basis),
+                                  entry->trialsDone, entry->failures,
+                                  /*cached=*/true);
+                state.announcedPoints.insert(point.index);
+            }
+            jobTrials += entry->trialsDone;
+            jobFailures += entry->failures;
+            continue;
+        }
+        uint64_t lastCommitted = entry ? entry->trialsDone : 0;
+        uint64_t lastProgressEmit = lastCommitted;
+
+        McOptions opts = cfg.mc;
+        opts.threads = config_.threads;
+        opts.checkpointPath = ckptPath;
+        opts.checkpointFingerprint = fingerprint;
+        opts.checkpointEveryTrials = config_.checkpointEveryTrials;
+        bool preempted = false;
+        opts.preempted = &preempted;
+        opts.progress = [&](const McProgress& mc) {
+            const uint64_t delta = mc.trialsDone - lastCommitted;
+            lastCommitted = mc.trialsDone;
+            sliceTrials += delta;
+            if (jobTrialsCtr)
+                jobTrialsCtr->add(delta);
+            if (mc.trialsDone - lastProgressEmit >= progressEvery
+                || mc.trialsDone >= mc.totalTrials) {
+                events_.progress(job.id, point.index, point.distance,
+                                 point.physicalP,
+                                 basisChar(point.basis), mc,
+                                 jobTrials + mc.trialsDone, jobBudget);
+                lastProgressEmit = mc.trialsDone;
+            }
+        };
+        opts.preempt = [&]() {
+            std::optional<std::string> reason =
+                scheduler_.shouldPreempt(job.priority, sliceTrials);
+            if (reason)
+                preemptReason = *reason;
+            return reason.has_value();
+        };
+
+        BinomialEstimate est =
+            estimateLogicalErrorBasis(setup.embedding, gc, opts);
+        if (preempted) {
+            events_.preempted(job.id, preemptReason,
+                              jobTrials + est.trials);
+            if (obs::metricsEnabled())
+                obs::Counter::get("service.preemptions").add(1);
+            return Outcome::Preempted;
+        }
+        events_.pointDone(job.id, point.index, point.distance,
+                          point.physicalP, basisChar(point.basis),
+                          est.trials, est.successes,
+                          /*cached=*/false);
+        state.announcedPoints.insert(point.index);
+        jobTrials += est.trials;
+        jobFailures += est.successes;
+    }
+
+    events_.done(job.id, jobTrials, jobFailures, points.size());
+    return Outcome::Done;
+}
+
+} // namespace service
+} // namespace vlq

@@ -1,0 +1,32 @@
+#ifndef VLQ_SERVICE_JOB_VALIDATION_H
+#define VLQ_SERVICE_JOB_VALIDATION_H
+
+#include <string>
+#include <vector>
+
+#include "service/job.h"
+
+namespace vlq {
+namespace service {
+
+/**
+ * Validate one ScanJob before it touches the engine, reusing the same
+ * sources of truth the CLI tools use -- GeneratorConfig::validate for
+ * patch geometry and the decoder/embedding registries for backend
+ * names -- so the service can never accept a request a solo run would
+ * reject (or vice versa).
+ *
+ * @return every problem found (not just the first), each a complete
+ *         actionable sentence: what was wrong, what was given, and
+ *         what would be accepted. Empty means the job is valid and
+ *         jobSetup()/jobScanConfig() are safe to call.
+ */
+std::vector<std::string> validateJob(const ScanJob& job);
+
+/** validateJob joined to one "; "-separated diagnostic (empty = OK). */
+std::string validationSummary(const ScanJob& job);
+
+} // namespace service
+} // namespace vlq
+
+#endif // VLQ_SERVICE_JOB_VALIDATION_H

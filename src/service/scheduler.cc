@@ -1,0 +1,87 @@
+#include "service/scheduler.h"
+
+namespace vlq {
+namespace service {
+
+Scheduler::Scheduler(uint64_t quantumTrials)
+    : quantumTrials_(quantumTrials > 0 ? quantumTrials : uint64_t{65536})
+{
+}
+
+void
+Scheduler::push(const ScanJob& job)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.insert(Entry{job, nextArrival_++});
+}
+
+std::optional<ScanJob>
+Scheduler::pop()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty())
+        return std::nullopt;
+    auto it = queue_.begin();
+    ScanJob job = it->job;
+    queue_.erase(it);
+    return job;
+}
+
+bool
+Scheduler::empty() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.empty();
+}
+
+size_t
+Scheduler::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+int
+Scheduler::topPriority() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty())
+        return std::numeric_limits<int>::min();
+    return queue_.begin()->job.priority;
+}
+
+void
+Scheduler::stop()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+}
+
+bool
+Scheduler::stopped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stopped_;
+}
+
+std::optional<std::string>
+Scheduler::shouldPreempt(int priority, uint64_t sliceTrials) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_)
+        return std::string("shutdown");
+    if (queue_.empty())
+        return std::nullopt;
+    if (queue_.begin()->job.priority > priority)
+        return std::string("priority");
+    // Quantum expiry only yields to an equal-priority peer: yielding
+    // to a lower-priority waiter would cost a checkpoint save just for
+    // the scheduler to pick this same job straight back up.
+    if (queue_.begin()->job.priority == priority
+        && sliceTrials >= quantumTrials_)
+        return std::string("quantum");
+    return std::nullopt;
+}
+
+} // namespace service
+} // namespace vlq

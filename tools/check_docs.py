@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Doc-rot linter for the repository's markdown set.
+
+Two checks, both aimed at the failure mode where code moves on and the
+docs silently keep describing the old world:
+
+ 1. Every relative markdown link resolves: `[text](path)` targets
+    (after stripping any #fragment) must exist on disk, relative to
+    the file that links them. External links (http/https/mailto) are
+    skipped -- CI must not depend on the network.
+
+ 2. Every documented CLI flag exists: each `--flag` token mentioned in
+    the docs must appear in the --help/usage output of at least one of
+    the binaries or tools passed via --bin. Binaries are run with
+    --help and the exit status ignored (several print usage with a
+    non-zero status); .py tools run under this interpreter.
+
+Usage:
+    check_docs.py README.md docs/*.md --bin build/examples/scan_server
+        [--bin ...]
+
+Exit status: 0 when all links resolve and all flags exist, 1 otherwise
+with one line per problem.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]+")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def help_output(binary):
+    """The --help/usage text of one binary (stdout+stderr, exit status
+    ignored)."""
+    cmd = [binary, "--help"]
+    if binary.endswith(".py"):
+        cmd = [sys.executable] + cmd
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=30)
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        return None, f"{binary}: failed to run --help: {exc}"
+    return proc.stdout + proc.stderr, None
+
+
+def check_links(problems, path, text):
+    base = os.path.dirname(os.path.abspath(path))
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(SKIP_SCHEMES):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue  # intra-document #anchor
+            resolved = os.path.normpath(os.path.join(base, file_part))
+            if not os.path.exists(resolved):
+                problems.append(f"{path}:{lineno}: broken link "
+                                f"'{target}' (resolved: {resolved})")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Check that markdown relative links resolve and "
+                    "every documented --flag exists in some binary's "
+                    "--help output.")
+    ap.add_argument("docs", nargs="+", help="markdown files to check")
+    ap.add_argument("--bin", action="append", default=[],
+                    metavar="PATH",
+                    help="binary or .py tool whose --help output "
+                         "defines real flags (repeatable)")
+    args = ap.parse_args()
+
+    problems = []
+
+    # Union of real flags across all provided binaries. --help itself
+    # is seeded: it is the one flag usage text conventionally omits.
+    known_flags = {"--help"}
+    for binary in args.bin:
+        out, err = help_output(binary)
+        if err:
+            problems.append(err)
+            continue
+        found = set(FLAG_RE.findall(out))
+        if not found:
+            problems.append(f"{binary}: --help output mentions no "
+                            f"flags (is this the right binary?)")
+        known_flags |= found
+
+    for path in args.docs:
+        try:
+            with open(path) as fh:
+                text = fh.read()
+        except OSError as exc:
+            problems.append(f"{path}: {exc}")
+            continue
+        check_links(problems, path, text)
+        if args.bin:
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                for flag in FLAG_RE.findall(line):
+                    if flag not in known_flags:
+                        problems.append(
+                            f"{path}:{lineno}: documented flag "
+                            f"'{flag}' not in any --bin's --help "
+                            f"output")
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        print(f"{len(problems)} problem(s)")
+        return 1
+    print(f"OK: {len(args.docs)} doc(s), {len(known_flags)} known "
+          f"flag(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
