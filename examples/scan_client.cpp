@@ -10,7 +10,8 @@
  *     [--priority <-100..100>] [--setup <0..4>] [--embedding <name>]
  *     [--schedule aao|interleaved] [--distances 3,5,7]
  *     [--ps 3e-3,...] [--trials <n>] [--seed <n>] [--decoder <name>]
- *     [--batch <n>] [--target <n>] [--dry-run]
+ *     [--batch <n>] [--target <n>] [--compute <name>] [--dry-run]
+ *   scan_client cancel --requests <path|-> --id <id>
  *   scan_client shutdown --requests <path|->
  *   scan_client watch --events <path|-> [--job <id>]
  *
@@ -42,7 +43,7 @@ int
 usage(std::ostream& os, const char* argv0)
 {
     os << "usage: " << argv0
-       << " <submit|shutdown|watch> [flags]\n"
+       << " <submit|cancel|shutdown|watch> [flags]\n"
           "  submit --requests <path|-> --id <id>\n"
           "    [--priority <-100..100>] [--setup <0..4>]"
           " [--embedding <name>]\n"
@@ -50,7 +51,8 @@ usage(std::ostream& os, const char* argv0)
           " [--ps 3e-3,...]\n"
           "    [--trials <n>] [--seed <n>] [--decoder <name>]"
           " [--batch <n>]\n"
-          "    [--target <n>] [--dry-run]\n"
+          "    [--target <n>] [--compute <name>] [--dry-run]\n"
+          "  cancel --requests <path|-> --id <id>\n"
           "  shutdown --requests <path|->\n"
           "  watch --events <path|-> [--job <id>]\n";
     return 1;
@@ -126,6 +128,7 @@ runSubmit(const std::vector<std::pair<std::string, std::string>>& flags,
         {"--ps", "ps"},           {"--trials", "trials"},
         {"--seed", "seed"},       {"--decoder", "decoder"},
         {"--batch", "batch"},     {"--target", "target"},
+        {"--compute", "compute"},
     };
     std::string requestsPath;
     std::ostringstream line;
@@ -225,6 +228,8 @@ runWatch(const std::string& eventsPath, const std::string& jobFilter)
                               ? " (cached)" : "");
         else if (event == "preempted")
             std::cout << " reason=" << fieldString(line, "reason");
+        else if (event == "cancelled")
+            std::cout << " stage=" << fieldString(line, "stage");
         else if (event == "error") {
             std::cout << " code=" << fieldString(line, "code")
                       << " message="
@@ -237,7 +242,7 @@ runWatch(const std::string& eventsPath, const std::string& jobFilter)
     }
 
     for (const auto& [job, event] : lastEvent)
-        if (event != "done" && event != "error")
+        if (event != "done" && event != "error" && event != "cancelled")
             std::cout << "# " << job << ": in flight (last event '"
                       << event << "')\n";
     return status;
@@ -277,6 +282,23 @@ main(int argc, char** argv)
 
     if (command == "submit")
         return runSubmit(flags, dryRun);
+    if (command == "cancel") {
+        const std::string path = flagValue("--requests");
+        const std::string id = flagValue("--id");
+        if (path.empty() || id.empty()) {
+            std::cerr << "error: cancel needs --requests and --id\n";
+            return 1;
+        }
+        // Reuse the wire-grammar parser so a malformed id (spaces,
+        // '=') fails here instead of as a server-side error event.
+        const std::string line = "cancel id=" + id;
+        std::string problem;
+        if (!service::parseRequestLine(line, &problem)) {
+            std::cerr << "error: " << problem << "\n";
+            return 1;
+        }
+        return appendRequest(path, line);
+    }
     if (command == "shutdown") {
         const std::string path = flagValue("--requests");
         if (path.empty()) {

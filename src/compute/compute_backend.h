@@ -1,0 +1,92 @@
+#ifndef VLQ_COMPUTE_COMPUTE_BACKEND_H
+#define VLQ_COMPUTE_COMPUTE_BACKEND_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vlq {
+
+class Rng;
+class ShotBatch;
+
+/**
+ * The compute seam of the Monte-Carlo hot path: everything between
+ * "here is a batch of trial indices" and "here are the failing
+ * trials" runs behind this interface, so the whole
+ * sample -> classify -> decode -> count pipeline can be swapped as a
+ * unit. Two backends ship in the registry (compute_registry.h):
+ *
+ * - `scalar`: the reference implementation, calling today's
+ *   FaultSampler/Decoder batch paths unchanged.
+ * - `simd`: word-parallel throughput path -- blocked RNG generation
+ *   for the skip-sampler, a branch-free trivial/near-trivial shot
+ *   classifier that answers <=2-event syndromes from a lookup table
+ *   and masks them out of the general decode, and word-parallel
+ *   failure counting over the transposed observable rows.
+ *
+ * Determinism contract: for a given (root seed, trial index) every
+ * backend must produce bit-identical samples, per-shot predictions,
+ * and failing-trial sets. The scalar backend defines the reference
+ * stream; the cross-backend fuzz suite (tests/test_compute.cc)
+ * enforces the identity. A future GPU backend plugs in behind the
+ * same registry without touching the driver.
+ *
+ * Instances are created per Monte-Carlo point (they hold references
+ * to that point's sampler and decoder) and shared by all worker
+ * threads: implementations keep per-shot scratch thread-local and
+ * their statistics atomic.
+ */
+class ComputeBackend
+{
+  public:
+    virtual ~ComputeBackend() = default;
+
+    /**
+     * Classifier-routing totals accumulated over every decodeBatch
+     * call on this backend. The four buckets partition the shots:
+     * trivial + single + pair + general == shots. Backends without a
+     * classifier route everything to `general`.
+     */
+    struct Stats
+    {
+        uint64_t shots = 0;   // total shots decoded
+        uint64_t trivial = 0; // event-free lanes answered with 0
+        uint64_t single = 0;  // 1-event lanes answered from the table
+        uint64_t pair = 0;    // 2-event lanes answered from the table
+        uint64_t general = 0; // lanes handed to the general decoder
+    };
+
+    /** Canonical registry name ("scalar", "simd"). */
+    virtual const char* name() const = 0;
+
+    /**
+     * Sample the batch's trials (the batch must be reset() for the
+     * backend's model): shot s samples trial batch.firstTrial() + s
+     * from root.split(that trial).
+     */
+    virtual void sampleBatch(const Rng& root, ShotBatch& batch) const = 0;
+
+    /**
+     * Predict observable flips for every shot: predictions[s] gets
+     * the predicted mask for shot s (size >= batch.numShots()).
+     */
+    virtual void decodeBatch(const ShotBatch& batch,
+                             std::span<uint32_t> predictions) const = 0;
+
+    /**
+     * Append the global trial indices whose prediction disagrees with
+     * the sampled observables, ascending. `failingTrials` is cleared
+     * first.
+     */
+    virtual void countFailures(
+        const ShotBatch& batch, std::span<const uint32_t> predictions,
+        std::vector<uint64_t>& failingTrials) const = 0;
+
+    /** Snapshot of the routing totals (coherent per field). */
+    virtual Stats stats() const = 0;
+};
+
+} // namespace vlq
+
+#endif // VLQ_COMPUTE_COMPUTE_BACKEND_H

@@ -1,0 +1,128 @@
+#include "compute/compute_registry.h"
+
+#include <cstdio>
+
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace vlq {
+
+// Built-in backend factories (scalar_backend.cc, simd_backend.cc).
+std::unique_ptr<ComputeBackend>
+makeScalarComputeBackend(const DetectorErrorModel& dem,
+                         const FaultSampler& sampler,
+                         const Decoder& decoder);
+std::unique_ptr<ComputeBackend>
+makeSimdComputeBackend(const DetectorErrorModel& dem,
+                       const FaultSampler& sampler,
+                       const Decoder& decoder);
+
+namespace {
+
+std::vector<ComputeRegistration>&
+mutableRegistry()
+{
+    static std::vector<ComputeRegistration> registry{
+        {ComputeKind::Scalar, "scalar", "reference ref",
+         makeScalarComputeBackend},
+        {ComputeKind::Simd, "simd", "word-parallel vector",
+         makeSimdComputeBackend},
+    };
+    return registry;
+}
+
+} // namespace
+
+const std::vector<ComputeRegistration>&
+computeRegistry()
+{
+    return mutableRegistry();
+}
+
+void
+registerComputeBackend(const ComputeRegistration& registration)
+{
+    for (ComputeRegistration& entry : mutableRegistry()) {
+        if (entry.kind == registration.kind) {
+            entry = registration;
+            return;
+        }
+    }
+    mutableRegistry().push_back(registration);
+}
+
+std::unique_ptr<ComputeBackend>
+makeComputeBackend(ComputeKind kind, const DetectorErrorModel& dem,
+                   const FaultSampler& sampler, const Decoder& decoder)
+{
+    for (const ComputeRegistration& entry : computeRegistry())
+        if (entry.kind == kind)
+            return entry.maker(dem, sampler, decoder);
+    // Unreachable for the built-in kinds; fail safe to the reference
+    // backend rather than crash.
+    return makeScalarComputeBackend(dem, sampler, decoder);
+}
+
+std::unique_ptr<ComputeBackend>
+makeComputeBackend(std::string_view name, const DetectorErrorModel& dem,
+                   const FaultSampler& sampler, const Decoder& decoder)
+{
+    std::optional<ComputeKind> kind = parseComputeKind(name);
+    if (!kind)
+        return nullptr;
+    return makeComputeBackend(*kind, dem, sampler, decoder);
+}
+
+const char*
+computeKindName(ComputeKind kind)
+{
+    for (const ComputeRegistration& entry : computeRegistry())
+        if (entry.kind == kind)
+            return entry.name;
+    return "unknown";
+}
+
+std::optional<ComputeKind>
+parseComputeKind(std::string_view name)
+{
+    std::string lowered = asciiLower(name);
+    if (lowered.empty())
+        return std::nullopt;
+    for (const ComputeRegistration& entry : computeRegistry()) {
+        if (lowered == entry.name
+            || nameListContains(entry.aliases, lowered))
+            return entry.kind;
+    }
+    return std::nullopt;
+}
+
+std::string
+computeKindList()
+{
+    std::string out;
+    for (const ComputeRegistration& entry : computeRegistry()) {
+        if (!out.empty())
+            out += ", ";
+        out += entry.name;
+    }
+    return out;
+}
+
+ComputeKind
+computeKindFromEnv(ComputeKind fallback, const char* variable)
+{
+    std::string value = envLower(variable, "");
+    if (value.empty())
+        return fallback;
+    std::optional<ComputeKind> kind = parseComputeKind(value);
+    if (!kind) {
+        std::fprintf(
+            stderr,
+            "%s=%s is not a registered compute backend (valid: %s)\n",
+            variable, value.c_str(), computeKindList().c_str());
+        VLQ_FATAL("unknown compute backend in environment");
+    }
+    return *kind;
+}
+
+} // namespace vlq

@@ -1,0 +1,92 @@
+#ifndef VLQ_COMPUTE_COMPUTE_REGISTRY_H
+#define VLQ_COMPUTE_COMPUTE_REGISTRY_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compute/compute_backend.h"
+
+namespace vlq {
+
+class Decoder;
+class DetectorErrorModel;
+class FaultSampler;
+
+/** Which compute backend a Monte-Carlo run uses. */
+enum class ComputeKind : uint8_t { Scalar, Simd };
+
+/**
+ * Factory signature every registered backend provides. The backend
+ * holds references to all three collaborators; they must outlive it
+ * (in practice all four are per-point locals of the driver).
+ */
+using ComputeMaker = std::unique_ptr<ComputeBackend> (*)(
+    const DetectorErrorModel& dem, const FaultSampler& sampler,
+    const Decoder& decoder);
+
+/** One entry of the compute-backend registry. */
+struct ComputeRegistration
+{
+    ComputeKind kind;
+    const char* name;    // canonical lowercase name
+    const char* aliases; // space-separated alternative spellings
+    ComputeMaker maker;
+};
+
+/**
+ * The compute registry: the built-in backends plus anything added via
+ * registerComputeBackend(). The Monte-Carlo engine, the benches, and
+ * the scan job service all instantiate backends through
+ * makeComputeBackend(), so a new backend (GPU, say) only needs a
+ * registry entry -- no switch statements to chase. Mirrors the
+ * decoder registry (decoder/decoder_factory.h).
+ */
+const std::vector<ComputeRegistration>& computeRegistry();
+
+/**
+ * Register (or, for an existing kind, replace) a backend. Not
+ * thread-safe; call during startup before sampling begins.
+ */
+void registerComputeBackend(const ComputeRegistration& registration);
+
+/** Instantiate the registered backend for `kind`. */
+std::unique_ptr<ComputeBackend>
+makeComputeBackend(ComputeKind kind, const DetectorErrorModel& dem,
+                   const FaultSampler& sampler, const Decoder& decoder);
+
+/**
+ * Instantiate by case-insensitive name or alias.
+ * @return nullptr when the name matches no registered backend.
+ */
+std::unique_ptr<ComputeBackend>
+makeComputeBackend(std::string_view name, const DetectorErrorModel& dem,
+                   const FaultSampler& sampler, const Decoder& decoder);
+
+/** Canonical name of a kind ("scalar", "simd"). */
+const char* computeKindName(ComputeKind kind);
+
+/** Parse a name or alias back to a kind. */
+std::optional<ComputeKind> parseComputeKind(std::string_view name);
+
+/** Comma-separated canonical names, for usage/error messages. */
+std::string computeKindList();
+
+/**
+ * Read the backend selection from the environment (variable
+ * VLQ_COMPUTE unless overridden). Returns `fallback` when the
+ * variable is unset; a set-but-unknown value is a hard error that
+ * lists the valid keys -- silently falling back would turn a typo
+ * into a garbage run. McOptions::compute defaults through this, so
+ * VLQ_COMPUTE is ambient for every driver; explicit --compute flags
+ * override it.
+ */
+ComputeKind computeKindFromEnv(ComputeKind fallback,
+                               const char* variable = "VLQ_COMPUTE");
+
+} // namespace vlq
+
+#endif // VLQ_COMPUTE_COMPUTE_REGISTRY_H

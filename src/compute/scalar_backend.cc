@@ -1,0 +1,78 @@
+#include <atomic>
+#include <memory>
+
+#include "compute/compute_backend.h"
+#include "compute/compute_registry.h"
+#include "decoder/decoder.h"
+#include "dem/sampler.h"
+#include "dem/shot_batch.h"
+
+namespace vlq {
+
+namespace {
+
+/**
+ * The reference backend: today's batch pipeline, verbatim. Sampling
+ * is FaultSampler::sampleBatchInto, decoding is the decoder's own
+ * decodeBatch over every lane, and failure counting is the per-shot
+ * observables() compare. Its output defines the bit-identity contract
+ * every other backend is fuzzed against; keep it boring.
+ */
+class ScalarBackend final : public ComputeBackend
+{
+  public:
+    ScalarBackend(const FaultSampler& sampler, const Decoder& decoder)
+        : sampler_(sampler), decoder_(decoder)
+    {
+    }
+
+    const char* name() const override { return "scalar"; }
+
+    void sampleBatch(const Rng& root, ShotBatch& batch) const override
+    {
+        sampler_.sampleBatchInto(root, batch);
+    }
+
+    void decodeBatch(const ShotBatch& batch,
+                     std::span<uint32_t> predictions) const override
+    {
+        decoder_.decodeBatch(batch, predictions);
+        shots_.fetch_add(batch.numShots(), std::memory_order_relaxed);
+    }
+
+    void countFailures(const ShotBatch& batch,
+                       std::span<const uint32_t> predictions,
+                       std::vector<uint64_t>& failingTrials) const override
+    {
+        failingTrials.clear();
+        for (uint32_t s = 0; s < batch.numShots(); ++s)
+            if (predictions[s] != batch.observables(s))
+                failingTrials.push_back(batch.firstTrial() + s);
+    }
+
+    Stats stats() const override
+    {
+        Stats st;
+        st.shots = shots_.load(std::memory_order_relaxed);
+        st.general = st.shots; // no classifier: every lane is general
+        return st;
+    }
+
+  private:
+    const FaultSampler& sampler_;
+    const Decoder& decoder_;
+    mutable std::atomic<uint64_t> shots_{0};
+};
+
+} // namespace
+
+std::unique_ptr<ComputeBackend>
+makeScalarComputeBackend(const DetectorErrorModel& dem,
+                         const FaultSampler& sampler,
+                         const Decoder& decoder)
+{
+    (void)dem;
+    return std::make_unique<ScalarBackend>(sampler, decoder);
+}
+
+} // namespace vlq

@@ -1,0 +1,158 @@
+#include "compute/shot_classifier.h"
+
+#include <bit>
+
+#include "decoder/decoder.h"
+#include "decoder/decoding_graph.h"
+#include "dem/detector_model.h"
+#include "dem/shot_batch.h"
+#include "pauli/bitvec.h"
+
+namespace vlq {
+
+ShotClassifier::ShotClassifier(const DetectorErrorModel& dem,
+                               const Decoder& decoder)
+{
+    const uint32_t n = dem.numDetectors();
+    BitVec syndrome(n);
+    const DecodingGraph graph = DecodingGraph::build(dem);
+    const uint32_t boundary = graph.boundaryNode();
+
+    // A lone event is only decodable when its detector can reach the
+    // boundary: an unreachable one (possible in degenerate models,
+    // e.g. zero noise) has no defined correction, and eagerly calling
+    // decode() on it would panic decoders that require a perfect
+    // matching. Unreachable singles stay out of the table and route
+    // to the general decoder -- where, like in the scalar backend,
+    // they can only arise from syndromes the model cannot produce.
+    std::vector<uint8_t> reachable(graph.numNodes(), 0);
+    {
+        std::vector<uint32_t> stack{boundary};
+        reachable[boundary] = 1;
+        const DecodingGraph::SoA& soa = graph.soa();
+        while (!stack.empty()) {
+            const uint32_t v = stack.back();
+            stack.pop_back();
+            for (uint32_t at = soa.vertexBegin[v];
+                 at < soa.vertexBegin[v + 1]; ++at) {
+                const uint32_t o = soa.slotOther[at];
+                if (!reachable[o]) {
+                    reachable[o] = 1;
+                    stack.push_back(o);
+                }
+            }
+        }
+    }
+    single_.assign(n, 0);
+    hasSingle_.assign(n, 0);
+    for (uint32_t d = 0; d < n; ++d) {
+        if (!reachable[d])
+            continue;
+        syndrome.set(d, true);
+        single_[d] = decoder.decode(syndrome);
+        hasSingle_[d] = 1;
+        syndrome.set(d, false);
+    }
+    // Candidate pairs are the decoding graph's non-boundary edges:
+    // exactly the 2-event signatures a single fault can produce, which
+    // dominate the 2-event population below threshold. The edge itself
+    // gives every pair a finite matching, so these decodes are safe
+    // regardless of boundary reachability.
+    pair_.reserve(graph.edges().size());
+    for (const DecodingEdge& e : graph.edges()) {
+        if (e.b == boundary || e.a == e.b)
+            continue;
+        syndrome.set(e.a, true);
+        syndrome.set(e.b, true);
+        uint64_t key = (static_cast<uint64_t>(e.a) << 32) | e.b;
+        pair_.emplace(key, decoder.decode(syndrome));
+        syndrome.set(e.a, false);
+        syndrome.set(e.b, false);
+    }
+}
+
+ShotClassifier::Stats
+ShotClassifier::classify(const ShotBatch& batch,
+                         std::span<uint32_t> predictions,
+                         std::vector<uint64_t>& generalMask) const
+{
+    Stats stats;
+    const uint32_t words = batch.wordsPerRow();
+    const uint32_t numDet = batch.numDetectors();
+    const uint32_t shots = batch.numShots();
+    generalMask.assign(words, 0);
+    for (uint32_t wi = 0; wi < words; ++wi) {
+        const uint32_t base = wi * ShotBatch::kWordBits;
+        const uint32_t lanes = std::min<uint32_t>(ShotBatch::kWordBits,
+                                                  shots - base);
+        const uint64_t valid = lanes == ShotBatch::kWordBits
+            ? ~uint64_t{0}
+            : (uint64_t{1} << lanes) - 1;
+        // Carry-save event count saturating at 3: after the sweep,
+        // c1/c2/c3 flag lanes with >= 1 / >= 2 / >= 3 events.
+        uint64_t c1 = 0, c2 = 0, c3 = 0;
+        for (uint32_t d = 0; d < numDet; ++d) {
+            const uint64_t r = batch.detectorRow(d)[wi];
+            c3 |= c2 & r;
+            c2 |= c1 & r;
+            c1 |= r;
+        }
+        const uint64_t erased = batch.numErasureSites() > 0
+            ? batch.erasedLanesMask(wi)
+            : 0;
+        uint64_t general = (c3 | erased) & valid;
+        const uint64_t trivial = ~c1 & ~erased & valid;
+        uint64_t few = c1 & ~c3 & ~erased & valid; // 1 or 2 events
+        uint64_t w = trivial;
+        while (w) {
+            predictions[base + std::countr_zero(w)] = 0;
+            w &= w - 1;
+        }
+        stats.trivial += static_cast<uint64_t>(std::popcount(trivial));
+        if (few) {
+            // Gather the (at most two) event indices of each few-lane
+            // with one more masked sweep.
+            uint32_t ev[ShotBatch::kWordBits][2];
+            uint8_t cnt[ShotBatch::kWordBits] = {};
+            for (uint32_t d = 0; d < numDet; ++d) {
+                uint64_t r = batch.detectorRow(d)[wi] & few;
+                while (r) {
+                    const uint32_t lane =
+                        static_cast<uint32_t>(std::countr_zero(r));
+                    ev[lane][cnt[lane]++] = d;
+                    r &= r - 1;
+                }
+            }
+            w = few;
+            while (w) {
+                const uint32_t lane =
+                    static_cast<uint32_t>(std::countr_zero(w));
+                w &= w - 1;
+                if (cnt[lane] == 1) {
+                    if (hasSingle_[ev[lane][0]]) {
+                        predictions[base + lane] = single_[ev[lane][0]];
+                        ++stats.single;
+                    } else {
+                        general |= uint64_t{1} << lane;
+                    }
+                    continue;
+                }
+                const uint64_t key =
+                    (static_cast<uint64_t>(ev[lane][0]) << 32)
+                    | ev[lane][1];
+                auto it = pair_.find(key);
+                if (it != pair_.end()) {
+                    predictions[base + lane] = it->second;
+                    ++stats.pair;
+                } else {
+                    general |= uint64_t{1} << lane;
+                }
+            }
+        }
+        generalMask[wi] = general;
+        stats.general += static_cast<uint64_t>(std::popcount(general));
+    }
+    return stats;
+}
+
+} // namespace vlq

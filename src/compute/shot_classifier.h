@@ -1,0 +1,79 @@
+#ifndef VLQ_COMPUTE_SHOT_CLASSIFIER_H
+#define VLQ_COMPUTE_SHOT_CLASSIFIER_H
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace vlq {
+
+class Decoder;
+class DetectorErrorModel;
+class ShotBatch;
+
+/**
+ * Branch-free trivial/near-trivial shot router for the simd compute
+ * backend.
+ *
+ * Far below threshold most shots carry 0, 1, or 2 detection events
+ * (at d=5, p=3.5e-3 that is ~36% of shots), and their corrections are
+ * pure functions of at most two detector indices. The classifier
+ * answers those lanes from lookup tables and masks them out of the
+ * general decode:
+ *
+ * - lane counting is word-parallel: one carry-save sweep over the
+ *   batch's transposed detector rows computes "this lane has >= 1 /
+ *   >= 2 / >= 3 events" for 64 shots at a time, with no per-shot
+ *   branching;
+ * - 0-event lanes predict 0;
+ * - 1-event lanes read a per-detector table; 2-event lanes read a
+ *   hash table keyed by the detector pair, populated for every
+ *   decoding-graph edge (the only pairs single faults produce);
+ * - everything else -- >= 3 events, a 2-event pair with no table
+ *   entry (two independent faults far apart), or any lane with a
+ *   heralded erasure (those need the erasure-aware decode path) --
+ *   stays selected in the general-decoder lane mask.
+ *
+ * Both tables are filled by calling decoder.decode() on the 1- and
+ * 2-bit syndromes at construction, so table answers are
+ * bit-identical to what the general decoder would have produced --
+ * routing through the classifier can never change a prediction, only
+ * skip redundant work. Tables are immutable after construction;
+ * classify() is const and uses only stack scratch, so one classifier
+ * serves all worker threads.
+ */
+class ShotClassifier
+{
+  public:
+    /** Per-call routing counts; buckets partition the batch's shots. */
+    struct Stats
+    {
+        uint64_t trivial = 0;
+        uint64_t single = 0;
+        uint64_t pair = 0;
+        uint64_t general = 0;
+    };
+
+    ShotClassifier(const DetectorErrorModel& dem, const Decoder& decoder);
+
+    /**
+     * Route one batch: classified lanes get their `predictions` entry
+     * written; the rest have their bit set in `generalMask` (sized to
+     * batch.wordsPerRow(), the laneMask layout Decoder::decodeBatch
+     * takes). Returns the routing counts for the call.
+     */
+    Stats classify(const ShotBatch& batch,
+                   std::span<uint32_t> predictions,
+                   std::vector<uint64_t>& generalMask) const;
+
+  private:
+    std::vector<uint32_t> single_;  // prediction per lone detector
+    std::vector<uint8_t> hasSingle_; // 0 for boundary-unreachable ones
+    // Prediction per decoding-graph edge pair, keyed (lo << 32) | hi.
+    std::unordered_map<uint64_t, uint32_t> pair_;
+};
+
+} // namespace vlq
+
+#endif // VLQ_COMPUTE_SHOT_CLASSIFIER_H

@@ -1,0 +1,160 @@
+#include <atomic>
+#include <bit>
+#include <memory>
+#include <vector>
+
+#include "compute/compute_backend.h"
+#include "compute/compute_registry.h"
+#include "compute/shot_classifier.h"
+#include "decoder/decoder.h"
+#include "dem/sampler.h"
+#include "dem/shot_batch.h"
+#include "obs/obs.h"
+
+namespace vlq {
+
+namespace {
+
+/**
+ * Word-parallel throughput backend:
+ *
+ * - sampling uses the blocked-RNG skip-sampler variant (uniforms
+ *   generated a block at a time with the xoshiro state held in
+ *   registers);
+ * - decoding first routes the batch through the ShotClassifier --
+ *   trivial and table-answerable <=2-event lanes never reach the
+ *   decoder -- and hands the general decoder only the remaining lane
+ *   mask;
+ * - failure counting scatters the sparse predictions into transposed
+ *   rows and XORs them against the batch's observable rows, 64 lanes
+ *   per word op.
+ *
+ * Every step is bit-identical to the scalar backend by construction
+ * (same per-trial RNG streams, classifier tables filled by the
+ * decoder itself, masked decode untouched lanes aside); the
+ * cross-backend fuzz suite enforces it.
+ */
+class SimdBackend final : public ComputeBackend
+{
+  public:
+    SimdBackend(const DetectorErrorModel& dem,
+                const FaultSampler& sampler, const Decoder& decoder)
+        : sampler_(sampler), decoder_(decoder),
+          classifier_(dem, decoder)
+    {
+    }
+
+    const char* name() const override { return "simd"; }
+
+    void sampleBatch(const Rng& root, ShotBatch& batch) const override
+    {
+        sampler_.sampleBatchIntoBlocked(root, batch);
+    }
+
+    void decodeBatch(const ShotBatch& batch,
+                     std::span<uint32_t> predictions) const override
+    {
+        static thread_local std::vector<uint64_t> generalMask;
+        ShotClassifier::Stats st;
+        {
+            obs::StageTimer classifyTimer("compute.classify");
+            st = classifier_.classify(batch, predictions, generalMask);
+        }
+        decoder_.decodeBatch(batch, predictions, generalMask);
+        shots_.fetch_add(batch.numShots(), std::memory_order_relaxed);
+        trivial_.fetch_add(st.trivial, std::memory_order_relaxed);
+        single_.fetch_add(st.single, std::memory_order_relaxed);
+        pair_.fetch_add(st.pair, std::memory_order_relaxed);
+        general_.fetch_add(st.general, std::memory_order_relaxed);
+        if (obs::metricsEnabled()) {
+            static const obs::Counter trivialCtr =
+                obs::Counter::get("compute.classified_trivial");
+            static const obs::Counter singleCtr =
+                obs::Counter::get("compute.classified_single");
+            static const obs::Counter pairCtr =
+                obs::Counter::get("compute.classified_pair");
+            static const obs::Counter generalCtr =
+                obs::Counter::get("compute.general_decoded");
+            trivialCtr.add(st.trivial);
+            singleCtr.add(st.single);
+            pairCtr.add(st.pair);
+            generalCtr.add(st.general);
+        }
+    }
+
+    void countFailures(const ShotBatch& batch,
+                       std::span<const uint32_t> predictions,
+                       std::vector<uint64_t>& failingTrials) const override
+    {
+        failingTrials.clear();
+        const uint32_t words = batch.wordsPerRow();
+        const uint32_t numObs = batch.numObservables();
+        const uint32_t shots = batch.numShots();
+        // Scatter the (mostly zero) predictions into transposed rows;
+        // cost is proportional to the predicted flip count, not the
+        // shot count.
+        static thread_local std::vector<uint64_t> predRows;
+        predRows.assign(static_cast<size_t>(numObs) * words, 0);
+        for (uint32_t s = 0; s < shots; ++s) {
+            uint32_t m = predictions[s];
+            while (m) {
+                const uint32_t b =
+                    static_cast<uint32_t>(std::countr_zero(m));
+                predRows[static_cast<size_t>(b) * words + s / 64] |=
+                    uint64_t{1} << (s % 64);
+                m &= m - 1;
+            }
+        }
+        // A shot fails iff any observable row disagrees: OR of XORs,
+        // 64 lanes at a time. Lanes past numShots are zero on both
+        // sides, so no tail masking is needed.
+        for (uint32_t wi = 0; wi < words; ++wi) {
+            uint64_t mismatch = 0;
+            for (uint32_t o = 0; o < numObs; ++o)
+                mismatch |=
+                    predRows[static_cast<size_t>(o) * words + wi]
+                    ^ batch.observableRow(o)[wi];
+            while (mismatch) {
+                const uint32_t lane =
+                    static_cast<uint32_t>(std::countr_zero(mismatch));
+                failingTrials.push_back(batch.firstTrial()
+                                        + wi * ShotBatch::kWordBits
+                                        + lane);
+                mismatch &= mismatch - 1;
+            }
+        }
+    }
+
+    Stats stats() const override
+    {
+        Stats st;
+        st.shots = shots_.load(std::memory_order_relaxed);
+        st.trivial = trivial_.load(std::memory_order_relaxed);
+        st.single = single_.load(std::memory_order_relaxed);
+        st.pair = pair_.load(std::memory_order_relaxed);
+        st.general = general_.load(std::memory_order_relaxed);
+        return st;
+    }
+
+  private:
+    const FaultSampler& sampler_;
+    const Decoder& decoder_;
+    ShotClassifier classifier_;
+    mutable std::atomic<uint64_t> shots_{0};
+    mutable std::atomic<uint64_t> trivial_{0};
+    mutable std::atomic<uint64_t> single_{0};
+    mutable std::atomic<uint64_t> pair_{0};
+    mutable std::atomic<uint64_t> general_{0};
+};
+
+} // namespace
+
+std::unique_ptr<ComputeBackend>
+makeSimdComputeBackend(const DetectorErrorModel& dem,
+                       const FaultSampler& sampler,
+                       const Decoder& decoder)
+{
+    return std::make_unique<SimdBackend>(dem, sampler, decoder);
+}
+
+} // namespace vlq

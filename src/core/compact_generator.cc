@@ -1,3 +1,5 @@
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <mutex>
 #include <set>
@@ -339,12 +341,42 @@ compactRectPatchShape(int distance, int distanceX, int distanceZ)
     return squarePatchShape(distance, distanceX, distanceZ);
 }
 
+std::pair<int, int>
+compactRectPatchShape(int distance, int distanceX, int distanceZ,
+                      const BiasedPauliSource& bias)
+{
+    if (distanceX != 0 || distanceZ != 0)
+        return squarePatchShape(distance, distanceX, distanceZ);
+    if (!bias.enabled())
+        return {3, distance}; // the historical uniform-bias default
+    const double sum = bias.rX + bias.rY + bias.rZ;
+    const double mXY = (bias.rX + bias.rY) / sum;
+    const double mZ = bias.rZ / sum;
+    int dx = distance;
+    if (mXY <= 0.0) {
+        // Pure-Z noise: X-side protection buys nothing beyond the
+        // minimum viable patch.
+        dx = 3;
+    } else if (mZ > mXY) {
+        // dx/dz = ln(mZ)/ln(mXY): both logs are negative, Z-dominant
+        // mass makes the numerator the smaller magnitude, so the
+        // ratio is in (0, 1) and narrows with the bias strength.
+        dx = static_cast<int>(
+            std::lround(distance * std::log(mZ) / std::log(mXY)));
+    } // else X-leaning noise: the full square (nothing can be shed)
+    dx = std::min(distance, std::max(3, dx));
+    if (dx % 2 == 0)
+        ++dx; // patches are odd; distance is odd, so dx + 1 stays legal
+    return {dx, distance};
+}
+
 GeneratedCircuit
 generateCompactRectMemory(const GeneratorConfig& config)
 {
     requireValidConfig(config);
     auto [dx, dz] = compactRectPatchShape(
-        config.distance, config.distanceX, config.distanceZ);
+        config.distance, config.distanceX, config.distanceZ,
+        config.noise.bias);
     return generateCompactOnPatch(config, dx, dz);
 }
 

@@ -288,10 +288,13 @@ GeneratedCircuit generateCompactMemory(const GeneratorConfig& config);
 /**
  * Rectangular Compact variant for biased-noise devices: the Compact
  * merge and schedule on a dx x dz patch. Honors
- * GeneratorConfig::distanceX/distanceZ; when neither is set it
- * defaults to a narrow patch (dx = 3 columns, dz = `distance` rows),
- * i.e. minimum memory-X protection and full memory-Z protection --
- * the right shape when one Pauli dominates the physical noise.
+ * GeneratorConfig::distanceX/distanceZ; when neither is set the
+ * default shape is bias-aware (compactRectPatchShape's 4-arg
+ * overload): uniform noise keeps the historical narrow patch (dx = 3
+ * columns, dz = `distance` rows) bit-identically, while an enabled
+ * `config.noise.bias` derives dx from the Pauli mass ratios --
+ * strongly Z-biased noise stays at 3 columns, milder bias widens the
+ * patch, and X-leaning noise keeps the full square.
  */
 GeneratedCircuit generateCompactRectMemory(const GeneratorConfig& config);
 

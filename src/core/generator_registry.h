@@ -96,9 +96,27 @@ const GeneratorBackend& generatorBackend(EmbeddingKind kind);
  * The compact-rect shape policy: explicit overrides win; with neither
  * set, narrow to 3 columns x `distance` rows (minimum memory-X
  * protection, full memory-Z protection -- the biased-noise default).
+ * This 3-arg form is the registry shape hook (resource estimation has
+ * no noise model in hand); the generator itself uses the bias-aware
+ * overload below.
  */
 std::pair<int, int> compactRectPatchShape(int distance, int distanceX,
                                           int distanceZ);
+
+/**
+ * Bias-aware compact-rect default: explicit overrides still win, and
+ * a uniform bias (disabled source) keeps the historical {3, distance}
+ * default bit-identically. With bias enabled, the default column
+ * count is derived from the Pauli mass ratios: equal logical
+ * suppression under the ~(p/pth)^(d/2) scaling needs side lengths
+ * proportional to the log error masses, so dx ~= distance * ln(mZ) /
+ * ln(mX+mY), rounded to odd and clamped to [3, distance]. Strongly
+ * Z-biased noise narrows toward 3 columns; X-leaning noise keeps the
+ * full square (no protection can be shed).
+ */
+std::pair<int, int> compactRectPatchShape(int distance, int distanceX,
+                                          int distanceZ,
+                                          const BiasedPauliSource& bias);
 
 /** The registered generator function for `kind` (never null). */
 GeneratorFn makeGenerator(EmbeddingKind kind);

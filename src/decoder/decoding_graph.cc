@@ -89,6 +89,37 @@ DecodingGraph::finalize()
         if (minWeight_ == 0.0 || e.weight < minWeight_)
             minWeight_ = e.weight;
     }
+
+    // Mirror into the structure-of-arrays view in identical order.
+    const uint32_t n = numNodes();
+    const uint32_t m = static_cast<uint32_t>(edges_.size());
+    soa_.vertexBegin.assign(n + 1, 0);
+    for (uint32_t v = 0; v < n; ++v)
+        soa_.vertexBegin[v + 1] =
+            soa_.vertexBegin[v]
+            + static_cast<uint32_t>(adjacency_[v].size());
+    const uint32_t slots = soa_.vertexBegin[n];
+    soa_.slotEdge.resize(slots);
+    soa_.slotOther.resize(slots);
+    for (uint32_t v = 0; v < n; ++v) {
+        uint32_t at = soa_.vertexBegin[v];
+        for (uint32_t e : adjacency_[v]) {
+            soa_.slotEdge[at] = e;
+            soa_.slotOther[at] =
+                edges_[e].a == v ? edges_[e].b : edges_[e].a;
+            ++at;
+        }
+    }
+    soa_.edgeA.resize(m);
+    soa_.edgeB.resize(m);
+    soa_.edgeWeight.resize(m);
+    soa_.edgeObs.resize(m);
+    for (uint32_t i = 0; i < m; ++i) {
+        soa_.edgeA[i] = edges_[i].a;
+        soa_.edgeB[i] = edges_[i].b;
+        soa_.edgeWeight[i] = edges_[i].weight;
+        soa_.edgeObs[i] = edges_[i].observables;
+    }
 }
 
 DecodingGraph

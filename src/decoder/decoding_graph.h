@@ -98,6 +98,35 @@ class DecodingGraph
      */
     int32_t findEdge(uint32_t a, uint32_t b) const;
 
+    /**
+     * Structure-of-arrays mirror of edges() + incidentEdges(), rebuilt
+     * by finalize(). Hot decoder loops (union-find growth, Dijkstra
+     * searches, forest peeling) walk these contiguous arrays instead of
+     * chasing vector<vector> adjacency lists and 40-byte edge structs.
+     * Slot order matches incidentEdges() exactly and the per-edge
+     * arrays are parallel to edges(), so iteration-order-dependent
+     * tie-breaks (and therefore decoder output) are unchanged.
+     */
+    struct SoA
+    {
+        /**
+         * CSR adjacency over all nodes including the boundary: the
+         * incident slots of node v are [vertexBegin[v],
+         * vertexBegin[v + 1]).
+         */
+        std::vector<uint32_t> vertexBegin;
+        std::vector<uint32_t> slotEdge;  // edge index at each slot
+        std::vector<uint32_t> slotOther; // opposite endpoint at the slot
+
+        /** Flat per-edge fields, parallel to edges(). */
+        std::vector<uint32_t> edgeA;
+        std::vector<uint32_t> edgeB;
+        std::vector<double> edgeWeight;
+        std::vector<uint32_t> edgeObs;
+    };
+
+    const SoA& soa() const { return soa_; }
+
     /** Smallest positive edge weight (0 when the graph is empty). */
     double minWeight() const { return minWeight_; }
 
@@ -107,6 +136,7 @@ class DecodingGraph
     uint32_t numDetectors_ = 0;
     std::vector<DecodingEdge> edges_;
     std::vector<std::vector<uint32_t>> adjacency_;
+    SoA soa_;
     std::vector<double> bestContribution_; // per edge, for obs arbitration
     double minWeight_ = 0.0;
     BuildStats stats_;

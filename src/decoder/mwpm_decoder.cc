@@ -22,9 +22,10 @@ MwpmDecoder::decode(const BitVec& detectorFlips) const
 
 void
 MwpmDecoder::decodeBatch(const ShotBatch& batch,
-                         std::span<uint32_t> predictions) const
+                         std::span<uint32_t> predictions,
+                         std::span<const uint64_t> laneMask) const
 {
-    decodeBatchEvents(batch, predictions,
+    decodeBatchEvents(batch, predictions, laneMask,
                       [this](const std::vector<uint32_t>& events) {
                           return decodeEvents(events);
                       });
@@ -86,9 +87,10 @@ GreedyDecoder::decode(const BitVec& detectorFlips) const
 
 void
 GreedyDecoder::decodeBatch(const ShotBatch& batch,
-                           std::span<uint32_t> predictions) const
+                           std::span<uint32_t> predictions,
+                           std::span<const uint64_t> laneMask) const
 {
-    decodeBatchEvents(batch, predictions,
+    decodeBatchEvents(batch, predictions, laneMask,
                       [this](const std::vector<uint32_t>& events) {
                           return decodeEvents(events);
                       });

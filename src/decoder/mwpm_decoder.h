@@ -36,7 +36,9 @@ class MwpmDecoder : public Decoder
      * the only scratch left to amortize).
      */
     void decodeBatch(const ShotBatch& batch,
-                     std::span<uint32_t> predictions) const override;
+                     std::span<uint32_t> predictions,
+                     std::span<const uint64_t> laneMask) const override;
+    using Decoder::decodeBatch;
 
     const MatchingGraph& graph() const { return graph_; }
 
@@ -60,7 +62,9 @@ class GreedyDecoder : public Decoder
 
     /** Batched decode reusing the candidate-pair buffer per shot. */
     void decodeBatch(const ShotBatch& batch,
-                     std::span<uint32_t> predictions) const override;
+                     std::span<uint32_t> predictions,
+                     std::span<const uint64_t> laneMask) const override;
+    using Decoder::decodeBatch;
 
     const MatchingGraph& graph() const { return graph_; }
 

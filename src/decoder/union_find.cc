@@ -41,12 +41,24 @@ struct Scratch
     std::vector<uint32_t> active;
     std::vector<uint32_t> nextActive;
 
-    // Edge state.
-    std::vector<uint16_t> support;
-    std::vector<uint8_t> grown;
+    // Edge growth state, consolidated into one 16-byte record so the
+    // latency-bound frontier scan pays one cache line per edge visit
+    // instead of five (support/grown/stamp/mult/capacity lived in
+    // separate arrays before; the claim loop was ~5x slower for it).
+    // `claimStamp` doubles as a lazy per-shot reset: any stamp older
+    // than the shot's base stamp means support/grown are stale and
+    // read as zero, so no O(numEdges) clear runs per shot.
+    struct EdgeState
+    {
+        uint64_t claimStamp = 0;
+        uint16_t support = 0;
+        uint16_t capacity = 0; // copied per decoder epoch
+        uint8_t mult = 0;
+        uint8_t grown = 0;
+        uint8_t pad[2] = {0, 0};
+    };
+    std::vector<EdgeState> edge;
     std::vector<uint32_t> grownList;
-    std::vector<uint64_t> edgeStamp;
-    std::vector<uint8_t> edgeMult;
     std::vector<uint32_t> roundEdges;
     std::vector<uint32_t> mergeQueue;
     // Erasure state: per-edge flag (set/cleared per shot through the
@@ -92,9 +104,15 @@ struct Scratch
     std::vector<uint8_t> pairKnownFlat;
     std::vector<double> pairDistFlat;
     std::vector<uint32_t> pairObsFlat;
+    // Sources whose full distance row is already cached: the first
+    // cache miss from a defect vertex runs one full single-source
+    // Dijkstra and stores every reachable pair, so a warm steady state
+    // does no priority-queue work at all.
+    std::vector<uint8_t> srcDone;
 
     /** Size arrays for a graph; clears nothing (fast-path entry). */
-    void ensure(uint32_t numNodes, uint32_t numEdges, uint64_t epoch)
+    void ensure(uint32_t numNodes, uint32_t numEdges, uint64_t epoch,
+                const std::vector<uint16_t>& capacity)
     {
         if (parent.size() < numNodes) {
             size_t old = parent.size();
@@ -116,22 +134,27 @@ struct Scratch
             pathObs.resize(numNodes, 0);
             finalized.resize(numNodes, 0);
         }
-        if (support.size() < numEdges) {
-            support.resize(numEdges, 0);
-            grown.resize(numEdges, 0);
-            edgeStamp.resize(numEdges, 0);
-            edgeMult.resize(numEdges); // stamp-guarded, no init needed
+        if (edge.size() < numEdges) {
+            edge.resize(numEdges);
             erasedEdge.resize(numEdges, 0);
         }
         if (cacheEpoch != epoch) {
             cacheEpoch = epoch;
+            // The capacity copy rides in the consolidated edge record;
+            // refresh it whenever the owning decoder changes.
+            for (uint32_t e = 0; e < numEdges; ++e)
+                edge[e].capacity = capacity[e];
             pairCache.clear();
-            constexpr uint32_t kFlatCacheMaxNodes = 512;
+            // Covers d=11 surface-code DEMs (721 nodes, ~6.8 MB of
+            // flat matrix per thread); beyond that the quadratic
+            // footprint stops paying for itself and the hash map wins.
+            constexpr uint32_t kFlatCacheMaxNodes = 1024;
             flatN = numNodes <= kFlatCacheMaxNodes ? numNodes : 0;
             size_t cells = static_cast<size_t>(flatN) * flatN;
             pairKnownFlat.assign(cells, 0);
             pairDistFlat.resize(cells);
             pairObsFlat.resize(cells);
+            srcDone.assign(numNodes, 0);
         }
     }
 
@@ -170,11 +193,11 @@ struct Scratch
         pairCache.emplace(key, std::make_pair(w, o));
     }
 
-    /** Full per-shot reset of the cluster arenas (growth-path entry).
-     *  The stamp and Dijkstra arrays are deliberately left alone --
-     *  they are maintained by the monotonic-counter / touched-list
-     *  protocols. */
-    void reset(uint32_t numNodes, uint32_t numEdges)
+    /** Per-shot reset of the node-side cluster arenas (growth-path
+     *  entry). The stamp, Dijkstra, and edge-growth arrays are
+     *  deliberately left alone -- they are maintained by the
+     *  monotonic-counter / touched-list / claimStamp protocols. */
+    void reset(uint32_t numNodes)
     {
         for (uint32_t i = 0; i < numNodes; ++i)
             parent[i] = i;
@@ -186,8 +209,6 @@ struct Scratch
             frontier[i].clear();
         active.clear();
         nextActive.clear();
-        std::fill_n(support.begin(), numEdges, uint16_t{0});
-        std::fill_n(grown.begin(), numEdges, uint8_t{0});
         grownList.clear();
         roundEdges.clear();
         mergeQueue.clear();
@@ -281,20 +302,22 @@ UnionFindDecoder::UnionFindDecoder(DecodingGraph graph,
         pq;
     pq.push({0.0, graph_.boundaryNode()});
     std::vector<uint8_t> done(n, 0);
+    const DecodingGraph::SoA& soa = graph_.soa();
     while (!pq.empty()) {
         auto [d, v] = pq.top();
         pq.pop();
         if (done[v])
             continue;
         done[v] = 1;
-        for (uint32_t e : graph_.incidentEdges(v)) {
-            const DecodingEdge& edge = graph_.edges()[e];
-            uint32_t to = edge.a == v ? edge.b : edge.a;
-            double nd = d + edge.weight;
+        for (uint32_t si = soa.vertexBegin[v];
+             si < soa.vertexBegin[v + 1]; ++si) {
+            uint32_t e = soa.slotEdge[si];
+            uint32_t to = soa.slotOther[si];
+            double nd = d + soa.edgeWeight[e];
             if (nd < boundaryDist_[to]) {
                 boundaryDist_[to] = nd;
                 boundaryObs_[to] =
-                    boundaryObs_[v] ^ edge.observables;
+                    boundaryObs_[v] ^ soa.edgeObs[e];
                 pq.push({nd, to});
             }
         }
@@ -371,12 +394,13 @@ traceDecodeMix()
 
 void
 UnionFindDecoder::decodeBatch(const ShotBatch& batch,
-                              std::span<uint32_t> predictions) const
+                              std::span<uint32_t> predictions,
+                              std::span<const uint64_t> laneMask) const
 {
     if (batch.numErasureSites() == 0 || erasureSiteEdges_.empty()) {
         const bool tracing = obs::traceEnabled();
         decodeBatchEvents(
-            batch, predictions,
+            batch, predictions, laneMask,
             [this, tracing](const std::vector<uint32_t>& events) {
                 if (tracing && !events.empty()) {
                     if (events.size() <= exactSyndromeThreshold_)
@@ -405,8 +429,12 @@ UnionFindDecoder::decodeBatch(const ShotBatch& batch,
         batch.gatherErasures(sites);
     }
     const bool tracing = obs::traceEnabled();
+    uint32_t selected = 0;
     uint32_t trivial = 0;
     for (uint32_t s = 0; s < batch.numShots(); ++s) {
+        if (!laneSelected(laneMask, s))
+            continue;
+        ++selected;
         obs::StageTimer seedTimer(
             !sites[s].empty() ? "uf.erasure_seed" : nullptr);
         mapErasureSites(sites[s], edges);
@@ -432,7 +460,7 @@ UnionFindDecoder::decodeBatch(const ShotBatch& batch,
         static const obs::Counter trivialShots =
             obs::Counter::get("decode.trivial_shots");
         batches.add(1);
-        decoded.add(batch.numShots());
+        decoded.add(selected);
         trivialShots.add(trivial);
     }
 }
@@ -453,9 +481,10 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
     const uint32_t n = graph_.numNodes();
     const uint32_t numEdges = static_cast<uint32_t>(graph_.edges().size());
     const uint32_t boundary = graph_.boundaryNode();
+    const DecodingGraph::SoA& g = graph_.soa();
 
     Scratch& s = scratch();
-    s.ensure(n, numEdges, cacheEpoch_);
+    s.ensure(n, numEdges, cacheEpoch_, capacity_);
 
     constexpr double kInf = std::numeric_limits<double>::infinity();
     uint32_t obs = 0;
@@ -475,13 +504,12 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
      *
      * Defect-pair shortest paths are globally exact and memoized
      * across shots (a global distance does not depend on the shot).
-     * Cache misses are filled by one multi-target Dijkstra per source
-     * defect, pruned at bndW[src] + max remaining bndW: a pair costing
-     * more than its two boundary chains combined can never enter a
-     * minimum matching, so recording it as unreachable is exact (and
-     * cacheable). Paths never route through the boundary node --
-     * boundary pairing is a separate option, exactly as in the
-     * blossom formulation.
+     * The first cache miss from a source defect runs one full
+     * single-source Dijkstra and stores the entire row, so after the
+     * first few batches every query is a pure cache lookup and the
+     * steady-state decode does no priority-queue work. Paths never
+     * route through the boundary node -- boundary pairing is a
+     * separate option, exactly as in the blossom formulation.
      */
     auto matchDefectsExact = [&](const std::vector<uint32_t>& defects) {
         const size_t k = defects.size();
@@ -526,25 +554,28 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
 
         for (size_t i = 0; i + 1 < k; ++i) {
             uint32_t src = defects[i];
-            const uint64_t searchId = ++s.counter;
-            uint32_t targets = 0;
-            double maxBnd = 0.0;
+            bool missing = false;
             for (size_t j = i + 1; j < k; ++j) {
                 double w;
                 uint32_t o;
                 if (s.cacheFind(src, defects[j], w, o)) {
                     pairW[i * k + j] = pairW[j * k + i] = w;
                     pairObs[i * k + j] = pairObs[j * k + i] = o;
-                    continue;
+                } else {
+                    missing = true;
                 }
-                s.stamp[defects[j]] = searchId;
-                ++targets;
-                maxBnd = std::max(maxBnd, bndW[j]);
             }
-            if (targets == 0)
-                continue;
-            const double limit = bndW[i] + maxBnd;
-            bool pruned = false;
+            if (!missing || s.srcDone[src])
+                continue; // leftover misses are unreachable pairs
+            // One full single-source Dijkstra (boundary excluded, as
+            // always for pair paths) fills src's whole row of the pair
+            // cache, so every later query against src -- from any
+            // shot -- is a pure lookup. Distances are unique and the
+            // observable mask of a shortest path is path-choice
+            // independent for bulk paths (a bulk cycle flips no
+            // logical), so filling the row eagerly is bit-identical
+            // to the old on-demand pruned searches.
+            s.srcDone[src] = 1;
             s.dist[src] = 0.0;
             s.touched.push_back(src);
             pq.push({0.0, src});
@@ -554,60 +585,39 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
                 if (s.finalized[x])
                     continue;
                 s.finalized[x] = 1;
-                if (d > limit) {
-                    pruned = true;
-                    break;
-                }
-                if (s.stamp[x] == searchId && x != src) {
-                    size_t j = 0;
-                    for (size_t jj = i + 1; jj < k; ++jj)
-                        if (defects[jj] == x) {
-                            j = jj;
-                            break;
-                        }
-                    pairW[i * k + j] = pairW[j * k + i] = d;
-                    pairObs[i * k + j] = pairObs[j * k + i] =
-                        s.pathObs[x];
+                if (x != src)
                     s.cacheStore(src, x, d, s.pathObs[x]);
-                    s.stamp[x] = 0;
-                    if (--targets == 0)
-                        break;
-                }
-                for (uint32_t e : graph_.incidentEdges(x)) {
-                    const DecodingEdge& edge = graph_.edges()[e];
-                    uint32_t to = edge.a == x ? edge.b : edge.a;
+                for (uint32_t si = g.vertexBegin[x];
+                     si < g.vertexBegin[x + 1]; ++si) {
+                    uint32_t to = g.slotOther[si];
                     if (to == boundary)
                         continue;
-                    double nd = d + edge.weight;
+                    uint32_t e = g.slotEdge[si];
+                    double nd = d + g.edgeWeight[e];
                     if (nd < s.dist[to]) {
                         if (s.dist[to] == kInf)
                             s.touched.push_back(to);
                         s.dist[to] = nd;
-                        s.pathObs[to] = s.pathObs[x] ^ edge.observables;
+                        s.pathObs[to] = s.pathObs[x] ^ g.edgeObs[e];
                         pq.push({nd, to});
                     }
                 }
             }
-            while (!pq.empty())
-                pq.pop();
             for (uint32_t x : s.touched) {
                 s.dist[x] = kInf;
                 s.pathObs[x] = 0;
                 s.finalized[x] = 0;
             }
             s.touched.clear();
-            if (pruned) {
-                // Remaining targets are provably boundary-dominated.
-                for (size_t j = i + 1; j < k; ++j) {
-                    if (s.stamp[defects[j]] == searchId) {
-                        s.cacheStore(src, defects[j], kInf, 0u);
-                        s.stamp[defects[j]] = 0;
-                    }
+            for (size_t j = i + 1; j < k; ++j) {
+                if (pairW[i * k + j] != kInf)
+                    continue;
+                double w;
+                uint32_t o;
+                if (s.cacheFind(src, defects[j], w, o)) {
+                    pairW[i * k + j] = pairW[j * k + i] = w;
+                    pairObs[i * k + j] = pairObs[j * k + i] = o;
                 }
-            } else {
-                for (size_t j = i + 1; j < k; ++j)
-                    if (s.stamp[defects[j]] == searchId)
-                        s.stamp[defects[j]] = 0;
             }
         }
 
@@ -745,16 +755,32 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
             erasureShots.add(1);
         }
     }
-    s.reset(n, numEdges);
+    s.reset(n);
     s.btouch[boundary] = 1;
     s.absorbed[boundary] = 1;
+
+    // Any edge whose claimStamp predates this shot still carries the
+    // previous shot's growth state; fetching it through freshEdge
+    // re-zeroes support/grown lazily (bit-identical to an eager
+    // per-shot clear, without the O(numEdges) sweep).
+    const uint64_t shotBase = ++s.counter;
+    auto freshEdge = [&](uint32_t e) -> Scratch::EdgeState& {
+        Scratch::EdgeState& es = s.edge[e];
+        if (es.claimStamp < shotBase) {
+            es.claimStamp = shotBase;
+            es.support = 0;
+            es.grown = 0;
+        }
+        return es;
+    };
 
     for (uint32_t v : events) {
         s.parity[v] = 1;
         s.defect[v] = 1;
         s.absorbed[v] = 1;
-        const auto& inc = graph_.incidentEdges(v);
-        s.frontier[v].assign(inc.begin(), inc.end());
+        s.frontier[v].assign(
+            g.slotEdge.begin() + g.vertexBegin[v],
+            g.slotEdge.begin() + g.vertexBegin[v + 1]);
         s.active.push_back(v);
     }
     if (info)
@@ -768,17 +794,21 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
             return;
         s.absorbed[v] = 1;
         auto& f = s.frontier[v];
-        for (uint32_t e : graph_.incidentEdges(v))
-            if (!s.grown[e])
+        for (uint32_t si = g.vertexBegin[v]; si < g.vertexBegin[v + 1];
+             ++si) {
+            uint32_t e = g.slotEdge[si];
+            if (!freshEdge(e).grown)
                 f.push_back(e);
+        }
     };
 
     auto mergeEdge = [&](uint32_t e) {
-        const DecodingEdge& edge = graph_.edges()[e];
-        ensureAbsorbed(edge.a);
-        ensureAbsorbed(edge.b);
-        uint32_t u = s.find(edge.a);
-        uint32_t v = s.find(edge.b);
+        const uint32_t ea = g.edgeA[e];
+        const uint32_t eb = g.edgeB[e];
+        ensureAbsorbed(ea);
+        ensureAbsorbed(eb);
+        uint32_t u = s.find(ea);
+        uint32_t v = s.find(eb);
         if (u == v)
             return; // cycle within one cluster: not a forest edge
         // Boundary contact freezes a cluster but does NOT union it
@@ -815,12 +845,13 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
             if (s.erasedEdge[e])
                 continue; // two heralds over one edge seed it once
             s.erasedEdge[e] = 1;
-            const DecodingEdge& edge = graph_.edges()[e];
-            if (edge.a == boundary || edge.b == boundary)
+            if (g.edgeA[e] == boundary || g.edgeB[e] == boundary)
                 s.erasedBoundary.push_back(
-                    {edge.a == boundary ? edge.b : edge.a, e});
-            s.support[e] = capacity_[e];
-            s.grown[e] = 1;
+                    {g.edgeA[e] == boundary ? g.edgeB[e] : g.edgeA[e],
+                     e});
+            Scratch::EdgeState& es = freshEdge(e);
+            es.support = es.capacity;
+            es.grown = 1;
             s.grownList.push_back(e);
             mergeEdge(e);
         }
@@ -855,19 +886,26 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
             auto& fr = s.frontier[root];
             size_t keep = 0;
             for (size_t i = 0; i < fr.size(); ++i) {
+                // The scan is latency-bound on the random EdgeState
+                // loads; prefetching a few iterations ahead overlaps
+                // the misses (the indices are already in fr).
+                if (i + 4 < fr.size())
+                    __builtin_prefetch(&s.edge[fr[i + 4]], 1, 1);
                 uint32_t e = fr[i];
-                if (s.grown[e])
+                Scratch::EdgeState& es = freshEdge(e);
+                if (es.grown)
                     continue;
-                uint32_t remaining = capacity_[e] - s.support[e];
-                if (s.edgeStamp[e] != roundId) {
-                    s.edgeStamp[e] = roundId;
-                    s.edgeMult[e] = 1;
+                uint32_t remaining =
+                    static_cast<uint32_t>(es.capacity - es.support);
+                if (es.claimStamp != roundId) {
+                    es.claimStamp = roundId;
+                    es.mult = 1;
                     s.roundEdges.push_back(e);
                     delta = std::min(delta, remaining);
                 } else {
                     // Claimed again (other endpoint or a duplicate
                     // list entry): fills proportionally faster.
-                    uint32_t m = ++s.edgeMult[e];
+                    uint32_t m = ++es.mult;
                     delta = std::min(delta, (remaining + m - 1) / m);
                 }
                 fr[keep++] = e;
@@ -878,15 +916,16 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
             break; // odd clusters with nowhere left to grow
         s.mergeQueue.clear();
         for (uint32_t e : s.roundEdges) {
-            uint32_t grownTo = s.support[e]
-                + static_cast<uint32_t>(s.edgeMult[e]) * delta;
-            if (grownTo >= capacity_[e]) {
-                s.support[e] = capacity_[e];
-                s.grown[e] = 1;
+            Scratch::EdgeState& es = s.edge[e];
+            uint32_t grownTo = es.support
+                + static_cast<uint32_t>(es.mult) * delta;
+            if (grownTo >= es.capacity) {
+                es.support = es.capacity;
+                es.grown = 1;
                 s.grownList.push_back(e);
                 s.mergeQueue.push_back(e);
             } else {
-                s.support[e] = static_cast<uint16_t>(grownTo);
+                es.support = static_cast<uint16_t>(grownTo);
             }
         }
         for (uint32_t e : s.mergeQueue)
@@ -919,10 +958,9 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
         s.clusterDefects[r].push_back(v);
     }
     for (uint32_t e : s.grownList) {
-        const DecodingEdge& edge = graph_.edges()[e];
-        if (edge.a == boundary || edge.b == boundary)
+        if (g.edgeA[e] == boundary || g.edgeB[e] == boundary)
             continue; // boundary exits use the precomputed table
-        s.clusterEdges[s.find(edge.a)].push_back(e);
+        s.clusterEdges[s.find(g.edgeA[e])].push_back(e);
     }
 
     constexpr size_t kExactMatching = 6;
@@ -940,13 +978,12 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
                           bool hasExit, uint32_t exitVertex,
                           uint32_t exitObs) {
         for (uint32_t e : s.clusterEdges[r]) {
-            const DecodingEdge& edge = graph_.edges()[e];
-            for (uint32_t v : {edge.a, edge.b}) {
+            for (uint32_t v : {g.edgeA[e], g.edgeB[e]}) {
                 if (s.treeAdj[v].empty())
                     s.bfsVerts.push_back(v);
             }
-            s.treeAdj[edge.a].push_back(e);
-            s.treeAdj[edge.b].push_back(e);
+            s.treeAdj[g.edgeA[e]].push_back(e);
+            s.treeAdj[g.edgeB[e]].push_back(e);
         }
         // Rooting at the erased boundary exit makes the leftover
         // defect (if any) land exactly where the free exit is.
@@ -957,8 +994,7 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
         for (size_t qi = 0; qi < s.order.size(); ++qi) {
             uint32_t v = s.order[qi];
             for (uint32_t e : s.treeAdj[v]) {
-                const DecodingEdge& edge = graph_.edges()[e];
-                uint32_t to = edge.a == v ? edge.b : edge.a;
+                uint32_t to = g.edgeA[e] == v ? g.edgeB[e] : g.edgeA[e];
                 if (!s.finalized[to]) {
                     s.finalized[to] = 1;
                     s.parentEdge[to] = e;
@@ -970,10 +1006,9 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
             uint32_t v = s.order[qi];
             if (!s.defect[v])
                 continue;
-            const DecodingEdge& edge =
-                graph_.edges()[s.parentEdge[v]];
-            uint32_t u = edge.a == v ? edge.b : edge.a;
-            obs ^= edge.observables;
+            const uint32_t pe = s.parentEdge[v];
+            uint32_t u = g.edgeA[pe] == v ? g.edgeB[pe] : g.edgeA[pe];
+            obs ^= g.edgeObs[pe];
             s.defect[v] = 0;
             s.defect[u] ^= 1;
             ++matchedPairs;
@@ -1016,7 +1051,7 @@ UnionFindDecoder::decodeEvents(const std::vector<uint32_t>& events,
                 if (s.find(v) == r) {
                     hasExit = true;
                     exitVertex = v;
-                    exitObs = graph_.edges()[e].observables;
+                    exitObs = g.edgeObs[e];
                     break;
                 }
             }

@@ -102,7 +102,9 @@ class UnionFindDecoder : public Decoder
      * erased edges are seeded at zero weight (see decodeWithErasures).
      */
     void decodeBatch(const ShotBatch& batch,
-                     std::span<uint32_t> predictions) const override;
+                     std::span<uint32_t> predictions,
+                     std::span<const uint64_t> laneMask) const override;
+    using Decoder::decodeBatch;
 
     /** decode() variant that also reports diagnostics. */
     uint32_t decode(const BitVec& detectorFlips, DecodeInfo* info) const;

@@ -110,6 +110,14 @@ EventSink::preempted(const std::string& jobId, const std::string& reason,
 }
 
 void
+EventSink::cancelled(const std::string& jobId, const std::string& stage)
+{
+    std::ostringstream os;
+    os << "\"stage\":" << jsonQuote(stage);
+    emit("cancelled", jobId, os.str());
+}
+
+void
 EventSink::done(const std::string& jobId, uint64_t trials,
                 uint64_t failures, size_t points)
 {

@@ -33,8 +33,8 @@ constexpr const char* kErrCheckpointMismatch = "checkpoint_mismatch";
  * within a server session and t is seconds since the sink was
  * created. Guarantees (normative spec: docs/job-protocol.md):
  *
- *  - per job, the first event is `queued` and the last is `done` or
- *    `error` (both terminal);
+ *  - per job, the first event is `queued` and the last is `done`,
+ *    `error`, or `cancelled` (all terminal);
  *  - work begins with `started` (no prior checkpoint) or `resumed`
  *    (after a preemption or a server restart);
  *  - `progress.trials_done` and `point_done` replay are monotone:
@@ -78,6 +78,16 @@ class EventSink
     /** reason: "priority" | "quantum" | "shutdown". */
     void preempted(const std::string& jobId, const std::string& reason,
                    uint64_t jobTrialsDone);
+
+    /**
+     * Terminal cancellation (a `cancel` request named the job).
+     * `stage` is "queued" (removed before it ever ran this session)
+     * or "running" (preempted at a batch boundary, frontier saved --
+     * resubmitting the id in a later session resumes it). Carries no
+     * trials count: a queued job's committed work lives in its
+     * checkpoint, which this session may never have opened.
+     */
+    void cancelled(const std::string& jobId, const std::string& stage);
 
     void done(const std::string& jobId, uint64_t trials,
               uint64_t failures, size_t points);

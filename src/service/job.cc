@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "compute/compute_registry.h"
 #include "core/generator_registry.h"
 #include "decoder/decoder_factory.h"
 #include "mc/checkpoint.h"
@@ -155,9 +156,14 @@ applyKeyValue(ScanJob& job, const std::string& key,
         job.targetFailures = static_cast<uint64_t>(n);
         return true;
     }
+    if (key == "compute") {
+        job.compute = value;
+        return true;
+    }
     return fail(error, "unknown request key '" + key
                 + "' (valid: id priority setup embedding schedule"
-                  " distances ps trials seed decoder batch target)");
+                  " distances ps trials seed decoder batch target"
+                  " compute)");
 }
 
 } // namespace
@@ -188,6 +194,11 @@ ScanJob::requestLine() const
     os << " trials=" << trials << " seed=" << seed << " decoder="
        << decoder << " batch=" << batchSize << " target="
        << targetFailures;
+    // Rendered only when set: "inherit the server default" stays
+    // distinguishable from an explicit backend choice, and lines from
+    // older clients round-trip byte-identically.
+    if (!compute.empty())
+        os << " compute=" << compute;
     return os.str();
 }
 
@@ -215,9 +226,21 @@ parseRequestLine(const std::string& line, std::string* error)
         request.kind = Request::Kind::Shutdown;
         return request;
     }
+    if (tokens[0] == "cancel") {
+        // Deliberately strict: exactly `cancel id=<id>`, so a garbled
+        // line can never cancel the wrong job.
+        if (tokens.size() != 2 || tokens[1].rfind("id=", 0) != 0
+            || tokens[1].size() == 3) {
+            fail(error, "cancel takes exactly one argument: id=<id>");
+            return std::nullopt;
+        }
+        request.kind = Request::Kind::Cancel;
+        request.cancelId = tokens[1].substr(3);
+        return request;
+    }
     if (tokens[0] != "submit") {
         fail(error, "unknown request verb '" + tokens[0]
-             + "' (valid: submit, shutdown)");
+             + "' (valid: submit, cancel, shutdown)");
         return std::nullopt;
     }
     request.kind = Request::Kind::Submit;
@@ -276,6 +299,12 @@ jobScanConfig(const ScanJob& job)
     cfg.mc.decoder = *decoder;
     cfg.mc.batchSize = job.batchSize;
     cfg.mc.targetFailures = job.targetFailures;
+    if (!job.compute.empty()) {
+        auto compute = parseComputeKind(job.compute);
+        if (!compute)
+            VLQ_FATAL("jobScanConfig on unvalidated job: bad compute");
+        cfg.mc.compute = *compute;
+    } // else keep the McOptions default (VLQ_COMPUTE ambient)
     return cfg;
 }
 

@@ -64,6 +64,16 @@ struct ScanJob
     uint64_t targetFailures = 0;
 
     /**
+     * Compute backend name ("scalar", "simd"), or empty to inherit
+     * the server's ambient default (the VLQ_COMPUTE environment
+     * variable via McOptions). Backends are bit-identical by
+     * contract, so this is a throughput knob, not part of the job's
+     * checkpoint fingerprint -- a job checkpointed under one backend
+     * resumes under another.
+     */
+    std::string compute;
+
+    /**
      * Serialize back to one request line. parseRequestLine() of the
      * result yields an equal job: the round-trip is exact because
      * doubles are rendered with canonicalDouble (mc/checkpoint.h).
@@ -77,13 +87,15 @@ std::vector<double> defaultPhysicalPs();
 /** One parsed request line of the vlq-scan-job/1 wire protocol. */
 struct Request
 {
-    enum class Kind : uint8_t { Submit, Shutdown };
+    enum class Kind : uint8_t { Submit, Shutdown, Cancel };
     Kind kind = Kind::Submit;
-    ScanJob job; // meaningful when kind == Submit
+    ScanJob job;          // meaningful when kind == Submit
+    std::string cancelId; // meaningful when kind == Cancel
 };
 
 /**
- * Parse one request line: `submit key=value ...` or `shutdown`.
+ * Parse one request line: `submit key=value ...`, `cancel id=<id>`,
+ * or `shutdown`.
  * Blank lines and `#` comments parse to std::nullopt with *error left
  * empty; malformed lines (unknown verb or key, bad number, missing
  * id) parse to std::nullopt with *error describing the problem.

@@ -126,7 +126,50 @@ JobService::submitLine(const std::string& line)
         requestShutdown();
         return true;
     }
+    if (request->kind == Request::Kind::Cancel)
+        return cancel(request->cancelId);
     return submit(request->job);
+}
+
+bool
+JobService::cancel(const std::string& jobId)
+{
+    bool running = false;
+    {
+        std::lock_guard<std::mutex> lock(submitMutex_);
+        if (!knownIds_.count(jobId)) {
+            events_.error(jobId, kErrBadRequest,
+                          "cancel of unknown job id '" + jobId
+                          + "': not submitted in this session");
+            if (obs::metricsEnabled())
+                obs::Counter::get("service.jobs_rejected").add(1);
+            return false;
+        }
+        // Flag under the same lock that runUntilDrained uses to set
+        // runningId_, so the running job cannot slip to terminal
+        // between the check and the flag.
+        if (runningId_ == jobId) {
+            scheduler_.flagCancel(jobId);
+            running = true;
+        }
+    }
+    if (running)
+        return true; // the terminal event is emitted at the boundary
+    if (scheduler_.cancelQueued(jobId)) {
+        events_.cancelled(jobId, "queued");
+        if (obs::metricsEnabled()) {
+            obs::Counter::get("service.jobs_cancelled").add(1);
+            obs::Gauge::get("service.queue_depth")
+                .set(static_cast<int64_t>(scheduler_.size()));
+        }
+        return true;
+    }
+    events_.error(jobId, kErrBadRequest,
+                  "cancel of job '" + jobId
+                  + "': not queued or running (already finished?)");
+    if (obs::metricsEnabled())
+        obs::Counter::get("service.jobs_rejected").add(1);
+    return false;
 }
 
 void
@@ -145,11 +188,26 @@ JobService::runUntilDrained()
         if (obs::metricsEnabled())
             obs::Gauge::get("service.queue_depth")
                 .set(static_cast<int64_t>(scheduler_.size()));
+        {
+            std::lock_guard<std::mutex> lock(submitMutex_);
+            runningId_ = job->id;
+        }
         Outcome outcome = runJob(*job);
+        {
+            std::lock_guard<std::mutex> lock(submitMutex_);
+            runningId_.clear();
+        }
+        // A cancel that raced the job's natural completion lost: the
+        // job is terminal with `done`, so drop the stale flag.
+        if (outcome != Outcome::Cancelled)
+            scheduler_.takeCancelFlag(job->id);
         if (outcome == Outcome::Preempted) {
             if (scheduler_.stopped())
                 break; // suspended in its checkpoint; not requeued
             scheduler_.push(*job);
+        } else if (outcome == Outcome::Cancelled) {
+            if (obs::metricsEnabled())
+                obs::Counter::get("service.jobs_cancelled").add(1);
         } else if (outcome == Outcome::Error) {
             ++failedJobs_;
             if (obs::metricsEnabled())
@@ -266,7 +324,8 @@ JobService::runJob(const ScanJob& job)
         };
         opts.preempt = [&]() {
             std::optional<std::string> reason =
-                scheduler_.shouldPreempt(job.priority, sliceTrials);
+                scheduler_.shouldPreempt(job.id, job.priority,
+                                         sliceTrials);
             if (reason)
                 preemptReason = *reason;
             return reason.has_value();
@@ -275,6 +334,13 @@ JobService::runJob(const ScanJob& job)
         BinomialEstimate est =
             estimateLogicalErrorBasis(setup.embedding, gc, opts);
         if (preempted) {
+            if (preemptReason == "cancelled") {
+                // Terminal: consume the flag, keep the checkpoint
+                // (resubmitting the id in a later session resumes).
+                scheduler_.takeCancelFlag(job.id);
+                events_.cancelled(job.id, "running");
+                return Outcome::Cancelled;
+            }
             events_.preempted(job.id, preemptReason,
                               jobTrials + est.trials);
             if (obs::metricsEnabled())

@@ -81,11 +81,24 @@ class JobService
     bool submit(const ScanJob& job);
 
     /**
-     * Parse one request line (submit/shutdown/comment) and act on it.
+     * Parse one request line (submit/cancel/shutdown/comment) and act
+     * on it.
      * @return false only for lines that were rejected (parse or
      *         validation failure, each emitting an `error` event).
      */
     bool submitLine(const std::string& line);
+
+    /**
+     * Cancel a job submitted in this session. A queued job is removed
+     * immediately; the running job is flagged and suspends at its
+     * next batch boundary. Either way the job's last event is the
+     * terminal `cancelled`, its checkpoint survives (resubmit the id
+     * in a later session to resume), and its id stays reserved for
+     * this session. Unknown or already-terminal ids emit a
+     * `bad_request` error event.
+     * @return true when a queued or running job was cancelled.
+     */
+    bool cancel(const std::string& jobId);
 
     /** Stop after the running job's next batch boundary; queued jobs
      *  stay suspended in their checkpoints. */
@@ -105,7 +118,7 @@ class JobService
     std::string checkpointPath(const std::string& jobId) const;
 
   private:
-    enum class Outcome : uint8_t { Done, Preempted, Error };
+    enum class Outcome : uint8_t { Done, Preempted, Cancelled, Error };
 
     Outcome runJob(const ScanJob& job);
 
@@ -119,8 +132,11 @@ class JobService
     const JobServiceConfig config_;
     EventSink& events_;
     Scheduler scheduler_;
-    std::mutex submitMutex_; // guards knownIds_ (submit is thread-safe)
+    // Guards knownIds_ and runningId_ (submit/cancel arrive from any
+    // thread while runUntilDrained owns the run loop).
+    std::mutex submitMutex_;
     std::set<std::string> knownIds_;
+    std::string runningId_;
     std::map<std::string, RunState> runStates_;
     int failedJobs_ = 0;
 };

@@ -3,6 +3,7 @@
 #include <set>
 #include <sstream>
 
+#include "compute/compute_registry.h"
 #include "core/generator_common.h"
 #include "core/generator_registry.h"
 #include "decoder/decoder_factory.h"
@@ -120,6 +121,11 @@ validateJob(const ScanJob& job)
     if (!parseDecoderKind(job.decoder))
         bad("unknown decoder '" + job.decoder
             + "'; registered decoders: " + decoderKindList());
+    // Empty means "inherit the server's ambient default" -- only an
+    // explicit name must resolve.
+    if (!job.compute.empty() && !parseComputeKind(job.compute))
+        bad("unknown compute backend '" + job.compute
+            + "'; registered backends: " + computeKindList());
 
     return problems;
 }

@@ -64,10 +64,43 @@ Scheduler::stopped() const
     return stopped_;
 }
 
-std::optional<std::string>
-Scheduler::shouldPreempt(int priority, uint64_t sliceTrials) const
+bool
+Scheduler::cancelQueued(const std::string& id)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->job.id == id) {
+            queue_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Scheduler::flagCancel(const std::string& id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancelFlags_.insert(id);
+}
+
+bool
+Scheduler::takeCancelFlag(const std::string& id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cancelFlags_.erase(id) > 0;
+}
+
+std::optional<std::string>
+Scheduler::shouldPreempt(const std::string& jobId, int priority,
+                         uint64_t sliceTrials) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Cancellation outranks shutdown: both suspend at this boundary,
+    // but a cancelled job must end with its terminal event, not hang
+    // suspended as a resumable checkpoint.
+    if (cancelFlags_.count(jobId))
+        return std::string("cancelled");
     if (stopped_)
         return std::string("shutdown");
     if (queue_.empty())

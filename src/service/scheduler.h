@@ -27,6 +27,9 @@ namespace service {
  * Preemption triggers (polled by the engine at batch-commit
  * boundaries via McOptions::preempt, so suspending costs one
  * checkpoint save):
+ *  - "cancelled": the running job was flagged by flagCancel() (a
+ *                `cancel` request named it); the service emits the
+ *                terminal `cancelled` event and does not requeue;
  *  - "priority": a strictly higher-priority job is waiting;
  *  - "quantum":  the running slice has committed at least
  *                quantumTrials trials and an equal-priority job is
@@ -64,12 +67,30 @@ class Scheduler
     bool stopped() const;
 
     /**
-     * The preemption decision for a running slice: the reason to
-     * suspend now, or std::nullopt to keep running. `priority` is the
-     * running job's priority; `sliceTrials` the trials this slice has
-     * committed so far.
+     * Remove a still-queued job.
+     * @return true when `id` was waiting in the queue (it is gone and
+     *         will never be popped); false when no queued entry
+     *         carries that id (it may be the running job -- see
+     *         flagCancel -- or already finished).
      */
-    std::optional<std::string> shouldPreempt(int priority,
+    bool cancelQueued(const std::string& id);
+
+    /** Flag a (running) job for cancellation: its next shouldPreempt
+     *  poll returns "cancelled". The flag persists until consumed
+     *  with takeCancelFlag(). */
+    void flagCancel(const std::string& id);
+
+    /** Consume a cancel flag. @return true when `id` was flagged. */
+    bool takeCancelFlag(const std::string& id);
+
+    /**
+     * The preemption decision for a running slice: the reason to
+     * suspend now, or std::nullopt to keep running. `jobId` and
+     * `priority` identify the running job; `sliceTrials` is the
+     * trials this slice has committed so far.
+     */
+    std::optional<std::string> shouldPreempt(const std::string& jobId,
+                                             int priority,
                                              uint64_t sliceTrials) const;
 
     uint64_t quantumTrials() const { return quantumTrials_; }
@@ -91,6 +112,7 @@ class Scheduler
     const uint64_t quantumTrials_;
     mutable std::mutex mutex_;
     std::set<Entry> queue_;
+    std::set<std::string> cancelFlags_;
     uint64_t nextArrival_ = 0;
     bool stopped_ = false;
 };

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "compute/compute_backend.h"
+#include "compute/compute_registry.h"
+#include "core/generator_common.h"
+#include "decoder/decoder_factory.h"
+#include "dem/detector_model.h"
+#include "dem/sampler.h"
+#include "dem/shot_batch.h"
+#include "mc/monte_carlo.h"
+#include "util/rng.h"
+
+namespace vlq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry plumbing
+// ---------------------------------------------------------------------------
+
+TEST(ComputeRegistry, RoundTripsNamesAliasesAndKinds)
+{
+    ASSERT_GE(computeRegistry().size(), 2u);
+    for (const ComputeRegistration& entry : computeRegistry()) {
+        EXPECT_EQ(parseComputeKind(entry.name), entry.kind)
+            << entry.name;
+        EXPECT_STREQ(computeKindName(entry.kind), entry.name);
+        ASSERT_NE(entry.maker, nullptr) << entry.name;
+    }
+    EXPECT_EQ(parseComputeKind("SIMD"), ComputeKind::Simd);
+    EXPECT_EQ(parseComputeKind("Scalar"), ComputeKind::Scalar);
+    EXPECT_FALSE(parseComputeKind("gpu").has_value());
+    EXPECT_FALSE(parseComputeKind("").has_value());
+    EXPECT_EQ(computeKindList(), "scalar, simd");
+}
+
+TEST(ComputeRegistry, EnvKnobSelectsBackendOrDiesOnTypos)
+{
+    ::setenv("VLQ_COMPUTE_TESTVAR", "simd", 1);
+    EXPECT_EQ(computeKindFromEnv(ComputeKind::Scalar,
+                                 "VLQ_COMPUTE_TESTVAR"),
+              ComputeKind::Simd);
+    ::unsetenv("VLQ_COMPUTE_TESTVAR");
+    EXPECT_EQ(computeKindFromEnv(ComputeKind::Scalar,
+                                 "VLQ_COMPUTE_TESTVAR"),
+              ComputeKind::Scalar);
+    // A typo'd value must be a hard error listing the valid keys,
+    // never a silent fallback to some default backend.
+    ::setenv("VLQ_COMPUTE_TESTVAR", "smid", 1);
+    EXPECT_EXIT(computeKindFromEnv(ComputeKind::Scalar,
+                                   "VLQ_COMPUTE_TESTVAR"),
+                ::testing::ExitedWithCode(1),
+                "not a registered compute backend \\(valid: "
+                "scalar, simd\\)");
+    ::unsetenv("VLQ_COMPUTE_TESTVAR");
+}
+
+// ---------------------------------------------------------------------------
+// Randomized cross-backend fuzz: the determinism contract
+// ---------------------------------------------------------------------------
+
+/** One randomly drawn pipeline configuration. */
+struct FuzzDraw
+{
+    GeneratorConfig config;
+    EmbeddingKind embedding = EmbeddingKind::Baseline2D;
+    DecoderKind decoder = DecoderKind::Mwpm;
+    uint32_t batchSize = 256;
+    uint64_t seed = 0;
+};
+
+/**
+ * Draw a random but valid pipeline configuration. Deliberately spans
+ * the classifier's interesting regimes: small distances (lots of
+ * trivial/near-trivial syndromes), every registered decoder, batch
+ * sizes around the 64-shot word boundary, and sometimes biased or
+ * heralded-erasure noise (erased lanes must route to the general
+ * decoder identically on every backend).
+ */
+FuzzDraw
+drawPipeline(Rng& rng)
+{
+    FuzzDraw draw;
+    draw.config.distance = rng.nextBelow(2) == 0 ? 3 : 5;
+    double p = 2e-3 * (1.0 + 9.0 * rng.nextDouble());
+    draw.config.noise = NoiseModel::atPhysicalRate(
+        p, HardwareParams::transmonsWithMemory());
+    switch (rng.nextBelow(3)) {
+    case 0:
+        draw.embedding = EmbeddingKind::Baseline2D;
+        break;
+    case 1:
+        draw.embedding = EmbeddingKind::Compact;
+        break;
+    default:
+        draw.embedding = EmbeddingKind::CompactRect;
+        break;
+    }
+    if (rng.nextBelow(2) == 1)
+        draw.config.schedule = ExtractionSchedule::Interleaved;
+    if (rng.nextBelow(3) == 0)
+        draw.config.noise.bias = BiasedPauliSource{1.0, 1.0, 4.0};
+    if (rng.nextBelow(3) == 0) {
+        draw.config.noise.erasure.fraction = 0.3;
+        draw.config.noise.erasure.heralded = true;
+    }
+    const auto& decoders = decoderRegistry();
+    draw.decoder = decoders[rng.nextBelow(decoders.size())].kind;
+    const uint32_t sizes[] = {1, 7, 63, 64, 65, 130, 256};
+    draw.batchSize = sizes[rng.nextBelow(std::size(sizes))];
+    draw.seed = rng.nextU64();
+    return draw;
+}
+
+/** Expect two batches to hold bit-identical sampled words. */
+void
+expectBatchesIdentical(const ShotBatch& a, const ShotBatch& b,
+                       const DetectorErrorModel& dem, int iteration)
+{
+    ASSERT_EQ(a.numShots(), b.numShots());
+    ASSERT_EQ(a.wordsPerRow(), b.wordsPerRow());
+    const size_t rowBytes = a.wordsPerRow() * sizeof(uint64_t);
+    for (uint32_t d = 0; d < dem.numDetectors(); ++d)
+        ASSERT_EQ(std::memcmp(a.detectorRow(d), b.detectorRow(d),
+                              rowBytes),
+                  0)
+            << "iteration " << iteration << " detector row " << d;
+    for (uint32_t o = 0; o < dem.numObservables(); ++o)
+        ASSERT_EQ(std::memcmp(a.observableRow(o), b.observableRow(o),
+                              rowBytes),
+                  0)
+            << "iteration " << iteration << " observable row " << o;
+    for (uint32_t e = 0; e < a.numErasureSites(); ++e)
+        ASSERT_EQ(std::memcmp(a.erasureRow(e), b.erasureRow(e),
+                              rowBytes),
+                  0)
+            << "iteration " << iteration << " erasure row " << e;
+}
+
+TEST(ComputeFuzzTest, BackendsBitIdenticalOnRandomPipelines)
+{
+    Rng fuzz(0xf022ed5eed);
+    for (int iteration = 0; iteration < 10; ++iteration) {
+        FuzzDraw draw = drawPipeline(fuzz);
+        GeneratedCircuit gen =
+            generateMemoryCircuit(draw.embedding, draw.config);
+        DetectorErrorModel dem =
+            DetectorErrorModel::build(gen.circuit);
+        FaultSampler sampler(dem);
+        std::unique_ptr<Decoder> decA = makeDecoder(draw.decoder, dem);
+        std::unique_ptr<Decoder> decB = makeDecoder(draw.decoder, dem);
+        auto scalar = makeComputeBackend(ComputeKind::Scalar, dem,
+                                         sampler, *decA);
+        auto simd = makeComputeBackend(ComputeKind::Simd, dem, sampler,
+                                       *decB);
+        ASSERT_NE(scalar, nullptr);
+        ASSERT_NE(simd, nullptr);
+
+        const Rng root(draw.seed);
+        ShotBatch batchA;
+        ShotBatch batchB;
+        std::vector<uint32_t> predA;
+        std::vector<uint32_t> predB;
+        std::vector<uint64_t> failA;
+        std::vector<uint64_t> failB;
+        uint64_t totalShots = 0;
+        // Two consecutive batches so non-zero firstTrial is covered.
+        for (uint64_t begin : {uint64_t{0}, uint64_t{draw.batchSize}}) {
+            batchA.reset(dem.numDetectors(), dem.numObservables(),
+                         draw.batchSize, begin, dem.numErasureSites());
+            batchB.reset(dem.numDetectors(), dem.numObservables(),
+                         draw.batchSize, begin, dem.numErasureSites());
+            scalar->sampleBatch(root, batchA);
+            simd->sampleBatch(root, batchB);
+            expectBatchesIdentical(batchA, batchB, dem, iteration);
+
+            predA.assign(draw.batchSize, 0xdead);
+            predB.assign(draw.batchSize, 0xbeef);
+            scalar->decodeBatch(batchA, std::span<uint32_t>(predA));
+            simd->decodeBatch(batchB, std::span<uint32_t>(predB));
+            ASSERT_EQ(predA, predB) << "iteration " << iteration
+                                    << " batch at " << begin;
+
+            scalar->countFailures(batchA, predA, failA);
+            simd->countFailures(batchB, predB, failB);
+            ASSERT_EQ(failA, failB) << "iteration " << iteration
+                                    << " batch at " << begin;
+            totalShots += draw.batchSize;
+        }
+
+        // The routing buckets partition the decoded shots, on both
+        // backends; the scalar reference routes everything general.
+        for (const auto* backend : {scalar.get(), simd.get()}) {
+            ComputeBackend::Stats st = backend->stats();
+            EXPECT_EQ(st.shots, totalShots)
+                << backend->name() << " iteration " << iteration;
+            EXPECT_EQ(st.trivial + st.single + st.pair + st.general,
+                      st.shots)
+                << backend->name() << " iteration " << iteration;
+        }
+        ComputeBackend::Stats ref = scalar->stats();
+        EXPECT_EQ(ref.general, ref.shots);
+    }
+}
+
+TEST(ComputeFuzzTest, EndToEndCountsIdenticalAcrossBackends)
+{
+    Rng fuzz(0xc0dec0de);
+    for (int iteration = 0; iteration < 3; ++iteration) {
+        FuzzDraw draw = drawPipeline(fuzz);
+        McOptions scalarOpt;
+        scalarOpt.trials = 400;
+        scalarOpt.seed = draw.seed;
+        scalarOpt.threads = 1 + iteration; // vary threading too
+        scalarOpt.decoder = draw.decoder;
+        scalarOpt.batchSize = draw.batchSize;
+        scalarOpt.compute = ComputeKind::Scalar;
+        McOptions simdOpt = scalarOpt;
+        simdOpt.compute = ComputeKind::Simd;
+        simdOpt.threads = 4;
+
+        BinomialEstimate a = estimateLogicalErrorBasis(
+            draw.embedding, draw.config, scalarOpt);
+        BinomialEstimate b = estimateLogicalErrorBasis(
+            draw.embedding, draw.config, simdOpt);
+        EXPECT_EQ(a.trials, b.trials) << "iteration " << iteration;
+        EXPECT_EQ(a.successes, b.successes)
+            << "iteration " << iteration;
+    }
+}
+
+TEST(ComputeFuzzTest, EarlyStopIdenticalAcrossBackends)
+{
+    GeneratorConfig cfg;
+    cfg.distance = 3;
+    cfg.noise = NoiseModel::atPhysicalRate(
+        1.5e-2, HardwareParams::transmonsWithMemory());
+    McOptions scalarOpt;
+    scalarOpt.trials = 4000;
+    scalarOpt.seed = 7;
+    scalarOpt.targetFailures = 5;
+    scalarOpt.decoder = DecoderKind::UnionFind;
+    scalarOpt.compute = ComputeKind::Scalar;
+    McOptions simdOpt = scalarOpt;
+    simdOpt.compute = ComputeKind::Simd;
+
+    BinomialEstimate a = estimateLogicalErrorBasis(
+        EmbeddingKind::Baseline2D, cfg, scalarOpt);
+    BinomialEstimate b = estimateLogicalErrorBasis(
+        EmbeddingKind::Baseline2D, cfg, simdOpt);
+    ASSERT_EQ(a.successes, 5u);
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.successes, b.successes);
+}
+
+} // namespace
+} // namespace vlq

@@ -295,6 +295,84 @@ TEST(GeneratorRegistry, ShapeHooksResolvePatchDimensions)
     EXPECT_EQ(rect(7, 5, 9), (std::pair<int, int>{5, 9}));
 }
 
+TEST(GeneratorRegistry, BiasAwareRectShapeDerivesColumnsFromPauliMass)
+{
+    // A disabled (uniform) source keeps the 3-arg hook's answer
+    // bit-identically -- the historical narrow default.
+    BiasedPauliSource uniform;
+    EXPECT_EQ(compactRectPatchShape(7, 0, 0, uniform),
+              compactRectPatchShape(7, 0, 0));
+    EXPECT_EQ(compactRectPatchShape(11, 0, 0, uniform),
+              (std::pair<int, int>{3, 11}));
+    // Explicit overrides always win, bias or not.
+    BiasedPauliSource mild{1.0, 1.0, 4.0};
+    EXPECT_EQ(compactRectPatchShape(7, 5, 0, mild),
+              (std::pair<int, int>{5, 7}));
+    EXPECT_EQ(compactRectPatchShape(7, 5, 9, mild),
+              (std::pair<int, int>{5, 9}));
+    // Strong Z bias narrows to the 3-column floor.
+    BiasedPauliSource strong{0.005, 0.005, 0.99};
+    EXPECT_EQ(compactRectPatchShape(11, 0, 0, strong),
+              (std::pair<int, int>{3, 11}));
+    // Mild Z bias lands between floor and square, rounded up to odd:
+    // mZ = 2/3, mXY = 1/3, 11 * ln(2/3)/ln(1/3) = 4.06 -> 4 -> 5.
+    EXPECT_EQ(compactRectPatchShape(11, 0, 0, mild),
+              (std::pair<int, int>{5, 11}));
+    // X-leaning noise can shed no protection: the full square.
+    BiasedPauliSource xLeaning{4.0, 1.0, 1.0};
+    EXPECT_EQ(compactRectPatchShape(11, 0, 0, xLeaning),
+              (std::pair<int, int>{11, 11}));
+    // Degenerate all-Z noise pins the floor rather than dividing by
+    // ln(0).
+    BiasedPauliSource allZ{0.0, 0.0, 1.0};
+    EXPECT_EQ(compactRectPatchShape(11, 0, 0, allZ),
+              (std::pair<int, int>{3, 11}));
+}
+
+TEST(Generators, UniformBiasKeepsCompactRectCircuitBitIdentical)
+{
+    // The bias-aware default must not perturb uniform-noise runs: the
+    // implicit default circuit equals the explicit historical {3, d}
+    // patch on every structural diagnostic.
+    GeneratorConfig implicit = noisyConfig(
+        5, CheckBasis::Z, ExtractionSchedule::AllAtOnce, 2e-3);
+    GeneratorConfig pinned = implicit;
+    pinned.distanceX = 3;
+    pinned.distanceZ = 5;
+    GeneratedCircuit a = generateCompactRectMemory(implicit);
+    GeneratedCircuit b = generateCompactRectMemory(pinned);
+    EXPECT_EQ(a.circuit.numMeasurements(), b.circuit.numMeasurements());
+    EXPECT_EQ(a.circuit.detectors().size(),
+              b.circuit.detectors().size());
+    EXPECT_EQ(a.loadStoreCount, b.loadStoreCount);
+    EXPECT_DOUBLE_EQ(a.totalDurationNs, b.totalDurationNs);
+    EXPECT_DOUBLE_EQ(a.budget.total(), b.budget.total());
+}
+
+TEST(Generators, BiasedNoiseWidensTheDefaultRectPatch)
+{
+    // With a mild Z bias at d = 11 the default patch is 5 x 11 (see
+    // the shape test above); the generated circuit must match the
+    // explicitly-pinned 5 x 11 patch, not the uniform 3 x 11 one.
+    GeneratorConfig biased = noisyConfig(
+        11, CheckBasis::Z, ExtractionSchedule::AllAtOnce, 2e-3);
+    biased.noise.bias = BiasedPauliSource{1.0, 1.0, 4.0};
+    GeneratorConfig pinned = biased;
+    pinned.distanceX = 5;
+    pinned.distanceZ = 11;
+    GeneratorConfig narrow = biased;
+    narrow.distanceX = 3;
+    narrow.distanceZ = 11;
+    GeneratedCircuit implicitRect = generateCompactRectMemory(biased);
+    GeneratedCircuit wide = generateCompactRectMemory(pinned);
+    GeneratedCircuit narrowRect = generateCompactRectMemory(narrow);
+    EXPECT_EQ(implicitRect.circuit.numMeasurements(),
+              wide.circuit.numMeasurements());
+    EXPECT_EQ(implicitRect.loadStoreCount, wide.loadStoreCount);
+    EXPECT_NE(implicitRect.circuit.numMeasurements(),
+              narrowRect.circuit.numMeasurements());
+}
+
 TEST(GeneratorRegistry, ParsesAliasesCaseInsensitively)
 {
     EXPECT_EQ(parseEmbeddingKind("Baseline"), EmbeddingKind::Baseline2D);

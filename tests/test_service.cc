@@ -111,6 +111,42 @@ TEST(ServiceRequest, ShutdownVerb)
     EXPECT_EQ(parsed->kind, service::Request::Kind::Shutdown);
 }
 
+TEST(ServiceRequest, CancelVerb)
+{
+    std::string error;
+    auto parsed = service::parseRequestLine("cancel id=job-7", &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->kind, service::Request::Kind::Cancel);
+    EXPECT_EQ(parsed->cancelId, "job-7");
+
+    // Strictness: a garbled line must never cancel the wrong job.
+    EXPECT_FALSE(service::parseRequestLine("cancel", &error)
+                     .has_value());
+    EXPECT_FALSE(service::parseRequestLine("cancel id=", &error)
+                     .has_value());
+    EXPECT_FALSE(service::parseRequestLine("cancel job-7", &error)
+                     .has_value());
+    EXPECT_FALSE(
+        service::parseRequestLine("cancel id=a id=b", &error)
+            .has_value());
+}
+
+TEST(ServiceRequest, ComputeKeyRoundTripsOnlyWhenSet)
+{
+    // Default (inherit the server's ambient backend): the canonical
+    // line carries no compute= token, byte-compatible with older
+    // clients.
+    ScanJob job = smallJob("compute-rt");
+    EXPECT_EQ(job.requestLine().find("compute="), std::string::npos);
+
+    job.compute = "simd";
+    std::string error;
+    auto parsed = service::parseRequestLine(job.requestLine(), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->job.compute, "simd");
+    EXPECT_EQ(parsed->job.requestLine(), job.requestLine());
+}
+
 TEST(ServiceRequest, BadNumbersAreRejected)
 {
     std::string error;
@@ -153,6 +189,21 @@ TEST(ServiceValidation, RejectsBadEmbeddingWithRegistryListing)
     EXPECT_TRUE(
         anyProblemContains(problems, "unknown embedding 'toroidal'"));
     EXPECT_TRUE(anyProblemContains(problems, "registered embeddings:"));
+}
+
+TEST(ServiceValidation, RejectsBadComputeWithRegistryListing)
+{
+    ScanJob job = smallJob("bad-compute");
+    job.compute = "gpu";
+    auto problems = service::validateJob(job);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_TRUE(
+        anyProblemContains(problems, "unknown compute backend 'gpu'"));
+    EXPECT_TRUE(anyProblemContains(problems, "registered backends:"));
+    EXPECT_TRUE(anyProblemContains(problems, "scalar"));
+
+    job.compute = "simd"; // a registered name validates
+    EXPECT_TRUE(service::validateJob(job).empty());
 }
 
 TEST(ServiceValidation, RejectsBadDistanceViaGeneratorValidate)
@@ -230,25 +281,46 @@ TEST(ServiceScheduler, PreemptReasons)
 {
     Scheduler sched(1000);
     // Empty queue: nothing to yield to, whatever the slice size.
-    EXPECT_FALSE(sched.shouldPreempt(0, 999999).has_value());
+    EXPECT_FALSE(sched.shouldPreempt("run", 0, 999999).has_value());
 
     sched.push(smallJob("waiter"));
     // Equal priority, quantum not yet expired: keep running.
-    EXPECT_FALSE(sched.shouldPreempt(0, 999).has_value());
+    EXPECT_FALSE(sched.shouldPreempt("run", 0, 999).has_value());
     // Equal priority, quantum expired: round-robin yield.
-    ASSERT_TRUE(sched.shouldPreempt(0, 1000).has_value());
-    EXPECT_EQ(*sched.shouldPreempt(0, 1000), "quantum");
+    ASSERT_TRUE(sched.shouldPreempt("run", 0, 1000).has_value());
+    EXPECT_EQ(*sched.shouldPreempt("run", 0, 1000), "quantum");
     // Running job outranks the waiter: no quantum preemption.
-    EXPECT_FALSE(sched.shouldPreempt(5, 1000000).has_value());
+    EXPECT_FALSE(sched.shouldPreempt("run", 5, 1000000).has_value());
 
     ScanJob urgent = smallJob("urgent");
     urgent.priority = 50;
     sched.push(urgent);
-    ASSERT_TRUE(sched.shouldPreempt(5, 0).has_value());
-    EXPECT_EQ(*sched.shouldPreempt(5, 0), "priority");
+    ASSERT_TRUE(sched.shouldPreempt("run", 5, 0).has_value());
+    EXPECT_EQ(*sched.shouldPreempt("run", 5, 0), "priority");
 
     sched.stop();
-    EXPECT_EQ(*sched.shouldPreempt(100, 0), "shutdown");
+    EXPECT_EQ(*sched.shouldPreempt("run", 100, 0), "shutdown");
+}
+
+TEST(ServiceScheduler, CancelQueuedAndFlaggedRunning)
+{
+    Scheduler sched(1000);
+    sched.push(smallJob("a"));
+    sched.push(smallJob("b"));
+    EXPECT_TRUE(sched.cancelQueued("a"));
+    EXPECT_FALSE(sched.cancelQueued("a")) << "already removed";
+    EXPECT_EQ(sched.size(), 1u);
+    EXPECT_EQ(sched.pop()->id, "b");
+
+    // A flagged running job preempts with "cancelled", which outranks
+    // every other reason, and the flag persists until consumed.
+    sched.flagCancel("run");
+    sched.stop(); // even shutdown loses to cancellation
+    ASSERT_TRUE(sched.shouldPreempt("run", 0, 0).has_value());
+    EXPECT_EQ(*sched.shouldPreempt("run", 0, 0), "cancelled");
+    EXPECT_TRUE(sched.takeCancelFlag("run"));
+    EXPECT_FALSE(sched.takeCancelFlag("run")) << "flag must consume";
+    EXPECT_EQ(*sched.shouldPreempt("run", 0, 0), "shutdown");
 }
 
 // ---------------------------------------------------------------------
@@ -376,6 +448,49 @@ TEST(ServiceEndToEnd, DuplicateIdIsRejected)
     EXPECT_FALSE(svc.submit(smallJob("dup")));
     EXPECT_EQ(svc.queueDepth(), 1u);
 }
+
+TEST(ServiceEndToEnd, CancelQueuedJobIsImmediateAndTerminal)
+{
+    std::ostringstream out;
+    EventSink sink(&out);
+    JobServiceConfig cfg;
+    cfg.stateDir = tmpStateDir();
+    JobService svc(cfg, sink);
+
+    ScanJob keep = smallJob("cq-keep");
+    ScanJob drop = smallJob("cq-drop");
+    removeJobState(svc, keep.id);
+    removeJobState(svc, drop.id);
+    ASSERT_TRUE(svc.submit(keep));
+    ASSERT_TRUE(svc.submit(drop));
+    ASSERT_EQ(svc.queueDepth(), 2u);
+
+    // Unknown ids and double-cancels are errors, never silent.
+    EXPECT_FALSE(svc.cancel("never-submitted"));
+    EXPECT_TRUE(svc.submitLine("cancel id=cq-drop"));
+    EXPECT_EQ(svc.queueDepth(), 1u);
+    EXPECT_FALSE(svc.cancel(drop.id)) << "already terminal";
+
+    EXPECT_EQ(svc.runUntilDrained(), 0)
+        << "cancellation is not a failed job";
+
+    std::string lastDropEvent;
+    bool dropRan = false;
+    for (const std::string& line : splitLines(out.str())) {
+        if (field(line, "job") != drop.id)
+            continue;
+        lastDropEvent = field(line, "event");
+        if (lastDropEvent == "started" || lastDropEvent == "progress")
+            dropRan = true;
+        if (lastDropEvent == "cancelled") {
+            EXPECT_EQ(field(line, "stage"), "queued") << line;
+        }
+    }
+    EXPECT_FALSE(dropRan) << "cancelled while queued must never run";
+    EXPECT_EQ(lastDropEvent, "error") << "double cancel errors last";
+    removeJobState(svc, keep.id);
+}
+
 
 /**
  * The tentpole invariant: two interleaving jobs, forced through many
@@ -570,6 +685,52 @@ TEST(ServiceEndToEnd, ShutdownSuspendsAndASecondServiceResumes)
                   solo.successes);
     }
     EXPECT_TRUE(matched);
+    removeJobState(svc2, job.id);
+}
+
+TEST(ServiceEndToEnd, CancelRunningJobStopsAtBatchBoundary)
+{
+    JobServiceConfig cfg;
+    cfg.stateDir = tmpStateDir();
+    cfg.progressEveryTrials = 64;
+
+    ScanJob job = smallJob("cr");
+    job.trials = 900;
+    job.batchSize = 32;
+
+    JobService* running = nullptr;
+    TriggerStream out([&]() { running->cancel("cr"); });
+    EventSink sink(&out);
+    JobService svc(cfg, sink);
+    running = &svc;
+    removeJobState(svc, job.id);
+    ASSERT_TRUE(svc.submit(job));
+    EXPECT_EQ(svc.runUntilDrained(), 0);
+    running = nullptr;
+
+    std::string lastEvent;
+    for (const std::string& line : splitLines(out.str())) {
+        if (field(line, "job") != job.id)
+            continue;
+        lastEvent = field(line, "event");
+        if (lastEvent == "cancelled") {
+            EXPECT_EQ(field(line, "stage"), "running") << line;
+        }
+    }
+    EXPECT_EQ(lastEvent, "cancelled")
+        << "terminal event must be 'cancelled', stream:\n" << out.str();
+
+    // The frontier survives: a later session resumes the job and its
+    // final counts match a solo uninterrupted run bit-identically.
+    std::ostringstream out2;
+    EventSink sink2(&out2);
+    JobService svc2(cfg, sink2);
+    ASSERT_TRUE(svc2.submit(job));
+    ASSERT_EQ(svc2.runUntilDrained(), 0);
+    EXPECT_NE(out2.str().find("\"event\":\"resumed\""),
+              std::string::npos)
+        << out2.str();
+    EXPECT_NE(out2.str().find("\"event\":\"done\""), std::string::npos);
     removeJobState(svc2, job.id);
 }
 

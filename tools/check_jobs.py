@@ -5,7 +5,9 @@ Checks the guarantees docs/job-protocol.md declares normative, not the
 values: every line is one JSON object carrying the schema tag, seq is
 strictly increasing and t non-decreasing within a session, each job's
 events follow the lifecycle state machine (queued -> started/resumed
--> progress*/point_done* -> preempted/resumed cycles -> done|error),
+-> progress*/point_done* -> preempted/resumed cycles ->
+done|error|cancelled),
+a `cancelled` event is terminal and only legal from a live state,
 and the job-level trials_done counter is monotone -- including ACROSS
 sessions, which is how CI turns "SIGKILL the server, rerun, resume"
 into a checkable property. Pass the per-session event files in the
@@ -28,11 +30,16 @@ import sys
 
 SCHEMA = "vlq-scan-job/1"
 EVENTS = {"queued", "started", "resumed", "progress", "point_done",
-          "preempted", "resumed", "done", "error"}
-TERMINAL = {"done", "error"}
+          "preempted", "cancelled", "done", "error"}
+TERMINAL = {"done", "error", "cancelled"}
 # Legal (previous state -> event) transitions within one session.
 # State None = job unseen this session.
 RUNNING_EVENTS = {"progress", "point_done", "preempted", "done"}
+# 'cancelled' is terminal from any live state: queued (removed before
+# running), any running state (preempted at a batch boundary), or
+# preempted (cancelled while requeued).
+CANCELLABLE = {"queued", "started", "resumed", "progress",
+               "point_done", "preempted"}
 
 
 class Checker:
@@ -113,6 +120,10 @@ def check_transition(ck, ctx, state, event):
                  ("started", "resumed", "progress", "point_done"),
                  f"{ctx}: {event!r} while job is "
                  f"{job_states.get(ctx.job)!r}, not running")
+    elif event == "cancelled":
+        ck.check(job_states.get(ctx.job) in CANCELLABLE,
+                 f"{ctx}: 'cancelled' while job is "
+                 f"{job_states.get(ctx.job)!r}, not live")
     elif event == "error":
         # Terminal at any time: rejected submissions error before
         # 'queued', checkpoint mismatches error after it.
@@ -241,6 +252,10 @@ def check_file(ck, path, history, session_index):
                      ("priority", "quantum", "shutdown"),
                      f"{ctx}: bad preempted reason "
                      f"{obj.get('reason')!r}")
+        elif event == "cancelled":
+            ck.check(obj.get("stage") in ("queued", "running"),
+                     f"{ctx}: bad cancelled stage "
+                     f"{obj.get('stage')!r}")
         elif event == "error":
             ck.check(isinstance(obj.get("code"), str) and obj["code"],
                      f"{ctx}: error without a code")
