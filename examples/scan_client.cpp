@@ -12,6 +12,7 @@
  *     [--ps 3e-3,...] [--trials <n>] [--seed <n>] [--decoder <name>]
  *     [--batch <n>] [--target <n>] [--compute <name>] [--dry-run]
  *   scan_client cancel --requests <path|-> --id <id>
+ *   scan_client requeue --requests <path|-> --id <id>
  *   scan_client shutdown --requests <path|->
  *   scan_client watch --events <path|-> [--job <id>]
  *
@@ -43,7 +44,7 @@ int
 usage(std::ostream& os, const char* argv0)
 {
     os << "usage: " << argv0
-       << " <submit|cancel|shutdown|watch> [flags]\n"
+       << " <submit|cancel|requeue|shutdown|watch> [flags]\n"
           "  submit --requests <path|-> --id <id>\n"
           "    [--priority <-100..100>] [--setup <0..4>]"
           " [--embedding <name>]\n"
@@ -53,6 +54,7 @@ usage(std::ostream& os, const char* argv0)
           " [--batch <n>]\n"
           "    [--target <n>] [--compute <name>] [--dry-run]\n"
           "  cancel --requests <path|-> --id <id>\n"
+          "  requeue --requests <path|-> --id <id>\n"
           "  shutdown --requests <path|->\n"
           "  watch --events <path|-> [--job <id>]\n";
     return 1;
@@ -228,6 +230,9 @@ runWatch(const std::string& eventsPath, const std::string& jobFilter)
                               ? " (cached)" : "");
         else if (event == "preempted")
             std::cout << " reason=" << fieldString(line, "reason");
+        else if (event == "requeued")
+            std::cout << " queue_depth="
+                      << fieldRaw(line, "queue_depth");
         else if (event == "cancelled")
             std::cout << " stage=" << fieldString(line, "stage");
         else if (event == "error") {
@@ -282,16 +287,17 @@ main(int argc, char** argv)
 
     if (command == "submit")
         return runSubmit(flags, dryRun);
-    if (command == "cancel") {
+    if (command == "cancel" || command == "requeue") {
         const std::string path = flagValue("--requests");
         const std::string id = flagValue("--id");
         if (path.empty() || id.empty()) {
-            std::cerr << "error: cancel needs --requests and --id\n";
+            std::cerr << "error: " << command
+                      << " needs --requests and --id\n";
             return 1;
         }
         // Reuse the wire-grammar parser so a malformed id (spaces,
         // '=') fails here instead of as a server-side error event.
-        const std::string line = "cancel id=" + id;
+        const std::string line = command + " id=" + id;
         std::string problem;
         if (!service::parseRequestLine(line, &problem)) {
             std::cerr << "error: " << problem << "\n";

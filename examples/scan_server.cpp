@@ -58,6 +58,7 @@ usage(std::ostream& os, const char* argv0)
           "    [decoder=<name>] [batch=<n>] [target=<n>]\n"
           "    [compute=<name>]\n"
           "  cancel id=<id>\n"
+          "  requeue id=<id>\n"
           "  shutdown\n";
     return 1;
 }

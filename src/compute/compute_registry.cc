@@ -1,7 +1,5 @@
 #include "compute/compute_registry.h"
 
-#include <cstdio>
-
 #include "util/env.h"
 #include "util/logging.h"
 
@@ -116,11 +114,10 @@ computeKindFromEnv(ComputeKind fallback, const char* variable)
         return fallback;
     std::optional<ComputeKind> kind = parseComputeKind(value);
     if (!kind) {
-        std::fprintf(
-            stderr,
-            "%s=%s is not a registered compute backend (valid: %s)\n",
-            variable, value.c_str(), computeKindList().c_str());
-        VLQ_FATAL("unknown compute backend in environment");
+        const std::string msg = std::string(variable) + "=" + value
+            + " is not a registered compute backend (valid: "
+            + computeKindList() + ")";
+        VLQ_FATAL(msg.c_str());
     }
     return *kind;
 }

@@ -1,7 +1,5 @@
 #include "core/generator_registry.h"
 
-#include <cstdio>
-
 #include "util/env.h"
 #include "util/logging.h"
 
@@ -159,12 +157,10 @@ embeddingKindFromEnv(EmbeddingKind fallback, const char* variable)
         return fallback;
     std::optional<EmbeddingKind> kind = parseEmbeddingKind(value);
     if (!kind) {
-        std::fprintf(stderr,
-                     "%s=%s is not a registered embedding backend "
-                     "(valid: %s)\n",
-                     variable, value.c_str(),
-                     embeddingKindList().c_str());
-        VLQ_FATAL("unknown embedding backend in environment");
+        const std::string msg = std::string(variable) + "=" + value
+            + " is not a registered embedding backend (valid: "
+            + embeddingKindList() + ")";
+        VLQ_FATAL(msg.c_str());
     }
     return *kind;
 }

@@ -1,6 +1,5 @@
 #include "decoder/decoder_factory.h"
 
-#include <cstdio>
 #include <string>
 
 #include "decoder/mwpm_decoder.h"
@@ -125,11 +124,10 @@ decoderKindFromEnv(DecoderKind fallback, const char* variable)
         return fallback;
     std::optional<DecoderKind> kind = parseDecoderKind(value);
     if (!kind) {
-        std::fprintf(stderr,
-                     "%s=%s is not a registered decoder (valid: %s)\n",
-                     variable, value.c_str(),
-                     decoderKindList().c_str());
-        VLQ_FATAL("unknown decoder backend in environment");
+        const std::string msg = std::string(variable) + "=" + value
+            + " is not a registered decoder (valid: "
+            + decoderKindList() + ")";
+        VLQ_FATAL(msg.c_str());
     }
     return *kind;
 }

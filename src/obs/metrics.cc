@@ -104,10 +104,11 @@ class Registry
         if (it != names.end())
             return it->second;
         if (names.size() >= cap) {
-            std::fprintf(stderr, "obs: too many %s metrics (cap %u) "
-                         "registering '%.*s'\n", kind, cap,
-                         static_cast<int>(name.size()), name.data());
-            VLQ_FATAL("obs metric capacity exceeded");
+            const std::string msg = "obs: too many "
+                + std::string(kind) + " metrics (cap "
+                + std::to_string(cap) + ") registering '"
+                + std::string(name) + "'";
+            VLQ_FATAL(msg.c_str());
         }
         uint32_t id = static_cast<uint32_t>(names.size());
         names.emplace(std::string(name), id);

@@ -110,6 +110,14 @@ EventSink::preempted(const std::string& jobId, const std::string& reason,
 }
 
 void
+EventSink::requeued(const std::string& jobId, size_t queueDepth)
+{
+    std::ostringstream os;
+    os << "\"queue_depth\":" << queueDepth;
+    emit("requeued", jobId, os.str());
+}
+
+void
 EventSink::cancelled(const std::string& jobId, const std::string& stage)
 {
     std::ostringstream os;

@@ -80,6 +80,13 @@ class EventSink
                    uint64_t jobTrialsDone);
 
     /**
+     * A `requeue` request rotated a still-queued job behind its
+     * equal-priority peers (fresh arrival stamp). Non-terminal: the
+     * job is still queued and will run later this session.
+     */
+    void requeued(const std::string& jobId, size_t queueDepth);
+
+    /**
      * Terminal cancellation (a `cancel` request named the job).
      * `stage` is "queued" (removed before it ever ran this session)
      * or "running" (preempted at a batch boundary, frontier saved --

@@ -226,21 +226,23 @@ parseRequestLine(const std::string& line, std::string* error)
         request.kind = Request::Kind::Shutdown;
         return request;
     }
-    if (tokens[0] == "cancel") {
-        // Deliberately strict: exactly `cancel id=<id>`, so a garbled
-        // line can never cancel the wrong job.
+    if (tokens[0] == "cancel" || tokens[0] == "requeue") {
+        // Deliberately strict: exactly `<verb> id=<id>`, so a garbled
+        // line can never cancel (or rotate) the wrong job.
         if (tokens.size() != 2 || tokens[1].rfind("id=", 0) != 0
             || tokens[1].size() == 3) {
-            fail(error, "cancel takes exactly one argument: id=<id>");
+            fail(error, tokens[0]
+                 + " takes exactly one argument: id=<id>");
             return std::nullopt;
         }
-        request.kind = Request::Kind::Cancel;
-        request.cancelId = tokens[1].substr(3);
+        request.kind = tokens[0] == "cancel" ? Request::Kind::Cancel
+                                             : Request::Kind::Requeue;
+        request.targetId = tokens[1].substr(3);
         return request;
     }
     if (tokens[0] != "submit") {
         fail(error, "unknown request verb '" + tokens[0]
-             + "' (valid: submit, cancel, shutdown)");
+             + "' (valid: submit, cancel, requeue, shutdown)");
         return std::nullopt;
     }
     request.kind = Request::Kind::Submit;

@@ -87,15 +87,15 @@ std::vector<double> defaultPhysicalPs();
 /** One parsed request line of the vlq-scan-job/1 wire protocol. */
 struct Request
 {
-    enum class Kind : uint8_t { Submit, Shutdown, Cancel };
+    enum class Kind : uint8_t { Submit, Shutdown, Cancel, Requeue };
     Kind kind = Kind::Submit;
     ScanJob job;          // meaningful when kind == Submit
-    std::string cancelId; // meaningful when kind == Cancel
+    std::string targetId; // meaningful when kind == Cancel | Requeue
 };
 
 /**
  * Parse one request line: `submit key=value ...`, `cancel id=<id>`,
- * or `shutdown`.
+ * `requeue id=<id>`, or `shutdown`.
  * Blank lines and `#` comments parse to std::nullopt with *error left
  * empty; malformed lines (unknown verb or key, bad number, missing
  * id) parse to std::nullopt with *error describing the problem.

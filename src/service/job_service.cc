@@ -127,7 +127,9 @@ JobService::submitLine(const std::string& line)
         return true;
     }
     if (request->kind == Request::Kind::Cancel)
-        return cancel(request->cancelId);
+        return cancel(request->targetId);
+    if (request->kind == Request::Kind::Requeue)
+        return requeue(request->targetId);
     return submit(request->job);
 }
 
@@ -167,6 +169,38 @@ JobService::cancel(const std::string& jobId)
     events_.error(jobId, kErrBadRequest,
                   "cancel of job '" + jobId
                   + "': not queued or running (already finished?)");
+    if (obs::metricsEnabled())
+        obs::Counter::get("service.jobs_rejected").add(1);
+    return false;
+}
+
+bool
+JobService::requeue(const std::string& jobId)
+{
+    {
+        std::lock_guard<std::mutex> lock(submitMutex_);
+        if (!knownIds_.count(jobId)) {
+            events_.error(jobId, kErrBadRequest,
+                          "requeue of unknown job id '" + jobId
+                          + "': not submitted in this session");
+            if (obs::metricsEnabled())
+                obs::Counter::get("service.jobs_rejected").add(1);
+            return false;
+        }
+    }
+    // The scheduler holds the only queue-position state; a running or
+    // terminal id simply is not in the queue. (A running job's arrival
+    // is re-stamped anyway when it is preempted and requeued.)
+    if (scheduler_.requeue(jobId)) {
+        events_.requeued(jobId, scheduler_.size());
+        if (obs::metricsEnabled())
+            obs::Counter::get("service.jobs_requeued").add(1);
+        return true;
+    }
+    events_.error(jobId, kErrBadRequest,
+                  "requeue of job '" + jobId
+                  + "': not waiting in the queue (running or already "
+                    "finished?)");
     if (obs::metricsEnabled())
         obs::Counter::get("service.jobs_rejected").add(1);
     return false;

@@ -100,6 +100,16 @@ class JobService
      */
     bool cancel(const std::string& jobId);
 
+    /**
+     * Rotate a still-queued job of this session behind its
+     * equal-priority peers (fresh arrival stamp; `requeue` request
+     * verb). Emits a non-terminal `requeued` event on success. The
+     * running job has no queue position -- requeueing it (or an
+     * unknown/terminal id) emits a `bad_request` error event.
+     * @return true when a queued job was rotated.
+     */
+    bool requeue(const std::string& jobId);
+
     /** Stop after the running job's next batch boundary; queued jobs
      *  stay suspended in their checkpoints. */
     void requestShutdown();

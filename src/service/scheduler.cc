@@ -77,6 +77,21 @@ Scheduler::cancelQueued(const std::string& id)
     return false;
 }
 
+bool
+Scheduler::requeue(const std::string& id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->job.id == id) {
+            Entry entry{it->job, nextArrival_++};
+            queue_.erase(it);
+            queue_.insert(std::move(entry));
+            return true;
+        }
+    }
+    return false;
+}
+
 void
 Scheduler::flagCancel(const std::string& id)
 {

@@ -75,6 +75,17 @@ class Scheduler
      */
     bool cancelQueued(const std::string& id);
 
+    /**
+     * Re-stamp a queued job's arrival (the `requeue` request verb):
+     * the job moves behind every waiter of its priority level, as if
+     * it had just been pushed -- the same fair-share rotation a
+     * quantum-expiry preemption performs, but client-driven.
+     * @return true when `id` was waiting in the queue; false when no
+     *         queued entry carries that id (running or finished jobs
+     *         have no queue position to rotate).
+     */
+    bool requeue(const std::string& id);
+
     /** Flag a (running) job for cancellation: its next shouldPreempt
      *  poll returns "cancelled". The flag persists until consumed
      *  with takeCancelFlag(). */

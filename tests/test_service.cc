@@ -117,7 +117,7 @@ TEST(ServiceRequest, CancelVerb)
     auto parsed = service::parseRequestLine("cancel id=job-7", &error);
     ASSERT_TRUE(parsed.has_value()) << error;
     EXPECT_EQ(parsed->kind, service::Request::Kind::Cancel);
-    EXPECT_EQ(parsed->cancelId, "job-7");
+    EXPECT_EQ(parsed->targetId, "job-7");
 
     // Strictness: a garbled line must never cancel the wrong job.
     EXPECT_FALSE(service::parseRequestLine("cancel", &error)
@@ -128,6 +128,24 @@ TEST(ServiceRequest, CancelVerb)
                      .has_value());
     EXPECT_FALSE(
         service::parseRequestLine("cancel id=a id=b", &error)
+            .has_value());
+}
+
+TEST(ServiceRequest, RequeueVerb)
+{
+    std::string error;
+    auto parsed = service::parseRequestLine("requeue id=job-9", &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->kind, service::Request::Kind::Requeue);
+    EXPECT_EQ(parsed->targetId, "job-9");
+
+    // Same strictness as cancel: never rotate the wrong job.
+    EXPECT_FALSE(service::parseRequestLine("requeue", &error)
+                     .has_value());
+    EXPECT_FALSE(service::parseRequestLine("requeue id=", &error)
+                     .has_value());
+    EXPECT_FALSE(
+        service::parseRequestLine("requeue id=a id=b", &error)
             .has_value());
 }
 
@@ -275,6 +293,27 @@ TEST(ServiceScheduler, RequeueGoesBehindEqualPriorityPeers)
     sched.push(first); // preempted: fresh arrival stamp
     EXPECT_EQ(sched.pop()->id, "second") << "round-robin broken";
     EXPECT_EQ(sched.pop()->id, "first");
+}
+
+TEST(ServiceScheduler, RequeueVerbRestampsArrival)
+{
+    Scheduler sched;
+    sched.push(smallJob("first"));
+    sched.push(smallJob("second"));
+    ScanJob high = smallJob("high");
+    high.priority = 10;
+    sched.push(high);
+
+    // Client-driven rotation: "first" moves behind its equal-priority
+    // peer, but never behind (or ahead of) another priority level.
+    EXPECT_TRUE(sched.requeue("first"));
+    EXPECT_EQ(sched.pop()->id, "high");
+    EXPECT_EQ(sched.pop()->id, "second");
+    EXPECT_EQ(sched.pop()->id, "first");
+
+    // Ids without a queue position cannot rotate.
+    EXPECT_FALSE(sched.requeue("first")) << "no longer queued";
+    EXPECT_FALSE(sched.requeue("never-submitted"));
 }
 
 TEST(ServiceScheduler, PreemptReasons)
@@ -489,6 +528,53 @@ TEST(ServiceEndToEnd, CancelQueuedJobIsImmediateAndTerminal)
     EXPECT_FALSE(dropRan) << "cancelled while queued must never run";
     EXPECT_EQ(lastDropEvent, "error") << "double cancel errors last";
     removeJobState(svc, keep.id);
+}
+
+TEST(ServiceEndToEnd, RequeueRotatesQueuedJobBehindItsPeer)
+{
+    std::ostringstream out;
+    EventSink sink(&out);
+    JobServiceConfig cfg;
+    cfg.stateDir = tmpStateDir();
+    JobService svc(cfg, sink);
+
+    ScanJob first = smallJob("rq-first");
+    ScanJob second = smallJob("rq-second");
+    second.seed = 23;
+    removeJobState(svc, first.id);
+    removeJobState(svc, second.id);
+    ASSERT_TRUE(svc.submit(first));
+    ASSERT_TRUE(svc.submit(second));
+
+    // Unknown ids error; a known queued id rotates via the wire verb.
+    EXPECT_FALSE(svc.requeue("never-submitted"));
+    EXPECT_TRUE(svc.submitLine("requeue id=rq-first"));
+    EXPECT_EQ(svc.queueDepth(), 2u) << "requeue never drops a job";
+
+    ASSERT_EQ(svc.runUntilDrained(), 0);
+
+    // The rotated job must still finish -- after its untouched peer.
+    std::vector<std::string> started;
+    bool sawRequeued = false;
+    for (const std::string& line : splitLines(out.str())) {
+        std::string event = field(line, "event");
+        if (event == "started")
+            started.push_back(field(line, "job"));
+        if (event == "requeued") {
+            sawRequeued = true;
+            EXPECT_EQ(field(line, "job"), first.id) << line;
+            EXPECT_EQ(field(line, "queue_depth"), "2") << line;
+        }
+    }
+    EXPECT_TRUE(sawRequeued);
+    ASSERT_EQ(started.size(), 2u);
+    EXPECT_EQ(started[0], second.id);
+    EXPECT_EQ(started[1], first.id);
+
+    // Terminal ids have no queue position left to rotate.
+    EXPECT_FALSE(svc.requeue(first.id));
+    removeJobState(svc, first.id);
+    removeJobState(svc, second.id);
 }
 
 

@@ -4,9 +4,9 @@
 Checks the guarantees docs/job-protocol.md declares normative, not the
 values: every line is one JSON object carrying the schema tag, seq is
 strictly increasing and t non-decreasing within a session, each job's
-events follow the lifecycle state machine (queued -> started/resumed
--> progress*/point_done* -> preempted/resumed cycles ->
-done|error|cancelled),
+events follow the lifecycle state machine (queued -> requeued* ->
+started/resumed -> progress*/point_done* -> preempted/resumed cycles
+-> done|error|cancelled),
 a `cancelled` event is terminal and only legal from a live state,
 and the job-level trials_done counter is monotone -- including ACROSS
 sessions, which is how CI turns "SIGKILL the server, rerun, resume"
@@ -30,16 +30,21 @@ import sys
 
 SCHEMA = "vlq-scan-job/1"
 EVENTS = {"queued", "started", "resumed", "progress", "point_done",
-          "preempted", "cancelled", "done", "error"}
+          "preempted", "requeued", "cancelled", "done", "error"}
 TERMINAL = {"done", "error", "cancelled"}
 # Legal (previous state -> event) transitions within one session.
 # State None = job unseen this session.
 RUNNING_EVENTS = {"progress", "point_done", "preempted", "done"}
+# States in which the job is waiting in the queue: a `requeue` request
+# may rotate it (non-terminal 'requeued'), and work may begin from it.
+# 'preempted' counts because a preempted job is silently pushed back
+# (no second 'queued' line).
+WAITING = {"queued", "requeued", "preempted"}
 # 'cancelled' is terminal from any live state: queued (removed before
 # running), any running state (preempted at a batch boundary), or
-# preempted (cancelled while requeued).
+# preempted/requeued (cancelled while waiting in the queue).
 CANCELLABLE = {"queued", "started", "resumed", "progress",
-               "point_done", "preempted"}
+               "point_done", "preempted", "requeued"}
 
 
 class Checker:
@@ -106,15 +111,20 @@ def check_transition(ck, ctx, state, event):
     elif event == "started":
         # Requeue after preemption emits no second 'queued', so a
         # preempted job comes back with 'resumed', never 'started'.
-        ck.check(job_states.get(ctx.job) == "queued",
+        ck.check(job_states.get(ctx.job) in ("queued", "requeued"),
                  f"{ctx}: 'started' after "
                  f"{job_states.get(ctx.job)!r} (expected after "
-                 f"'queued')")
+                 f"'queued' or 'requeued')")
     elif event == "resumed":
-        ck.check(job_states.get(ctx.job) in ("queued", "preempted"),
+        ck.check(job_states.get(ctx.job) in WAITING,
                  f"{ctx}: 'resumed' after "
                  f"{job_states.get(ctx.job)!r} (expected after "
-                 f"'queued' or 'preempted')")
+                 f"'queued', 'requeued' or 'preempted')")
+    elif event == "requeued":
+        ck.check(job_states.get(ctx.job) in WAITING,
+                 f"{ctx}: 'requeued' while job is "
+                 f"{job_states.get(ctx.job)!r}, not waiting in the "
+                 f"queue")
     elif event in RUNNING_EVENTS:
         ck.check(job_states.get(ctx.job) in
                  ("started", "resumed", "progress", "point_done"),
@@ -252,6 +262,11 @@ def check_file(ck, path, history, session_index):
                      ("priority", "quantum", "shutdown"),
                      f"{ctx}: bad preempted reason "
                      f"{obj.get('reason')!r}")
+        elif event == "requeued":
+            ck.check(isinstance(obj.get("queue_depth"), int)
+                     and not isinstance(obj.get("queue_depth"), bool)
+                     and obj["queue_depth"] >= 1,
+                     f"{ctx}: requeued without a positive queue_depth")
         elif event == "cancelled":
             ck.check(obj.get("stage") in ("queued", "running"),
                      f"{ctx}: bad cancelled stage "

@@ -1,0 +1,16 @@
+// Deliberately-bad snippet: raw environment access outside
+// src/util/env.cc must fire [raw-getenv].
+#include <cstdlib>
+
+int
+threadCount()
+{
+    const char* value = std::getenv("VLQ_THREADS");
+    return value ? atoi(value) : 0;
+}
+
+void
+forceBackend()
+{
+    setenv("VLQ_COMPUTE", "simd", 1);
+}

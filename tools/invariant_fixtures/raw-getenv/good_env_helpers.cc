@@ -1,0 +1,19 @@
+// Known-good snippet: env access through the util/env helpers, plus
+// prose and strings that merely *mention* getenv (must not fire).
+#include "util/env.h"
+
+// The env layer wraps getenv("...") so malformed values warn once.
+int
+threadCount()
+{
+    return static_cast<int>(vlq::envInt("VLQ_THREADS", 0));
+}
+
+const char*
+docs()
+{
+    return "set VLQ_THREADS; we never call getenv( directly";
+}
+
+// lint-allow: raw-getenv (fixture: annotated escape hatch is honored)
+void* annotated = nullptr; // would-be getenv( site

@@ -1,0 +1,10 @@
+// Deliberately-bad snippet: raw stderr writes in library code must
+// fire [raw-stderr].
+#include <cstdio>
+
+void
+warnDirectly(int shots)
+{
+    std::fprintf(stderr, "suspicious shot count %d\n", shots);
+    fputs("second channel\n", stderr);
+}

@@ -1,0 +1,23 @@
+// Known-good snippet: the logging macros, stdout tables, and prose
+// about fprintf(stderr, ...) -- none may fire.
+#include <cstdio>
+
+#include "util/logging.h"
+
+void
+warnProperly(int shots)
+{
+    if (shots < 0)
+        VLQ_WARN_ONCE("negative shot count clamped");
+    // Writing *stdout* is the CLIs' result channel, not logging:
+    std::fprintf(stdout, "shots=%d\n", shots);
+    std::printf("done\n");
+}
+
+const char*
+prose()
+{
+    // A comment describing fprintf(stderr, "...") must not fire, and
+    // neither must this string literal:
+    return "never call fprintf(stderr, ...) in library code";
+}

@@ -1,0 +1,16 @@
+// Deliberately-bad fixture: a registry list whose `phantom-decoder`
+// entry appears in no documentation -- the registry-docs self-test
+// extracts these names and checks them against good_readme.md.
+#include <vector>
+
+struct DecoderRegistration;
+
+static std::vector<int>
+fixtureRegistry()
+{
+    // Mirrors the real registration-list shape the extraction regex
+    // matches:
+    // {DecoderKind::Mwpm, "mwpm", "blossom matching", makeMwpm},
+    // {DecoderKind::Phantom, "phantom-decoder", "", makePhantom},
+    return {};
+}

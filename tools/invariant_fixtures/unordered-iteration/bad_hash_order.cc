@@ -1,0 +1,23 @@
+// Deliberately-bad snippet: loops over unordered containers without
+// an annotation must fire [unordered-iteration].
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+void
+dumpCounts(const std::unordered_map<int, long>& counts)
+{
+    std::unordered_map<int, long> local = counts;
+    for (const auto& [key, value] : local)
+        std::printf("%d,%ld\n", key, value); // hash-order CSV!
+}
+
+long
+sumViaIterators()
+{
+    std::unordered_set<long> seen;
+    long total = 0;
+    for (auto it = seen.begin(); it != seen.end(); ++it)
+        total += *it;
+    return total;
+}

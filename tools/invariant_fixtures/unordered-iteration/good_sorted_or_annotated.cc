@@ -1,0 +1,34 @@
+// Known-good snippet: ordered containers, lookups into unordered
+// ones, and an annotated order-free reduction -- none may fire.
+#include <map>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+long
+lookupOnly(const std::unordered_map<int, long>& cache, int key)
+{
+    auto it = cache.find(key); // point lookup, no iteration
+    return it == cache.end() ? 0 : it->second;
+}
+
+long
+sortedDump(const std::unordered_map<int, long>& counts)
+{
+    // Copy into an ordered map before anything order-sensitive.
+    std::map<int, long> sorted(counts.begin(), counts.end());
+    long total = 0;
+    for (const auto& [key, value] : sorted)
+        total += key + value;
+    return total;
+}
+
+long
+annotatedReduction(const std::unordered_map<int, long>& counts)
+{
+    long total = 0;
+    // lint-allow: unordered-iteration (commutative sum; order-free)
+    for (const auto& [key, value] : counts)
+        total += value;
+    return total + static_cast<long>(counts.size());
+}

@@ -1,0 +1,19 @@
+// Deliberately-bad snippet: libc entropy / wall-clock seeding must
+// fire [wallclock-entropy].
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned
+badSeed()
+{
+    srand(static_cast<unsigned>(time(nullptr)));
+    return static_cast<unsigned>(rand());
+}
+
+std::mt19937
+badEngine()
+{
+    std::random_device entropy;
+    return std::mt19937(entropy());
+}

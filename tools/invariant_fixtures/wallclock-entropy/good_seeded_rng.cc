@@ -1,0 +1,30 @@
+// Known-good snippet: seeded RNG streams and chrono clocks (the
+// heartbeat path) -- none of these may fire.
+#include <chrono>
+#include <cstdint>
+
+// Comment prose: relaxation time (ns) and rand() discussion is fine.
+uint64_t
+trialStream(uint64_t seed, uint64_t trial)
+{
+    // splitmix-style derivation: entropy comes from the run seed.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull * (trial + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    return z ^ (z >> 27);
+}
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+// Identifiers merely containing the tokens must not fire either.
+int runtime_ = 0;
+int
+run_time(int x)
+{
+    return x + runtime_;
+}

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Parallel clang-tidy runner with a checked-in baseline diff.
+
+Runs the repository's curated `.clang-tidy` profile over every
+first-party translation unit in a CMake compile_commands.json and
+fails only on diagnostics that are NOT in tools/tidy-baseline.json.
+That makes the gate incremental: enabling a new check (or upgrading
+clang-tidy) never demands a flag-day cleanup -- the existing findings
+are captured in the baseline with --update-baseline, CI holds the
+line at "no new diagnostics", and the backlog burns down over time
+(shrinking the baseline is always legal; growing it needs a reviewed
+baseline update in the same PR).
+
+Baseline matching is by (file, check, message), deliberately NOT by
+line number: unrelated edits shift lines constantly, and a baseline
+that rots on every edit would train people to rubber-stamp updates.
+Duplicate findings are counted, so adding a second instance of an
+already-baselined diagnostic still fails.
+
+Usage:
+    run_tidy.py --build <dir-with-compile_commands.json>
+        [--baseline tools/tidy-baseline.json] [--update-baseline]
+        [--jobs N] [--clang-tidy <binary>] [--require]
+
+Exit status: 0 when clean against the baseline (or when clang-tidy
+is not installed and --require was not given -- local trees build
+with gcc only; the tidy toolchain lives in CI), 1 on new diagnostics
+or tool failure.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+# One first-party source root per element; everything else in the
+# compilation database (FetchContent deps, generated files) is not
+# ours to lint.
+FIRST_PARTY = ("src/", "tests/", "examples/", "bench/")
+
+# clang-tidy diagnostic header: <file>:<line>:<col>: <level>: <msg>
+# [<check>]
+DIAG_RE = re.compile(
+    r"^(?P<file>[^:\n]+):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<level>warning|error):\s+(?P<message>.*?)\s+"
+    r"\[(?P<check>[^\]\s]+)\]\s*$")
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_compile_commands(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    try:
+        with open(path) as fh:
+            entries = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot load {path}: {exc} "
+                 f"(configure with the `tidy` preset, or any preset -- "
+                 f"CMAKE_EXPORT_COMPILE_COMMANDS is always on)")
+    root = repo_root()
+    sources = []
+    for entry in entries:
+        source = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        rel = os.path.relpath(source, root)
+        if rel.startswith(FIRST_PARTY):
+            sources.append(source)
+    return sorted(set(sources))
+
+
+def diag_key(file, check, message):
+    """Baseline identity of one diagnostic (no line: see docstring)."""
+    return f"{file}|{check}|{message}"
+
+
+def parse_diagnostics(output, root):
+    """(key, human-line) pairs from one clang-tidy invocation."""
+    diags = []
+    for line in output.splitlines():
+        match = DIAG_RE.match(line)
+        if not match:
+            continue
+        file = os.path.relpath(
+            os.path.normpath(match.group("file")), root)
+        if file.startswith(".."):
+            continue  # diagnostic in a system/third-party header
+        key = diag_key(file, match.group("check"),
+                       match.group("message"))
+        human = (f"{file}:{match.group('line')}: "
+                 f"{match.group('message')} [{match.group('check')}]")
+        diags.append((key, human))
+    return diags
+
+
+def run_one(clang_tidy, build_dir, source):
+    proc = subprocess.run(
+        [clang_tidy, "-p", build_dir, "--quiet", source],
+        capture_output=True, text=True)
+    # clang-tidy exits non-zero on compile errors; those must surface,
+    # not vanish as "no diagnostics".
+    hard_error = proc.returncode != 0 and "error:" in proc.stderr \
+        and not parse_diagnostics(proc.stdout, repo_root())
+    return source, proc.stdout, proc.stderr if hard_error else ""
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Run clang-tidy over first-party sources and "
+                    "diff the diagnostics against a checked-in "
+                    "baseline.")
+    ap.add_argument("--build", required=True,
+                    help="build dir containing compile_commands.json")
+    ap.add_argument("--baseline",
+                    default=os.path.join(repo_root(), "tools",
+                                         "tidy-baseline.json"),
+                    help="baseline JSON (default: "
+                         "tools/tidy-baseline.json)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline with the current "
+                         "findings instead of failing on them")
+    ap.add_argument("--jobs", type=int,
+                    default=os.cpu_count() or 1, metavar="N",
+                    help="parallel clang-tidy processes")
+    ap.add_argument("--clang-tidy", default="clang-tidy",
+                    help="clang-tidy binary to use")
+    ap.add_argument("--require", action="store_true",
+                    help="fail when clang-tidy is not installed "
+                         "(CI sets this; local gcc-only trees skip)")
+    args = ap.parse_args()
+
+    if shutil.which(args.clang_tidy) is None:
+        message = (f"{args.clang_tidy} not found -- the tidy gate "
+                   f"runs in CI; install clang-tidy to run locally")
+        if args.require:
+            sys.exit(f"error: {message}")
+        print(f"SKIPPED: {message}")
+        return 0
+
+    sources = load_compile_commands(args.build)
+    if not sources:
+        sys.exit("error: compile_commands.json lists no first-party "
+                 "sources")
+
+    try:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh).get("diagnostics", {})
+    except FileNotFoundError:
+        baseline = {}
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot load baseline {args.baseline}: {exc}")
+
+    root = repo_root()
+    counts = {}     # key -> occurrences seen this run
+    humans = {}     # key -> first human-readable line
+    failures = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [pool.submit(run_one, args.clang_tidy, args.build,
+                               source) for source in sources]
+        for future in concurrent.futures.as_completed(futures):
+            source, stdout, hard_error = future.result()
+            if hard_error:
+                failures.append(f"{os.path.relpath(source, root)}: "
+                                f"clang-tidy failed:\n{hard_error}")
+                continue
+            for key, human in parse_diagnostics(stdout, root):
+                counts[key] = counts.get(key, 0) + 1
+                humans.setdefault(key, human)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+
+    if args.update_baseline:
+        payload = {
+            "comment": "clang-tidy baseline: known findings the gate "
+                       "tolerates. Shrinking this file is always "
+                       "welcome; growing it requires review. "
+                       "Regenerate with run_tidy.py "
+                       "--update-baseline.",
+            "diagnostics": {key: counts[key] for key in sorted(counts)},
+        }
+        with open(args.baseline, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        print(f"baseline updated: {len(counts)} diagnostic(s) over "
+              f"{len(sources)} file(s)")
+        return 0
+
+    new = []
+    for key in sorted(counts):
+        extra = counts[key] - baseline.get(key, 0)
+        if extra > 0:
+            suffix = f" (x{extra} new)" if extra > 1 else ""
+            new.append(f"{humans[key]}{suffix}")
+    fixed = sorted(key for key in baseline if key not in counts)
+
+    if new:
+        for line in new:
+            print(f"NEW: {line}")
+        print(f"{len(new)} new clang-tidy diagnostic(s) not in "
+              f"{os.path.relpath(args.baseline, root)} -- fix them, "
+              f"or (with reviewer sign-off) --update-baseline")
+        return 1
+    print(f"OK: {len(sources)} file(s), {sum(counts.values())} "
+          f"baselined diagnostic(s), 0 new"
+          + (f", {len(fixed)} fixed (baseline can shrink)"
+             if fixed else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
